@@ -1,0 +1,104 @@
+// Ablation D: how much does the logic-level bridging abstraction
+// (wired-AND) disagree with the electrical (nodal-analysis) reference?
+// The paper's core argument is that abstract fault models misjudge real
+// defects; this quantifies it on the bridges both levels can represent
+// (circuit-net to circuit-net pairs).
+#include <cstdio>
+
+#include "atpg/generate.h"
+#include "bench_util.h"
+#include "extract/extractor.h"
+#include "gatesim/bridge_sim.h"
+#include "layout/place_route.h"
+#include "model/yield.h"
+#include "netlist/builders.h"
+#include "netlist/techmap.h"
+#include "switchsim/switch_fault_sim.h"
+
+int main() {
+    using namespace dlp;
+    bench::header("Ablation D: gate-level wired-AND vs switch-level "
+                  "electrical bridge model, c432");
+
+    const auto mapped = netlist::techmap(netlist::build_c432());
+    auto sa_faults = gatesim::collapse_faults(
+        mapped, gatesim::full_fault_universe(mapped));
+    atpg::TestGenOptions opt;
+    opt.seed = 5;
+    const auto tests = atpg::generate_test_set(mapped, sa_faults, opt);
+
+    const auto chip = layout::place_and_route(mapped);
+    auto extraction = extract::extract_faults(
+        chip, extract::DefectStatistics::cmos_bridging_dominant());
+    const double scale =
+        model::yield_scale_factor(extraction.total_weight, 0.75);
+    for (auto& f : extraction.faults) f.weight *= scale;
+
+    // The comparable subset: plain two-net bridges between circuit nets.
+    std::vector<size_t> subset;
+    std::vector<gatesim::GateBridgeFault> gate_faults;
+    for (size_t i = 0; i < extraction.faults.size(); ++i) {
+        const auto& f = extraction.faults[i];
+        if (f.kind != extract::ExtractedFault::Kind::Bridge) continue;
+        if (!f.c.is_none()) continue;
+        if (!f.a.is_circuit() || !f.b.is_circuit()) continue;
+        subset.push_back(i);
+        gate_faults.push_back({static_cast<netlist::NetId>(f.a.index),
+                               static_cast<netlist::NetId>(f.b.index),
+                               gatesim::BridgeRule::WiredAnd});
+    }
+
+    std::fprintf(stderr, "[bench] simulating %zu comparable bridges at both "
+                         "levels over %zu vectors...\n",
+                 subset.size(), tests.vectors.size());
+
+    gatesim::GateBridgeSimulator gate_sim(mapped, gate_faults);
+    gate_sim.apply(tests.vectors);
+
+    const auto swnet = switchsim::build_switch_netlist(mapped);
+    const switchsim::SwitchSim sim(swnet);
+    auto swfaults = flow::to_switch_faults(extraction, chip, swnet);
+    switchsim::SwitchFaultSimulator swsim(sim, swfaults);
+    std::vector<switchsim::Vector> vv;
+    for (const auto& v : tests.vectors) vv.emplace_back(v.begin(), v.end());
+    swsim.apply(vv);
+
+    // Compare verdicts and weighted coverage on the subset.
+    size_t agree = 0;
+    size_t gate_only = 0;
+    size_t switch_only = 0;
+    double w_total = 0.0;
+    double w_gate = 0.0;
+    double w_switch = 0.0;
+    for (size_t j = 0; j < subset.size(); ++j) {
+        const size_t i = subset[j];
+        const bool g = gate_sim.first_detected_at()[j] >= 0;
+        const bool s = swsim.first_detected_at()[i] >= 0;
+        const double w = extraction.faults[i].weight;
+        w_total += w;
+        if (g) w_gate += w;
+        if (s) w_switch += w;
+        if (g == s)
+            ++agree;
+        else if (g)
+            ++gate_only;
+        else
+            ++switch_only;
+    }
+
+    std::printf("comparable bridges: %zu (circuit-net pairs)\n",
+                subset.size());
+    std::printf("verdict agreement: %.1f%%  (gate-only detects: %zu, "
+                "switch-only detects: %zu)\n",
+                100.0 * static_cast<double>(agree) /
+                    static_cast<double>(subset.size()),
+                gate_only, switch_only);
+    std::printf("weighted coverage of the subset: gate-level %.2f%%, "
+                "switch-level %.2f%%\n",
+                100 * w_gate / w_total, 100 * w_switch / w_total);
+    std::printf("\nShape check: the wired-AND abstraction misclassifies a "
+                "visible fraction of bridges (strength ties, masked flips, "
+                "feedback) - the paper's reason for simulating at "
+                "transistor level.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "flow/experiment.h"
+#include "netlist/builders.h"
+
+namespace dlp::bench {
+
+/// Runs (once) the paper's c432 experiment with default options.
+inline const flow::ExperimentResult& c432_experiment() {
+    static const flow::ExperimentResult r = [] {
+        flow::ExperimentOptions opt;
+        opt.atpg.seed = 5;
+        std::fprintf(stderr, "[bench] running c432 flow (layout + extraction "
+                             "+ switch-level fault simulation)...\n");
+        return flow::run_experiment(netlist::build_c432(), opt);
+    }();
+    return r;
+}
+
+inline void header(const std::string& title) {
+    std::printf("==== %s ====\n", title.c_str());
+}
+
+/// Log-spaced k indices (1-based) up to n.
+inline std::vector<int> log_ks(int n) {
+    std::vector<int> ks;
+    int k = 1;
+    while (k <= n) {
+        ks.push_back(k);
+        k = std::max(k + 1, k + k / 4);
+    }
+    if (ks.back() != n) ks.push_back(n);
+    return ks;
+}
+
+}  // namespace dlp::bench

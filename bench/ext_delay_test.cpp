@@ -1,0 +1,126 @@
+// Extension (paper conclusions): "Transistor-level bridging and open
+// faults and more sophisticated detection techniques, like delay and/or
+// current testing, must become part of the production routine."
+//
+// This bench quantifies the delay-testing half: appending two-pattern
+// transition tests to the stuck-at set raises the switch-level weighted
+// coverage of *opens* (stuck-open transistors need exactly such pairs) and
+// lowers the residual defect level of the voltage-only strategy.
+#include <algorithm>
+#include <cstdio>
+
+#include "atpg/generate.h"
+#include "atpg/transition_tpg.h"
+#include "bench_util.h"
+#include "extract/extractor.h"
+#include "layout/place_route.h"
+#include "model/dl_models.h"
+#include "model/yield.h"
+#include "netlist/builders.h"
+#include "netlist/techmap.h"
+#include "switchsim/switch_fault_sim.h"
+
+int main() {
+    using namespace dlp;
+    bench::header("Extension: two-pattern (transition) tests vs stuck-open "
+                  "residual, c432, Y=0.75");
+
+    const auto mapped = netlist::techmap(netlist::build_c432());
+    std::fprintf(stderr, "[bench] generating stuck-at and transition test "
+                         "sets + running switch-level simulation twice...\n");
+
+    // Stuck-at set (the paper's baseline).
+    auto sa_faults = gatesim::collapse_faults(
+        mapped, gatesim::full_fault_universe(mapped));
+    atpg::TestGenOptions sa_opt;
+    sa_opt.seed = 5;
+    const auto sa = atpg::generate_test_set(mapped, sa_faults, sa_opt);
+
+    // Transition set appended after the stuck-at sequence.
+    atpg::TransitionTestOptions tf_opt;
+    tf_opt.seed = 6;
+    tf_opt.max_random = 512;
+    const auto tf = atpg::generate_transition_tests(
+        mapped, gatesim::full_transition_universe(mapped), tf_opt);
+
+    // Weighted realistic fault list.
+    const auto chip = layout::place_and_route(mapped);
+    auto extraction = extract::extract_faults(
+        chip, extract::DefectStatistics::cmos_bridging_dominant());
+    const double scale =
+        model::yield_scale_factor(extraction.total_weight, 0.75);
+    for (auto& f : extraction.faults) f.weight *= scale;
+    const auto swnet = switchsim::build_switch_netlist(mapped);
+    const switchsim::SwitchSim sim(swnet);
+    const auto swfaults = flow::to_switch_faults(extraction, chip, swnet);
+
+    const auto run = [&](const std::vector<gatesim::Vector>& vectors) {
+        switchsim::SwitchFaultSimulator fs(sim, swfaults);
+        std::vector<switchsim::Vector> vv;
+        for (const auto& v : vectors) vv.emplace_back(v.begin(), v.end());
+        fs.apply(vv);
+        // Split theta by mechanism: opens vs everything else.
+        double open_w = 0.0;
+        double open_det = 0.0;
+        for (size_t i = 0; i < swfaults.size(); ++i) {
+            const auto kind = extraction.faults[i].kind;
+            const bool is_open =
+                kind == extract::ExtractedFault::Kind::TransistorOpen ||
+                kind == extract::ExtractedFault::Kind::GateFloat ||
+                kind == extract::ExtractedFault::Kind::NetOpen;
+            if (!is_open) continue;
+            open_w += swfaults[i].weight;
+            if (fs.first_detected_at()[i] >= 0)
+                open_det += swfaults[i].weight;
+        }
+        struct Out {
+            double theta;
+            double theta_opens;
+        };
+        return Out{fs.weighted_coverage(),
+                   open_w == 0.0 ? 0.0 : open_det / open_w};
+    };
+
+    const auto base = run(sa.vectors);
+    auto combined_vectors = sa.vectors;
+    combined_vectors.insert(combined_vectors.end(), tf.vectors.begin(),
+                            tf.vectors.end());
+    const auto combined = run(combined_vectors);
+
+    // A production-length test (short!) shows the pair effect clearly: a
+    // compact stuck-at set barely initializes stuck-opens, while adding the
+    // two-pattern tail recovers them.
+    const std::vector<gatesim::Vector> short_sa(
+        sa.vectors.begin(),
+        sa.vectors.begin() + std::min<size_t>(64, sa.vectors.size()));
+    const auto short_base = run(short_sa);
+    auto short_combined_vectors = short_sa;
+    short_combined_vectors.insert(short_combined_vectors.end(),
+                                  tf.vectors.begin(), tf.vectors.end());
+    const auto short_combined = run(short_combined_vectors);
+
+    std::printf("stuck-at set: %zu vectors; transition set adds %zu "
+                "(%.1f%% TF coverage, %d deterministic pairs)\n",
+                sa.vectors.size(), tf.vectors.size(), 100 * tf.coverage(),
+                tf.pair_count);
+    std::printf("\n%-32s %10s %14s %12s\n", "test strategy", "theta%",
+                "theta(opens)%", "DL(ppm)");
+    const auto dl = [](double theta) {
+        return model::to_ppm(model::weighted_dl(0.75, theta));
+    };
+    const auto row = [&](const char* name, const auto& r) {
+        std::printf("%-32s %10.2f %14.2f %12.0f\n", name, 100 * r.theta,
+                    100 * r.theta_opens, dl(r.theta));
+    };
+    row("stuck-at, 64 vectors", short_base);
+    row("stuck-at 64 + transition", short_combined);
+    row("stuck-at, full sequence", base);
+    row("stuck-at full + transition", combined);
+    std::printf("\nShape check: at production-like test lengths the "
+                "two-pattern tail lifts the weighted coverage of opens "
+                "(stuck-open transistors need initialized pairs).  A very "
+                "long random sequence supplies such pairs implicitly, so "
+                "its marginal gain shrinks - which is itself the reason "
+                "compact delay test sets matter in production.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Extension (paper ref. [8]): the statistical delay-fault model on c432.
+// Static timing gives every line a slack; a transition test set exercises
+// a subset of lines; delay-defect coverage then depends strongly on the
+// ratio of test clock to mission clock - the classic Park-Mercer-Williams
+// result behind the paper's call for delay testing in production.
+#include <algorithm>
+#include <cstdio>
+
+#include "atpg/transition_tpg.h"
+#include "bench_util.h"
+#include "gatesim/timing.h"
+#include "model/delay_model.h"
+#include "netlist/builders.h"
+#include "netlist/techmap.h"
+
+int main() {
+    using namespace dlp;
+    bench::header("Extension: statistical delay-fault coverage vs test "
+                  "clock, c432 (ref. [8] model)");
+
+    const auto mapped = netlist::techmap(netlist::build_c432());
+
+    // Transition test set: which lines does it exercise (launch + detect)?
+    atpg::TransitionTestOptions opt;
+    opt.seed = 7;
+    auto faults = gatesim::full_transition_universe(mapped);
+    const auto tf = atpg::generate_transition_tests(mapped, faults, opt);
+    std::vector<bool> exercised(mapped.gate_count(), false);
+    for (size_t i = 0; i < faults.size(); ++i)
+        if (tf.first_detected_at[i] >= 1) exercised[faults[i].line] = true;
+
+    // Mission timing: clock = critical delay * 1.05 (5% guard band).
+    const gatesim::DelayModel delays;
+    const auto op =
+        gatesim::analyze_timing(mapped, delays, 0.0);
+    const double mission = op.critical_delay * 1.05;
+    const auto op_timing = gatesim::analyze_timing(mapped, delays, mission);
+    std::printf("critical delay %.2f, mission clock %.2f, %zu lines, "
+                "%.1f%% exercised by the TF set\n\n",
+                op.critical_delay, mission, mapped.gate_count(),
+                100.0 *
+                    static_cast<double>(std::count(exercised.begin(),
+                                                   exercised.end(), true)) /
+                    static_cast<double>(mapped.gate_count()));
+
+    const model::DelaySizeDistribution dist{
+        model::DelaySizeDistribution::Kind::Exponential,
+        op.critical_delay / 4.0};
+
+    std::printf("%18s %22s %20s\n", "test clock/mission",
+                "delay-defect coverage%", "P(at-speed fail)%");
+    for (double ratio : {0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0}) {
+        const auto test_timing =
+            gatesim::analyze_timing(mapped, delays, mission * ratio);
+        std::vector<model::DelayLine> lines(mapped.gate_count());
+        for (netlist::NetId n = 0; n < mapped.gate_count(); ++n) {
+            lines[n].slack_op = op_timing.slack[n];
+            lines[n].slack_test = test_timing.slack[n];
+            lines[n].exercised = exercised[n];
+        }
+        std::printf("%18.2f %22.2f %20.2f\n", ratio,
+                    100 * model::delay_defect_coverage(lines, dist),
+                    100 * model::delay_failure_probability(lines, dist));
+    }
+    std::printf("\nShape check (ref. [8]): testing at the mission clock or "
+                "faster keeps coverage near the exercised fraction; slower "
+                "test clocks let small-but-fatal delay defects escape, and "
+                "coverage falls monotonically with the test period.\n");
+    return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Figure 1: analytic coverage-growth curves T(k) and theta(k)
+// for s_T = e^3, s_theta = e^{3/2}, theta_max = 0.96 (so R = 2).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/coverage_laws.h"
+
+int main() {
+    using namespace dlp;
+    bench::header("Figure 1: T(k) and theta(k), s_T=e^3, s_theta=e^1.5, "
+                  "theta_max=0.96");
+    const model::CoverageLaw t_law{std::exp(3.0), 1.0};
+    const model::CoverageLaw th_law{std::exp(1.5), 0.96};
+    std::printf("%12s %10s %10s\n", "k", "T(k)%", "theta(k)%");
+    for (double k = 1; k <= 1e6; k *= std::sqrt(10.0)) {
+        std::printf("%12.0f %10.3f %10.3f\n", k, 100 * t_law.coverage(k),
+                    100 * th_law.coverage(k));
+    }
+    std::printf("\nSusceptibility ratio R = %.3f (paper: 2)\n",
+                model::susceptibility_ratio(std::exp(3.0), std::exp(1.5)));
+    std::printf("Shape check: theta approaches its ceiling (0.96) faster "
+                "than T approaches 1.\n");
+    return 0;
+}

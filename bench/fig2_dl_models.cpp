@@ -1,0 +1,26 @@
+// Reproduces Figure 2: DL(T) for Williams-Brown vs the proposed model
+// (eq. 11) with R = 2, theta_max = 0.96, at Y = 0.75.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/dl_models.h"
+
+int main() {
+    using namespace dlp;
+    bench::header("Figure 2: DL(T), Y=0.75 - Williams-Brown vs eq. (11), "
+                  "R=2, theta_max=0.96");
+    const double y = 0.75;
+    const model::ProposedModel m{y, 2.0, 0.96};
+    std::printf("%8s %16s %22s\n", "T%", "WB DL (ppm)", "eq.11 DL (ppm)");
+    for (int i = 0; i <= 20; ++i) {
+        const double t = i / 20.0;
+        std::printf("%8.1f %16.1f %22.1f\n", 100 * t,
+                    model::to_ppm(model::williams_brown_dl(y, t)),
+                    model::to_ppm(m.dl(t)));
+    }
+    std::printf("\nResidual defect level 1-Y^(1-theta_max) = %.1f ppm\n",
+                model::to_ppm(m.residual_dl()));
+    std::printf("Shape check: eq.11 below WB in mid range (concave), above "
+                "WB near T=1 (residual floor).\n");
+    return 0;
+}

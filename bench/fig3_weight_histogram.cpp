@@ -1,0 +1,30 @@
+// Reproduces Figure 3: histogram of extracted fault weights for the c432
+// layout.  The paper's point: weights span roughly three decades, so the
+// equal-probability assumption is untenable.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/stats.h"
+
+int main() {
+    using namespace dlp;
+    const auto& r = bench::c432_experiment();
+    bench::header("Figure 3: fault-weight histogram, c432 standard-cell "
+                  "layout");
+
+    auto ws = r.fault_weights;
+    const auto [lo_it, hi_it] = std::minmax_element(ws.begin(), ws.end());
+    model::LogHistogram hist(*lo_it * 0.99, *hi_it * 1.01, 16);
+    hist.add_all(ws);
+
+    std::printf("%zu weighted realistic faults, total weight %.4f "
+                "(Y = %.3f)\n\n", ws.size(), -std::log(r.yield), r.yield);
+    std::printf("%s\n", hist.render(48).c_str());
+    std::printf("Dispersion: %.2f decades (paper: ~3 decades, 1e-9..1e-6)\n",
+                hist.dispersion_decades());
+    std::printf("Shape check: wide multi-decade spread -> weighting cannot "
+                "be ignored (contra Huisman [12]).\n");
+    return 0;
+}

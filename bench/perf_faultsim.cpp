@@ -1,0 +1,112 @@
+// Throughput benchmarks (google-benchmark): gate-level PPSFP, switch-level
+// solve, PODEM, extraction.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "atpg/generate.h"
+#include "extract/extractor.h"
+#include "flow/experiment.h"
+#include "gatesim/patterns.h"
+#include "layout/place_route.h"
+#include "netlist/builders.h"
+#include "netlist/techmap.h"
+#include "switchsim/switch_fault_sim.h"
+
+namespace {
+
+using namespace dlp;
+
+const netlist::Circuit& mapped_c432() {
+    static const netlist::Circuit c = netlist::techmap(netlist::build_c432());
+    return c;
+}
+
+void BM_GateLevelFaultSim(benchmark::State& state) {
+    const auto& c = mapped_c432();
+    const auto faults =
+        gatesim::collapse_faults(c, gatesim::full_fault_universe(c));
+    gatesim::RandomPatternGenerator rng(1);
+    const auto vectors = rng.vectors(c, static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        gatesim::FaultSimulator sim(c, faults);
+        sim.apply(vectors);
+        benchmark::DoNotOptimize(sim.coverage());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            static_cast<long>(faults.size()));
+}
+BENCHMARK(BM_GateLevelFaultSim)->Arg(64)->Arg(256);
+
+void BM_SwitchLevelGoodSim(benchmark::State& state) {
+    const auto& c = mapped_c432();
+    const auto net = switchsim::build_switch_netlist(c);
+    const switchsim::SwitchSim sim(net);
+    gatesim::RandomPatternGenerator rng(1);
+    const auto vectors = rng.vectors(c, 64);
+    std::unique_ptr<bool[]> buf(new bool[c.inputs().size()]);
+    for (auto _ : state) {
+        auto st = sim.initial_state();
+        for (const auto& v : vectors) {
+            for (size_t i = 0; i < v.size(); ++i) buf[i] = v[i];
+            sim.step(st, std::span<const bool>(buf.get(), v.size()));
+        }
+        benchmark::DoNotOptimize(st);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SwitchLevelGoodSim);
+
+void BM_Podem(benchmark::State& state) {
+    const auto& c = mapped_c432();
+    const auto faults =
+        gatesim::collapse_faults(c, gatesim::full_fault_universe(c));
+    const atpg::Testability t = atpg::compute_testability(c);
+    for (auto _ : state) {
+        atpg::Podem podem(c, t);
+        int found = 0;
+        for (size_t i = 0; i < faults.size(); i += 16) {
+            const auto res = podem.generate(faults[i], 2048);
+            found += res.status == atpg::PodemResult::Status::TestFound;
+        }
+        benchmark::DoNotOptimize(found);
+    }
+}
+BENCHMARK(BM_Podem);
+
+void BM_LayoutAndExtraction(benchmark::State& state) {
+    const auto& c = mapped_c432();
+    for (auto _ : state) {
+        const auto chip = layout::place_and_route(c);
+        const auto r = extract::extract_faults(
+            chip, extract::DefectStatistics::cmos_bridging_dominant());
+        benchmark::DoNotOptimize(r.total_weight);
+    }
+}
+BENCHMARK(BM_LayoutAndExtraction);
+
+void BM_SwitchLevelFaultSim(benchmark::State& state) {
+    const auto& c = mapped_c432();
+    const auto chip = layout::place_and_route(c);
+    const auto extraction = extract::extract_faults(
+        chip, extract::DefectStatistics::cmos_bridging_dominant());
+    const auto net = switchsim::build_switch_netlist(c);
+    const switchsim::SwitchSim sim(net);
+    const auto faults = flow::to_switch_faults(extraction, chip, net);
+    gatesim::RandomPatternGenerator rng(1);
+    std::vector<switchsim::Vector> vectors;
+    for (const auto& v : rng.vectors(c, static_cast<int>(state.range(0))))
+        vectors.emplace_back(v.begin(), v.end());
+    for (auto _ : state) {
+        switchsim::SwitchFaultSimulator fs(sim, faults);
+        fs.apply(vectors);
+        benchmark::DoNotOptimize(fs.weighted_coverage());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            static_cast<long>(faults.size()));
+}
+BENCHMARK(BM_SwitchLevelFaultSim)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

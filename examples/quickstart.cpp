@@ -1,0 +1,46 @@
+// Quickstart: the defect-level models on their own.
+//
+// Answers the practical question the paper opens with: "how much stuck-at
+// coverage is enough for a target defect level?" - first with the classic
+// Williams-Brown equation, then with the proposed model once you know your
+// process's susceptibility ratio R and test-method ceiling theta_max.
+#include <cstdio>
+
+#include "model/dl_models.h"
+
+int main() {
+    using namespace dlp::model;
+
+    const double yield = 0.75;
+    const double target_dl = from_ppm(200);
+
+    // Classic Williams-Brown: DL = 1 - Y^(1-T).
+    const double t_wb = williams_brown_required_coverage(yield, target_dl);
+    std::printf("Williams-Brown: need T = %.3f%% for %.0f ppm at Y = %.2f\n",
+                100 * t_wb, to_ppm(target_dl), yield);
+
+    // The proposed model: realistic (layout-extracted, weighted) faults are
+    // easier to detect than stuck-ats (R > 1), but voltage testing cannot
+    // cover everything (theta_max < 1).
+    const ProposedModel model{yield, /*r=*/1.9, /*theta_max=*/0.96};
+    std::printf("Proposed model (R=1.9, theta_max=0.96):\n");
+    std::printf("  residual DL floor: %.0f ppm - unreachable below this "
+                "with static voltage testing alone\n",
+                to_ppm(model.residual_dl()));
+    if (target_dl >= model.residual_dl()) {
+        std::printf("  need T = %.3f%% for %.0f ppm\n",
+                    100 * model.required_coverage(target_dl),
+                    to_ppm(target_dl));
+    } else {
+        std::printf("  %.0f ppm is below the floor: add IDDQ/delay tests\n",
+                    to_ppm(target_dl));
+    }
+
+    // A small DL(T) table comparing the two.
+    std::printf("\n%8s %14s %14s\n", "T%", "WB DL(ppm)", "model DL(ppm)");
+    for (double t : {0.80, 0.90, 0.95, 0.99, 1.00})
+        std::printf("%8.1f %14.1f %14.1f\n", 100 * t,
+                    to_ppm(williams_brown_dl(yield, t)),
+                    to_ppm(model.dl(t)));
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Production test planning with the characterized model: how long a random
+// test buys a target defect level, what the detection-method floor is, and
+// how defect clustering changes the picture.
+#include <cmath>
+#include <cstdio>
+
+#include "model/planning.h"
+#include "model/yield.h"
+
+int main() {
+    using namespace dlp::model;
+
+    // A process characterized per the paper: Y = 0.75, R = 1.9,
+    // theta_max = 0.96, stuck-at susceptibility e^3 (fig. 1's value).
+    const TestPlanInputs process{0.75, 1.9, 0.96, std::exp(3.0)};
+
+    std::printf("process: Y=%.2f R=%.2f theta_max=%.2f ln(s_T)=%.1f\n\n",
+                process.yield, process.r, process.theta_max,
+                std::log(process.s_stuck_at));
+
+    std::printf("%12s %16s %18s\n", "target DL", "required T%", "vectors");
+    for (double ppm : {50000.0, 20000.0, 15000.0, 12000.0, 11500.0}) {
+        const TestPlan plan = plan_test_length(process, from_ppm(ppm));
+        if (plan.reachable)
+            std::printf("%9.0f ppm %16.2f %18.0f\n", ppm,
+                        100 * plan.required_coverage, plan.vectors);
+        else
+            std::printf("%9.0f ppm %35s\n", ppm,
+                        "unreachable: below the residual floor");
+    }
+    {
+        const TestPlan plan = plan_test_length(process, from_ppm(50000.0));
+        std::printf("\nresidual floor of this detection method: %.0f ppm "
+                    "(add IDDQ/delay tests to go lower)\n",
+                    to_ppm(plan.residual_dl));
+    }
+
+    // Defect clustering: the same lambda ships fewer bad parts because
+    // defects concentrate on dies the test rejects anyway.
+    const double lambda = total_weight_for_yield(0.75);
+    std::printf("\nclustering (theta = 0.90, lambda = %.3f):\n", lambda);
+    std::printf("%12s %12s %12s\n", "alpha", "yield%", "DL(ppm)");
+    for (double alpha : {0.5, 1.0, 2.0, 5.0, 1e9}) {
+        std::printf("%12.1f %12.2f %12.0f\n", alpha,
+                    100 * stapper_yield(lambda, alpha),
+                    to_ppm(clustered_dl(lambda, alpha, 0.90)));
+    }
+    std::printf("(alpha -> infinity is the Poisson limit, eq. 3)\n");
+    return 0;
+}

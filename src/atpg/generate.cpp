@@ -1,0 +1,83 @@
+#include "atpg/generate.h"
+
+#include <algorithm>
+#include <span>
+
+#include "gatesim/patterns.h"
+
+namespace dlp::atpg {
+
+double TestGenResult::coverage() const {
+    const std::size_t total = first_detected_at.size();
+    const std::size_t testable = total - redundant;
+    return testable == 0 ? 0.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(testable);
+}
+
+double TestGenResult::raw_coverage() const {
+    const std::size_t total = first_detected_at.size();
+    return total == 0 ? 0.0
+                      : static_cast<double>(detected) /
+                            static_cast<double>(total);
+}
+
+TestGenResult generate_test_set(const Circuit& circuit,
+                                std::vector<StuckAtFault> faults,
+                                const TestGenOptions& options) {
+    TestGenResult result;
+    gatesim::FaultSimulator sim(circuit, std::move(faults));
+    gatesim::RandomPatternGenerator rng(options.seed);
+
+    // Phase 1: random patterns until they stop paying off.
+    int barren = 0;
+    while (result.random_count < options.max_random &&
+           barren < options.stale_blocks &&
+           sim.detected_count() < sim.faults().size()) {
+        const int take = std::min(options.random_block,
+                                  options.max_random - result.random_count);
+        const auto block = rng.vectors(circuit, take);
+        const int found = sim.apply(block);
+        result.vectors.insert(result.vectors.end(), block.begin(),
+                              block.end());
+        result.random_count += take;
+        barren = found == 0 ? barren + 1 : 0;
+    }
+
+    // Phase 2: PODEM for each remaining fault, with fault dropping.
+    result.status.assign(sim.faults().size(), FaultStatus::Undetected);
+    Podem podem(circuit, compute_testability(circuit));
+    for (std::size_t fi : sim.undetected()) {
+        if (sim.first_detected_at()[fi] >= 0) continue;  // dropped meanwhile
+        const auto res = podem.generate(sim.faults()[fi],
+                                        options.backtrack_limit,
+                                        rng.next_word());
+        switch (res.status) {
+            case PodemResult::Status::TestFound: {
+                const Vector v = res.test;
+                sim.apply(std::span(&v, 1));
+                result.vectors.push_back(v);
+                ++result.deterministic_count;
+                break;
+            }
+            case PodemResult::Status::Redundant:
+                result.status[fi] = FaultStatus::Redundant;
+                ++result.redundant;
+                break;
+            case PodemResult::Status::Aborted:
+                result.status[fi] = FaultStatus::Aborted;
+                ++result.aborted;
+                break;
+        }
+    }
+
+    result.detected = sim.detected_count();
+    result.first_detected_at.assign(sim.first_detected_at().begin(),
+                                    sim.first_detected_at().end());
+    for (size_t i = 0; i < result.first_detected_at.size(); ++i)
+        if (result.first_detected_at[i] >= 1)
+            result.status[i] = FaultStatus::Detected;
+    return result;
+}
+
+}  // namespace dlp::atpg

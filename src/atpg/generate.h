@@ -1,0 +1,52 @@
+// Full test-set generation driver: a random-pattern phase (PPSFP with fault
+// dropping) followed by deterministic PODEM for the remaining faults,
+// mirroring the paper's "first vectors random, last deterministic" setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/podem.h"
+#include "gatesim/fault_sim.h"
+
+namespace dlp::atpg {
+
+struct TestGenOptions {
+    int random_block = 64;     ///< vectors per random batch
+    int max_random = 4096;     ///< cap on random vectors
+    int stale_blocks = 4;      ///< stop random phase after this many barren batches
+    std::uint64_t seed = 1;
+    int backtrack_limit = 4096;
+};
+
+/// Final status of one fault after test generation.
+enum class FaultStatus : std::uint8_t {
+    Detected,
+    Redundant,   ///< proven untestable by PODEM
+    Aborted,     ///< PODEM hit its backtrack limit
+    Undetected,  ///< not targeted (should not occur)
+};
+
+struct TestGenResult {
+    std::vector<Vector> vectors;     ///< full sequence, random prefix first
+    int random_count = 0;            ///< length of the random prefix
+    int deterministic_count = 0;     ///< PODEM-generated tail
+    std::size_t detected = 0;
+    std::size_t redundant = 0;       ///< proven untestable
+    std::size_t aborted = 0;         ///< backtrack limit hit
+    std::vector<int> first_detected_at;  ///< per fault, 1-based; -1 undetected
+    std::vector<FaultStatus> status;     ///< per fault
+
+    /// Coverage of testable faults: detected / (total - redundant).
+    double coverage() const;
+    /// Raw coverage: detected / total.
+    double raw_coverage() const;
+};
+
+/// Generates a stuck-at test set for the given (typically collapsed) fault
+/// list.  Deterministic in `options.seed`.
+TestGenResult generate_test_set(const Circuit& circuit,
+                                std::vector<StuckAtFault> faults,
+                                const TestGenOptions& options = {});
+
+}  // namespace dlp::atpg

@@ -1,0 +1,147 @@
+#include "atpg/scoap.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dlp::atpg {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+int capped_sum(int a, int b) { return std::min(a + b, kInf); }
+
+}  // namespace
+
+Testability compute_testability(const Circuit& circuit) {
+    using netlist::GateType;
+    const size_t n = circuit.gate_count();
+    Testability t;
+    t.cc0.assign(n, kInf);
+    t.cc1.assign(n, kInf);
+    t.co.assign(n, kInf);
+
+    // Controllability: forward pass in topological (NetId) order.
+    for (NetId g = 0; g < n; ++g) {
+        const auto& gate = circuit.gate(g);
+        const auto& in = gate.fanin;
+        switch (gate.type) {
+            case GateType::Input:
+                t.cc0[g] = t.cc1[g] = 1;
+                break;
+            case GateType::Buf:
+                t.cc0[g] = capped_sum(t.cc0[in[0]], 1);
+                t.cc1[g] = capped_sum(t.cc1[in[0]], 1);
+                break;
+            case GateType::Not:
+                t.cc0[g] = capped_sum(t.cc1[in[0]], 1);
+                t.cc1[g] = capped_sum(t.cc0[in[0]], 1);
+                break;
+            case GateType::And:
+            case GateType::Nand: {
+                int all1 = 1;
+                int min0 = kInf;
+                for (NetId f : in) {
+                    all1 = capped_sum(all1, t.cc1[f]);
+                    min0 = std::min(min0, t.cc0[f]);
+                }
+                min0 = capped_sum(min0, 1);
+                if (gate.type == GateType::And) {
+                    t.cc1[g] = all1;
+                    t.cc0[g] = min0;
+                } else {
+                    t.cc0[g] = all1;
+                    t.cc1[g] = min0;
+                }
+                break;
+            }
+            case GateType::Or:
+            case GateType::Nor: {
+                int all0 = 1;
+                int min1 = kInf;
+                for (NetId f : in) {
+                    all0 = capped_sum(all0, t.cc0[f]);
+                    min1 = std::min(min1, t.cc1[f]);
+                }
+                min1 = capped_sum(min1, 1);
+                if (gate.type == GateType::Or) {
+                    t.cc0[g] = all0;
+                    t.cc1[g] = min1;
+                } else {
+                    t.cc1[g] = all0;
+                    t.cc0[g] = min1;
+                }
+                break;
+            }
+            case GateType::Xor:
+            case GateType::Xnor: {
+                // Cheapest parity assignment over all input value patterns
+                // is exponential in general; use the standard 2-input
+                // formula folded left for wider gates.
+                int even = t.cc0[in[0]];
+                int odd = t.cc1[in[0]];
+                for (size_t i = 1; i < in.size(); ++i) {
+                    const int e2 = std::min(capped_sum(even, t.cc0[in[i]]),
+                                            capped_sum(odd, t.cc1[in[i]]));
+                    const int o2 = std::min(capped_sum(even, t.cc1[in[i]]),
+                                            capped_sum(odd, t.cc0[in[i]]));
+                    even = e2;
+                    odd = o2;
+                }
+                const int v0 = capped_sum(even, 1);
+                const int v1 = capped_sum(odd, 1);
+                if (gate.type == GateType::Xor) {
+                    t.cc0[g] = v0;
+                    t.cc1[g] = v1;
+                } else {
+                    t.cc0[g] = v1;
+                    t.cc1[g] = v0;
+                }
+                break;
+            }
+        }
+    }
+
+    // Observability: backward pass.
+    for (NetId po : circuit.outputs()) t.co[po] = 0;
+    for (NetId g = static_cast<NetId>(n); g-- > 0;) {
+        const auto& gate = circuit.gate(g);
+        if (gate.type == GateType::Input) continue;
+        const auto& in = gate.fanin;
+        for (size_t pin = 0; pin < in.size(); ++pin) {
+            // Cost to observe input `pin`: observe the gate output plus the
+            // cost of setting the side inputs to non-controlling values.
+            int side = 0;
+            switch (gate.type) {
+                case GateType::Buf:
+                case GateType::Not:
+                    break;
+                case GateType::And:
+                case GateType::Nand:
+                    for (size_t j = 0; j < in.size(); ++j)
+                        if (j != pin) side = capped_sum(side, t.cc1[in[j]]);
+                    break;
+                case GateType::Or:
+                case GateType::Nor:
+                    for (size_t j = 0; j < in.size(); ++j)
+                        if (j != pin) side = capped_sum(side, t.cc0[in[j]]);
+                    break;
+                case GateType::Xor:
+                case GateType::Xnor:
+                    for (size_t j = 0; j < in.size(); ++j)
+                        if (j != pin)
+                            side = capped_sum(
+                                side, std::min(t.cc0[in[j]], t.cc1[in[j]]));
+                    break;
+                case GateType::Input:
+                    break;
+            }
+            const int cost = capped_sum(capped_sum(t.co[g], side), 1);
+            t.co[in[pin]] = std::min(t.co[in[pin]], cost);
+        }
+    }
+    return t;
+}
+
+}  // namespace dlp::atpg

@@ -1,0 +1,25 @@
+// SCOAP-style testability measures (Goldstein), used by PODEM's backtrace
+// to pick the cheapest primary-input assignment for an objective.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace dlp::atpg {
+
+using netlist::Circuit;
+using netlist::NetId;
+
+/// Combinational controllabilities/observability per net.  Values are the
+/// classic SCOAP counts: a primary input has CC0 = CC1 = 1; a primary
+/// output has CO = 0; larger = harder.
+struct Testability {
+    std::vector<int> cc0;  ///< cost of setting the net to 0
+    std::vector<int> cc1;  ///< cost of setting the net to 1
+    std::vector<int> co;   ///< cost of observing the net at a PO
+};
+
+Testability compute_testability(const Circuit& circuit);
+
+}  // namespace dlp::atpg

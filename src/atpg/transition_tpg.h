@@ -1,0 +1,48 @@
+// Two-pattern test generation for transition (gate-delay) faults.
+//
+// A transition fault needs an ordered vector pair: v1 initializes the line,
+// v2 detects the corresponding stuck-at fault.  The generator runs a random
+// phase (consecutive random vectors already form pairs) and then targets
+// the leftovers with PODEM: v2 from the stuck-at engine, v1 by line
+// justification (random probing first, PODEM excitation as fallback).
+#pragma once
+
+#include "atpg/podem.h"
+#include "gatesim/transition.h"
+
+namespace dlp::atpg {
+
+struct TransitionTestOptions {
+    int random_block = 64;
+    int max_random = 2048;
+    int stale_blocks = 4;
+    std::uint64_t seed = 1;
+    int backtrack_limit = 4096;
+    int justify_probes = 32;  ///< random tries to justify v1 before PODEM
+};
+
+struct TransitionTestResult {
+    std::vector<Vector> vectors;  ///< pairs are consecutive in this sequence
+    int random_count = 0;
+    int pair_count = 0;           ///< deterministic (v1,v2) pairs appended
+    std::size_t detected = 0;
+    std::size_t untestable = 0;   ///< no two-pattern test exists
+    std::size_t aborted = 0;
+    std::vector<int> first_detected_at;  ///< per fault (1-based v2 index)
+
+    double coverage() const {
+        const std::size_t total = first_detected_at.size();
+        const std::size_t testable = total - untestable;
+        return testable == 0 ? 0.0
+                             : static_cast<double>(detected) /
+                                   static_cast<double>(testable);
+    }
+};
+
+/// Generates a two-pattern test sequence for the given transition faults.
+TransitionTestResult generate_transition_tests(
+    const netlist::Circuit& circuit,
+    std::vector<gatesim::TransitionFault> faults,
+    const TransitionTestOptions& options = {});
+
+}  // namespace dlp::atpg

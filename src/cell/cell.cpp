@@ -1,0 +1,348 @@
+#include "cell/cell.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlp::cell {
+
+namespace {
+
+// Fixed vertical floorplan of a cell (lambda units, cell_height = 40):
+//   [0,4]   GND rail (metal1)        [36,40] VDD rail (metal1)
+//   [8,13]  n-diffusion strip        [27,32] p-diffusion strip
+//   [6,20]  poly column, lower half  [20,34] poly column, upper half
+//   [15,18] metal1 track 0 (pin pads + straps)
+//   [21,24] metal1 track 1 (straps)
+constexpr std::int64_t kGndRailTop = 4;
+constexpr std::int64_t kVddRailBot = 36;
+constexpr std::int64_t kNDiffLo = 8, kNDiffHi = 13;
+constexpr std::int64_t kPDiffLo = 27, kPDiffHi = 32;
+constexpr std::int64_t kPolyLo = 6, kPolyMid = 20, kPolyHi = 34;
+constexpr std::int64_t kTrack0Lo = 15, kTrack0Hi = 18;
+constexpr std::int64_t kTrack1Lo = 21, kTrack1Hi = 24;
+constexpr std::int64_t kSegWidth = 6;
+constexpr std::int64_t kStripGap = 6;
+constexpr std::int64_t kMargin = 2;
+
+/// A wiring connection point: vertical jog column [cx-1,cx+2] covering
+/// [y_lo, y_hi] before extension to the strap track.
+struct Point {
+    std::int64_t cx;
+    std::int64_t y_lo;
+    std::int64_t y_hi;
+    bool is_n_row = false;
+    bool is_p_row = false;
+};
+
+}  // namespace
+
+int Cell::net_index(const std::string& name) const {
+    for (size_t i = 0; i < nets.size(); ++i)
+        if (nets[i] == name) return static_cast<int>(i);
+    return -1;
+}
+
+Cell make_cell(std::string name, netlist::GateType function,
+               std::vector<Strip> strips, std::vector<std::string> inputs,
+               const Rules& rules) {
+    Cell cell;
+    cell.name = std::move(name);
+    cell.function = function;
+    cell.arity = static_cast<int>(inputs.size());
+
+    cell.nets = {"GND", "VDD"};
+    for (const auto& in : inputs) cell.nets.push_back(in);
+    cell.nets.push_back("Y");
+    const auto net_id = [&cell](const std::string& n) {
+        const int existing = cell.net_index(n);
+        if (existing >= 0) return existing;
+        cell.nets.push_back(n);
+        return static_cast<int>(cell.nets.size() - 1);
+    };
+
+    struct GateCol {
+        int net;
+        std::int64_t poly_x;  // left edge of the poly column
+        int tn;               // N transistor index
+        int tp;               // P transistor index
+    };
+    std::vector<GateCol> gate_cols;
+    std::vector<std::vector<Point>> points;  // per net
+    const auto add_point = [&](int net, Point p) {
+        if (points.size() < cell.nets.size()) points.resize(cell.nets.size());
+        points[static_cast<size_t>(net)].push_back(p);
+    };
+
+    const auto add_shape = [&cell](Layer layer, Rect r, int net,
+                                   ShapeInfo info = {}) {
+        if (!r.valid()) throw std::logic_error("invalid rect in cell gen");
+        cell.shapes.push_back({layer, r, net, info});
+    };
+
+    // -------- diffusion strips, poly columns, transistors ----------------
+    std::int64_t x = kMargin;
+    struct DiffSeg {
+        int net;
+        std::int64_t cx;
+        bool is_n;
+        ShapeInfo info;
+    };
+    std::vector<DiffSeg> pending_contacts;  // non-power segs, filtered later
+
+    for (const Strip& strip : strips) {
+        const size_t g = strip.gates.size();
+        if (strip.ndiff.size() != g + 1 || strip.pdiff.size() != g + 1)
+            throw std::logic_error("strip diff lists must be gates+1 long");
+        const std::int64_t sx = x;
+
+        // Transistors first so diff segments can reference their neighbors.
+        std::vector<int> tn(g);
+        std::vector<int> tp(g);
+        for (size_t i = 0; i < g; ++i) {
+            tn[i] = static_cast<int>(cell.transistors.size());
+            cell.transistors.push_back({false, net_id(strip.gates[i]),
+                                        net_id(strip.ndiff[i]),
+                                        net_id(strip.ndiff[i + 1])});
+            tp[i] = static_cast<int>(cell.transistors.size());
+            cell.transistors.push_back({true, net_id(strip.gates[i]),
+                                        net_id(strip.pdiff[i]),
+                                        net_id(strip.pdiff[i + 1])});
+        }
+
+        for (size_t i = 0; i <= g; ++i) {
+            const std::int64_t seg_x =
+                sx + static_cast<std::int64_t>(i) * rules.column_pitch;
+            const std::int64_t cx = seg_x + kSegWidth / 2;
+            const int left = i > 0 ? static_cast<int>(i - 1) : -1;
+            const int right = i < g ? static_cast<int>(i) : -1;
+            const auto seg_info = [&](bool is_n) {
+                ShapeInfo info;
+                info.open = ShapeInfo::OpenKind::TransistorDS;
+                info.t1 = left >= 0 ? (is_n ? tn[static_cast<size_t>(left)]
+                                            : tp[static_cast<size_t>(left)])
+                                    : -1;
+                info.t2 = right >= 0 ? (is_n ? tn[static_cast<size_t>(right)]
+                                             : tp[static_cast<size_t>(right)])
+                                     : -1;
+                return info;
+            };
+
+            const int n_net = net_id(strip.ndiff[i]);
+            add_shape(Layer::NDiff, {seg_x, kNDiffLo, seg_x + kSegWidth, kNDiffHi},
+                      n_net, seg_info(true));
+            if (n_net == Cell::kGnd) {
+                add_shape(Layer::Metal1, {cx - 1, 0, cx + 2, kNDiffHi},
+                          Cell::kGnd, seg_info(true));
+                add_shape(Layer::Contact, {cx - 1, 9, cx + 1, 11}, Cell::kGnd,
+                          seg_info(true));
+            } else {
+                pending_contacts.push_back({n_net, cx, true, seg_info(true)});
+            }
+
+            const int p_net = net_id(strip.pdiff[i]);
+            add_shape(Layer::PDiff, {seg_x, kPDiffLo, seg_x + kSegWidth, kPDiffHi},
+                      p_net, seg_info(false));
+            if (p_net == Cell::kVdd) {
+                add_shape(Layer::Metal1,
+                          {cx - 1, kPDiffLo, cx + 2, rules.cell_height},
+                          Cell::kVdd, seg_info(false));
+                add_shape(Layer::Contact, {cx - 1, 29, cx + 1, 31}, Cell::kVdd,
+                          seg_info(false));
+            } else {
+                pending_contacts.push_back({p_net, cx, false, seg_info(false)});
+            }
+        }
+
+        for (size_t i = 0; i < g; ++i) {
+            const std::int64_t poly_x =
+                sx + kSegWidth + static_cast<std::int64_t>(i) * rules.column_pitch;
+            const int gnet = net_id(strip.gates[i]);
+            for (const GateCol& col : gate_cols)
+                if (col.net == gnet)
+                    throw std::logic_error(
+                        "gate net used in more than one column: " +
+                        strip.gates[i]);
+            gate_cols.push_back({gnet, poly_x, tn[i], tp[i]});
+
+            ShapeInfo low{ShapeInfo::OpenKind::GateFloat, tn[i], -1};
+            ShapeInfo high{ShapeInfo::OpenKind::GateFloat, tp[i], -1};
+            add_shape(Layer::Poly,
+                      {poly_x, kPolyLo, poly_x + rules.poly_width, kPolyMid},
+                      gnet, low);
+            add_shape(Layer::Poly,
+                      {poly_x, kPolyMid, poly_x + rules.poly_width, kPolyHi},
+                      gnet, high);
+            cell.gate_regions.push_back(
+                {{poly_x, kNDiffLo, poly_x + rules.poly_width, kNDiffHi},
+                 tn[i]});
+            cell.gate_regions.push_back(
+                {{poly_x, kPDiffLo, poly_x + rules.poly_width, kPDiffHi},
+                 tp[i]});
+        }
+
+        x = sx + static_cast<std::int64_t>(g) * rules.column_pitch + kSegWidth +
+            kStripGap;
+    }
+    cell.width = x - kStripGap + kMargin;
+
+    // Power rails across the full cell.
+    add_shape(Layer::Metal1, {0, 0, cell.width, kGndRailTop}, Cell::kGnd);
+    add_shape(Layer::Metal1, {0, kVddRailBot, cell.width, rules.cell_height},
+              Cell::kVdd);
+
+    points.resize(cell.nets.size());
+
+    // -------- gate pads (poly contact + metal1 pad on track 0) -----------
+    for (const GateCol& col : gate_cols) {
+        ShapeInfo info{ShapeInfo::OpenKind::GateFloat, col.tn, col.tp};
+        add_shape(Layer::Metal1,
+                  {col.poly_x, kTrack0Lo, col.poly_x + 3, kTrack0Hi}, col.net,
+                  info);
+        add_shape(Layer::Contact,
+                  {col.poly_x, kTrack0Lo + 1, col.poly_x + 2, kTrack0Hi - 1},
+                  col.net, info);
+        add_point(col.net, {col.poly_x + 1, kTrack0Lo, kTrack0Hi});
+    }
+
+    // -------- diffusion contacts for nets that need wiring ----------------
+    // A net needs wiring iff it has >= 2 connection candidates (diff groups
+    // + gate pads) or is the output.  Count candidates first.
+    std::vector<int> candidates(cell.nets.size(), 0);
+    for (const auto& dc : pending_contacts)
+        ++candidates[static_cast<size_t>(dc.net)];
+    for (const GateCol& col : gate_cols)
+        ++candidates[static_cast<size_t>(col.net)];
+    const int y_net = cell.net_index("Y");
+    if (y_net < 0) throw std::logic_error("cell has no output net Y");
+
+    for (const auto& dc : pending_contacts) {
+        if (candidates[static_cast<size_t>(dc.net)] < 2) continue;
+        const std::int64_t lo = dc.is_n ? 9 : kPDiffLo + 1;
+        const std::int64_t hi = dc.is_n ? 12 : kPDiffHi - 1;
+        add_shape(Layer::Metal1, {dc.cx - 1, lo, dc.cx + 2, hi}, dc.net,
+                  dc.info);
+        add_shape(Layer::Contact, {dc.cx - 1, lo + 1, dc.cx + 1, hi - 1},
+                  dc.net, dc.info);
+        Point p{dc.cx, lo, hi};
+        p.is_n_row = dc.is_n;
+        p.is_p_row = !dc.is_n;
+        add_point(dc.net, p);
+    }
+
+    // -------- intra-cell wiring (vertical columns or track straps) --------
+    const auto m1_conflict = [&cell](const Rect& r, int net) {
+        for (const LocalShape& s : cell.shapes)
+            if (s.layer == Layer::Metal1 && s.net != net &&
+                s.rect.intersects(r))
+                return true;
+        return false;
+    };
+
+    std::int64_t y_pin_x = -1;
+    std::int64_t y_pin_y = -1;
+    for (size_t net = 2; net < cell.nets.size(); ++net) {
+        auto& pts = points[net];
+        if (pts.size() < 2) continue;
+        const int inet = static_cast<int>(net);
+
+        // Which transistors does this net gate?  An open in the wiring then
+        // floats those gates; otherwise it cuts the cell output.
+        ShapeInfo wire_info;
+        wire_info.open = ShapeInfo::OpenKind::None;
+        for (const GateCol& col : gate_cols)
+            if (col.net == inet) {
+                wire_info.open = ShapeInfo::OpenKind::GateFloat;
+                wire_info.t1 = col.tn;
+                wire_info.t2 = col.tp;
+            }
+        if (wire_info.open == ShapeInfo::OpenKind::None)
+            wire_info.open = ShapeInfo::OpenKind::TransistorDS;  // refined below
+        if (inet == y_net) wire_info.open = ShapeInfo::OpenKind::None;
+        // Output wiring opens are handled as "output open" by tagging with
+        // TransistorDS on the transistor whose drain is Y (first found).
+        if (inet == y_net) {
+            for (size_t t = 0; t < cell.transistors.size(); ++t)
+                if (cell.transistors[t].drain == y_net ||
+                    cell.transistors[t].source == y_net) {
+                    wire_info.open = ShapeInfo::OpenKind::TransistorDS;
+                    wire_info.t1 = static_cast<int>(t);
+                    break;
+                }
+        } else if (wire_info.open == ShapeInfo::OpenKind::TransistorDS) {
+            for (size_t t = 0; t < cell.transistors.size(); ++t)
+                if (cell.transistors[t].drain == inet ||
+                    cell.transistors[t].source == inet) {
+                    wire_info.t1 = static_cast<int>(t);
+                    break;
+                }
+        }
+
+        // Special case: two vertically aligned diff points -> one column.
+        if (pts.size() == 2 && pts[0].cx == pts[1].cx &&
+            ((pts[0].is_n_row && pts[1].is_p_row) ||
+             (pts[0].is_p_row && pts[1].is_n_row))) {
+            const Rect col{pts[0].cx - 1, 9, pts[0].cx + 2, kPDiffHi - 1};
+            if (m1_conflict(col, inet))
+                throw std::logic_error(cell.name + ": column conflict");
+            add_shape(Layer::Metal1, col, inet, wire_info);
+            if (inet == y_net) {
+                y_pin_x = pts[0].cx;
+                y_pin_y = kPolyMid;
+            }
+            continue;
+        }
+
+        bool placed = false;
+        for (const auto [track_lo, track_hi] :
+             {std::pair{kTrack0Lo, kTrack0Hi}, std::pair{kTrack1Lo, kTrack1Hi}}) {
+            std::vector<Rect> rects;
+            std::int64_t min_x = pts[0].cx;
+            std::int64_t max_x = pts[0].cx;
+            for (const Point& p : pts) {
+                min_x = std::min(min_x, p.cx);
+                max_x = std::max(max_x, p.cx);
+                const std::int64_t jy1 = std::min(p.y_lo, track_lo);
+                const std::int64_t jy2 = std::max(p.y_hi, track_hi);
+                rects.push_back({p.cx - 1, jy1, p.cx + 2, jy2});
+            }
+            rects.push_back({min_x - 1, track_lo, max_x + 2, track_hi});
+            bool ok = true;
+            for (const Rect& r : rects)
+                if (m1_conflict(r, inet)) {
+                    ok = false;
+                    break;
+                }
+            if (!ok) continue;
+            for (const Rect& r : rects)
+                add_shape(Layer::Metal1, r, inet, wire_info);
+            if (inet == y_net) {
+                // Output pin at the first jog column: jog columns sit at
+                // diffusion-segment centers, which never coincide with an
+                // input pad column, keeping all riser x positions distinct.
+                y_pin_x = pts[0].cx;
+                y_pin_y = (track_lo + track_hi) / 2;
+            }
+            placed = true;
+            break;
+        }
+        if (!placed)
+            throw std::logic_error(cell.name + ": no track for net " +
+                                   cell.nets[net]);
+    }
+
+    // -------- pins ---------------------------------------------------------
+    for (const auto& in : inputs) {
+        const int inet = cell.net_index(in);
+        const GateCol* col = nullptr;
+        for (const GateCol& gc : gate_cols)
+            if (gc.net == inet) col = &gc;
+        if (!col) throw std::logic_error("input " + in + " gates nothing");
+        cell.pins.push_back({in, inet, col->poly_x + 1, (kTrack0Lo + kTrack0Hi) / 2});
+    }
+    if (y_pin_x < 0) throw std::logic_error("output net Y was never wired");
+    cell.pins.push_back({"Y", y_net, y_pin_x, y_pin_y});
+
+    return cell;
+}
+
+}  // namespace dlp::cell

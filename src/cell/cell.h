@@ -1,0 +1,100 @@
+// Standard-cell model: transistor-level netlist + symbolic lambda-grid
+// layout, generated procedurally from a "diffusion strip" description.
+//
+// Every mask shape carries the local net it belongs to plus extraction
+// metadata (`ShapeInfo`) that tells the layout fault extractor what an
+// *open* (missing material) defect in that shape does electrically:
+//  * TransistorDS - disconnects the tagged transistor's source/drain path
+//  * GateFloat    - leaves the tagged transistor gate(s) floating
+// Bridge (extra material) defects need no metadata: they are resolved from
+// the two shapes' nets.  Gate-oxide pinholes use the per-transistor
+// `GateRegion` rectangles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cell/geom.h"
+#include "netlist/circuit.h"
+
+namespace dlp::cell {
+
+/// A MOS transistor in cell-local net indices.
+struct Transistor {
+    bool is_pmos = false;
+    int gate = -1;
+    int source = -1;
+    int drain = -1;
+};
+
+/// Channel region of one transistor (poly over diffusion), for gate-oxide
+/// pinhole extraction.
+struct GateRegion {
+    Rect rect;
+    int transistor = -1;
+};
+
+/// Extraction metadata attached to a shape (see file comment).
+struct ShapeInfo {
+    enum class OpenKind : std::uint8_t { None, TransistorDS, GateFloat };
+    OpenKind open = OpenKind::None;
+    int t1 = -1;  ///< affected local transistor
+    int t2 = -1;  ///< second affected transistor (GateFloat on shared poly)
+};
+
+/// A mask shape inside a cell, in cell-local coordinates and nets.
+struct LocalShape {
+    Layer layer = Layer::Metal1;
+    Rect rect;
+    int net = -1;  ///< index into Cell::nets
+    ShapeInfo info;
+};
+
+/// A cell pin: m1 landing pad position (pad center) in local coordinates.
+struct Pin {
+    std::string name;
+    int net = -1;
+    std::int64_t x = 0;
+    std::int64_t y = 0;
+};
+
+/// One library cell.
+struct Cell {
+    std::string name;
+    netlist::GateType function = netlist::GateType::Buf;
+    int arity = 1;
+    std::int64_t width = 0;
+
+    /// Local nets; nets[0] = "GND", nets[1] = "VDD"; pin nets follow.
+    std::vector<std::string> nets;
+    std::vector<Transistor> transistors;
+    std::vector<GateRegion> gate_regions;
+    std::vector<Pin> pins;  ///< inputs in fanin order, then the output "Y"
+    std::vector<LocalShape> shapes;
+
+    static constexpr int kGnd = 0;
+    static constexpr int kVdd = 1;
+
+    int net_index(const std::string& name) const;
+    const Pin& input_pin(int ordinal) const { return pins.at(static_cast<size_t>(ordinal)); }
+    const Pin& output_pin() const { return pins.back(); }
+};
+
+/// One diffusion strip: gate columns shared by the N and P rows, with the
+/// diffusion-segment nets left to right (size = gates.size() + 1 each).
+struct Strip {
+    std::vector<std::string> gates;
+    std::vector<std::string> ndiff;
+    std::vector<std::string> pdiff;
+};
+
+/// Generates a cell (netlist + layout) from strips.  `inputs` lists the pin
+/// nets in fanin order; the output net must be named "Y".
+/// Throws std::logic_error if the internal wiring cannot be placed (cell
+/// design bug - all library cells are validated by tests).
+Cell make_cell(std::string name, netlist::GateType function,
+               std::vector<Strip> strips, std::vector<std::string> inputs,
+               const Rules& rules = {});
+
+}  // namespace dlp::cell

@@ -1,0 +1,25 @@
+#include "cell/geom.h"
+
+namespace dlp::cell {
+
+const char* layer_name(Layer layer) {
+    switch (layer) {
+        case Layer::NDiff: return "ndiff";
+        case Layer::PDiff: return "pdiff";
+        case Layer::Poly: return "poly";
+        case Layer::Contact: return "contact";
+        case Layer::Metal1: return "metal1";
+        case Layer::Via: return "via";
+        case Layer::Metal2: return "metal2";
+    }
+    return "?";
+}
+
+std::string net_ref_name(const NetRef& ref) {
+    if (ref.is_power()) return ref.index ? "VDD" : "GND";
+    if (ref.is_circuit()) return "net" + std::to_string(ref.index);
+    return "i" + std::to_string(ref.instance) + ".n" +
+           std::to_string(ref.index);
+}
+
+}  // namespace dlp::cell

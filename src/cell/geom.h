@@ -1,0 +1,104 @@
+// Manhattan geometry primitives on the lambda grid.
+//
+// All coordinates are integer multiples of lambda (half the minimum feature
+// size, MOSIS SCMOS style).  The design rules used by the cell generator and
+// the router are collected in `Rules` so the extractor and the DRC checks
+// share one source of truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlp::cell {
+
+/// Mask layers of the simulated 2-metal CMOS process.
+enum class Layer : std::uint8_t {
+    NDiff,    ///< n+ diffusion
+    PDiff,    ///< p+ diffusion
+    Poly,     ///< polysilicon (gates and short straps)
+    Contact,  ///< diff/poly to metal1 cut
+    Metal1,
+    Via,      ///< metal1 to metal2 cut
+    Metal2,
+};
+constexpr int kLayerCount = 7;
+
+const char* layer_name(Layer layer);
+
+/// Axis-aligned rectangle, half-open is NOT used: [x1,x2] x [y1,y2], x1<x2.
+struct Rect {
+    std::int64_t x1 = 0;
+    std::int64_t y1 = 0;
+    std::int64_t x2 = 0;
+    std::int64_t y2 = 0;
+
+    std::int64_t width() const { return x2 - x1; }
+    std::int64_t height() const { return y2 - y1; }
+    std::int64_t area() const { return width() * height(); }
+    bool valid() const { return x2 > x1 && y2 > y1; }
+    bool intersects(const Rect& o) const {
+        return x1 < o.x2 && o.x1 < x2 && y1 < o.y2 && o.y1 < y2;
+    }
+    Rect translated(std::int64_t dx, std::int64_t dy) const {
+        return {x1 + dx, y1 + dy, x2 + dx, y2 + dy};
+    }
+    bool operator==(const Rect&) const = default;
+};
+
+/// Lambda design rules (SCMOS-like) shared by cells, router and extractor.
+struct Rules {
+    std::int64_t diff_width = 5;
+    std::int64_t poly_width = 2;
+    std::int64_t poly_space = 3;
+    std::int64_t m1_width = 3;
+    std::int64_t m1_space = 3;
+    std::int64_t m2_width = 3;
+    std::int64_t m2_space = 4;
+    std::int64_t contact_size = 2;
+    std::int64_t via_size = 2;
+    std::int64_t cell_height = 40;   ///< standard-cell row height
+    std::int64_t column_pitch = 8;   ///< transistor column pitch inside cells
+    std::int64_t m1_pitch() const { return m1_width + m1_space; }
+    std::int64_t m2_pitch() const { return m2_width + m2_space; }
+};
+
+/// Reference to the electrical net a shape belongs to.
+///  * instance == kRouting (-1): a top-level circuit net; index = NetId.
+///  * instance == kPower   (-2): index 0 = GND, 1 = VDD.
+///  * instance >= 0: internal net `index` of cell instance `instance`
+///    (indexes into Cell::nets of that instance's cell).
+struct NetRef {
+    std::int32_t instance = -1;
+    std::int32_t index = 0;
+
+    static constexpr std::int32_t kRouting = -1;
+    static constexpr std::int32_t kPower = -2;
+    static constexpr std::int32_t kNone = -3;
+
+    static NetRef circuit(std::uint32_t net) {
+        return {kRouting, static_cast<std::int32_t>(net)};
+    }
+    static NetRef power(bool vdd) { return {kPower, vdd ? 1 : 0}; }
+    static NetRef internal(std::int32_t inst, std::int32_t local) {
+        return {inst, local};
+    }
+    static NetRef none() { return {kNone, 0}; }
+    bool is_none() const { return instance == kNone; }
+    bool is_circuit() const { return instance == kRouting; }
+    bool is_power() const { return instance == kPower; }
+    bool is_internal() const { return instance >= 0; }
+    bool operator==(const NetRef&) const = default;
+    auto operator<=>(const NetRef&) const = default;
+};
+
+std::string net_ref_name(const NetRef& ref);
+
+/// One labeled mask shape.
+struct Shape {
+    Layer layer = Layer::Metal1;
+    Rect rect;
+    NetRef net;
+};
+
+}  // namespace dlp::cell

@@ -1,0 +1,108 @@
+#include "cell/library.h"
+
+#include <stdexcept>
+
+namespace dlp::cell {
+
+namespace {
+
+using netlist::GateType;
+
+std::vector<Cell> build_library() {
+    std::vector<Cell> cells;
+
+    cells.push_back(make_cell("INV", GateType::Not,
+                              {{{"A"}, {"GND", "Y"}, {"VDD", "Y"}}}, {"A"}));
+    cells.push_back(make_cell(
+        "BUF", GateType::Buf,
+        {{{"A"}, {"GND", "W"}, {"VDD", "W"}},
+         {{"W"}, {"GND", "Y"}, {"VDD", "Y"}}},
+        {"A"}));
+
+    cells.push_back(make_cell(
+        "NAND2", GateType::Nand,
+        {{{"A", "B"}, {"GND", "x1", "Y"}, {"VDD", "Y", "VDD"}}}, {"A", "B"}));
+    cells.push_back(make_cell("NAND3", GateType::Nand,
+                              {{{"A", "B", "C"},
+                                {"GND", "x1", "x2", "Y"},
+                                {"VDD", "Y", "VDD", "Y"}}},
+                              {"A", "B", "C"}));
+    cells.push_back(make_cell("NAND4", GateType::Nand,
+                              {{{"A", "B", "C", "D"},
+                                {"GND", "x1", "x2", "x3", "Y"},
+                                {"VDD", "Y", "VDD", "Y", "VDD"}}},
+                              {"A", "B", "C", "D"}));
+
+    cells.push_back(make_cell(
+        "NOR2", GateType::Nor,
+        {{{"A", "B"}, {"GND", "Y", "GND"}, {"VDD", "x1", "Y"}}}, {"A", "B"}));
+    cells.push_back(make_cell("NOR3", GateType::Nor,
+                              {{{"A", "B", "C"},
+                                {"GND", "Y", "GND", "Y"},
+                                {"VDD", "x1", "x2", "Y"}}},
+                              {"A", "B", "C"}));
+    cells.push_back(make_cell("NOR4", GateType::Nor,
+                              {{{"A", "B", "C", "D"},
+                                {"GND", "Y", "GND", "Y", "GND"},
+                                {"VDD", "x1", "x2", "x3", "Y"}}},
+                              {"A", "B", "C", "D"}));
+
+    cells.push_back(make_cell(
+        "AND2", GateType::And,
+        {{{"A", "B"}, {"GND", "x1", "W"}, {"VDD", "W", "VDD"}},
+         {{"W"}, {"GND", "Y"}, {"VDD", "Y"}}},
+        {"A", "B"}));
+    cells.push_back(make_cell(
+        "AND3", GateType::And,
+        {{{"A", "B", "C"}, {"GND", "x1", "x2", "W"}, {"VDD", "W", "VDD", "W"}},
+         {{"W"}, {"GND", "Y"}, {"VDD", "Y"}}},
+        {"A", "B", "C"}));
+    cells.push_back(make_cell("AND4", GateType::And,
+                              {{{"A", "B", "C", "D"},
+                                {"GND", "x1", "x2", "x3", "W"},
+                                {"VDD", "W", "VDD", "W", "VDD"}},
+                               {{"W"}, {"GND", "Y"}, {"VDD", "Y"}}},
+                              {"A", "B", "C", "D"}));
+
+    cells.push_back(make_cell(
+        "OR2", GateType::Or,
+        {{{"A", "B"}, {"GND", "W", "GND"}, {"VDD", "x1", "W"}},
+         {{"W"}, {"GND", "Y"}, {"VDD", "Y"}}},
+        {"A", "B"}));
+    cells.push_back(make_cell(
+        "OR3", GateType::Or,
+        {{{"A", "B", "C"}, {"GND", "W", "GND", "W"}, {"VDD", "x1", "x2", "W"}},
+         {{"W"}, {"GND", "Y"}, {"VDD", "Y"}}},
+        {"A", "B", "C"}));
+    cells.push_back(make_cell("OR4", GateType::Or,
+                              {{{"A", "B", "C", "D"},
+                                {"GND", "W", "GND", "W", "GND"},
+                                {"VDD", "x1", "x2", "x3", "W"}},
+                               {{"W"}, {"GND", "Y"}, {"VDD", "Y"}}},
+                              {"A", "B", "C", "D"}));
+
+    return cells;
+}
+
+}  // namespace
+
+const std::vector<Cell>& standard_library() {
+    static const std::vector<Cell> cells = build_library();
+    return cells;
+}
+
+const Cell& library_cell(GateType function, int arity) {
+    for (const Cell& c : standard_library())
+        if (c.function == function && c.arity == arity) return c;
+    throw std::out_of_range(std::string("no cell for ") +
+                            netlist::gate_type_name(function) + "/" +
+                            std::to_string(arity));
+}
+
+bool has_cell(GateType function, int arity) {
+    for (const Cell& c : standard_library())
+        if (c.function == function && c.arity == arity) return true;
+    return false;
+}
+
+}  // namespace dlp::cell

@@ -1,0 +1,22 @@
+// The standard-cell library: INV, BUF, NAND2-4, NOR2-4, AND2-4, OR2-4.
+//
+// XOR/XNOR are not cells; the techmap pass decomposes them into NAND2 trees
+// before layout (see netlist/techmap.h), as typical 1990s standard-cell
+// flows did.
+#pragma once
+
+#include "cell/cell.h"
+
+namespace dlp::cell {
+
+/// All library cells (built once, in a stable order).
+const std::vector<Cell>& standard_library();
+
+/// The cell implementing a gate function at a given arity.
+/// Throws std::out_of_range if the (function, arity) pair is unsupported.
+const Cell& library_cell(netlist::GateType function, int arity);
+
+/// True if the library has a cell for this function/arity.
+bool has_cell(netlist::GateType function, int arity);
+
+}  // namespace dlp::cell

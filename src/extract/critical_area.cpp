@@ -1,0 +1,43 @@
+#include "extract/critical_area.h"
+
+#include <algorithm>
+
+namespace dlp::extract {
+
+double short_weight(double facing_length, double spacing, double x0) {
+    if (facing_length <= 0.0) return 0.0;
+    const double s = std::max(spacing, x0);  // cap below the minimum size
+    return facing_length * x0 * x0 / s;
+}
+
+double open_weight(double run_length, double width, double x0) {
+    if (run_length <= 0.0) return 0.0;
+    const double w = std::max(width, x0);
+    return run_length * x0 * x0 / w;
+}
+
+std::optional<Facing> facing(const cell::Rect& a, const cell::Rect& b,
+                             std::int64_t max_spacing) {
+    const std::int64_t x_overlap =
+        std::min(a.x2, b.x2) - std::max(a.x1, b.x1);
+    const std::int64_t y_overlap =
+        std::min(a.y2, b.y2) - std::max(a.y1, b.y1);
+    if (x_overlap > 0 && y_overlap > 0) return std::nullopt;  // intersecting
+
+    if (x_overlap > 0) {
+        // Vertically separated, horizontally facing run.
+        const std::int64_t gap = std::max(a.y1, b.y1) - std::min(a.y2, b.y2);
+        if (gap <= 0 || gap > max_spacing) return std::nullopt;
+        return Facing{static_cast<double>(x_overlap),
+                      static_cast<double>(gap)};
+    }
+    if (y_overlap > 0) {
+        const std::int64_t gap = std::max(a.x1, b.x1) - std::min(a.x2, b.x2);
+        if (gap <= 0 || gap > max_spacing) return std::nullopt;
+        return Facing{static_cast<double>(y_overlap),
+                      static_cast<double>(gap)};
+    }
+    return std::nullopt;  // diagonal only
+}
+
+}  // namespace dlp::extract

@@ -1,0 +1,66 @@
+#include "extract/defect_stats.h"
+
+namespace dlp::extract {
+
+namespace {
+
+using cell::Layer;
+
+// Base density unit: defects per lambda^2 of weighted critical area.  The
+// 1e-7 scale puts per-fault weights in the 1e-9..1e-6 range the paper's
+// fig. 3 histogram shows, and raw chip yields in a plausible band.
+constexpr double kUnit = 1e-7;
+
+void set(DefectStatistics& s, Layer layer, double shorts, double opens) {
+    s.short_density[static_cast<size_t>(layer)] = shorts * kUnit;
+    s.open_density[static_cast<size_t>(layer)] = opens * kUnit;
+}
+
+}  // namespace
+
+DefectStatistics DefectStatistics::cmos_bridging_dominant() {
+    DefectStatistics s;
+    s.x0 = 2.0;
+    // Relative densities (arbitrary units): metal layers dominate and
+    // bridge far more often than they open; poly bridges matter inside
+    // cells; diffusion defects are rarer.
+    set(s, Layer::Metal1, 10.0, 1.0);
+    set(s, Layer::Metal2, 8.0, 1.0);
+    set(s, Layer::Poly, 5.0, 0.8);
+    set(s, Layer::NDiff, 1.0, 0.3);
+    set(s, Layer::PDiff, 1.0, 0.3);
+    s.contact_open_density = 0.5 * kUnit;
+    s.pinhole_density = 0.4 * kUnit;
+    return s;
+}
+
+DefectStatistics DefectStatistics::open_dominant() {
+    DefectStatistics s;
+    s.x0 = 2.0;
+    set(s, Layer::Metal1, 2.0, 10.0);
+    set(s, Layer::Metal2, 2.0, 9.0);
+    set(s, Layer::Poly, 1.5, 6.0);
+    set(s, Layer::NDiff, 0.5, 1.5);
+    set(s, Layer::PDiff, 0.5, 1.5);
+    s.contact_open_density = 4.0 * kUnit;
+    s.pinhole_density = 0.4 * kUnit;
+    return s;
+}
+
+DefectStatistics DefectStatistics::uniform() {
+    DefectStatistics s;
+    s.x0 = 2.0;
+    for (int l = 0; l < cell::kLayerCount; ++l) {
+        s.short_density[l] = 2.0 * kUnit;
+        s.open_density[l] = 2.0 * kUnit;
+    }
+    s.short_density[static_cast<size_t>(Layer::Contact)] = 0.0;
+    s.short_density[static_cast<size_t>(Layer::Via)] = 0.0;
+    s.open_density[static_cast<size_t>(Layer::Contact)] = 0.0;
+    s.open_density[static_cast<size_t>(Layer::Via)] = 0.0;
+    s.contact_open_density = 2.0 * kUnit;
+    s.pinhole_density = 2.0 * kUnit;
+    return s;
+}
+
+}  // namespace dlp::extract

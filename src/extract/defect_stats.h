@@ -1,0 +1,44 @@
+// Spot-defect statistics: size distribution and per-layer densities.
+//
+// Defect diameters x follow the standard peaked density used in yield
+// analysis (Stapper; Maly): p(x) = 2*x0^2 / x^3 for x >= x0, which makes
+// the expected critical area of a parallel run of length L at spacing s
+// integrate in closed form to L*x0^2/s (shorts) and L*x0^2/w (opens) - see
+// critical_area.h.
+//
+// Densities are defects per lambda^2, in arbitrary but mutually consistent
+// units (the paper scales total weight to a target yield anyway).  The
+// default set follows the qualitative profile Maly reports for positive
+// photoresist CMOS lines: metal bridging defects dominate.
+#pragma once
+
+#include "cell/geom.h"
+
+namespace dlp::extract {
+
+struct DefectStatistics {
+    double x0 = 2.0;  ///< minimum spot diameter (lambda)
+
+    /// Extra-material (short) density per conducting layer.
+    double short_density[cell::kLayerCount] = {};
+    /// Missing-material (open) density per conducting layer.
+    double open_density[cell::kLayerCount] = {};
+    double contact_open_density = 0.0;  ///< per lambda^2 of cut area
+    double pinhole_density = 0.0;       ///< gate-oxide, per lambda^2
+
+    double shorts(cell::Layer layer) const {
+        return short_density[static_cast<size_t>(layer)];
+    }
+    double opens(cell::Layer layer) const {
+        return open_density[static_cast<size_t>(layer)];
+    }
+
+    /// Bridging-dominant CMOS line (the paper's experimental situation).
+    static DefectStatistics cmos_bridging_dominant();
+    /// Open-dominant line (ablation: flips the susceptibility ordering).
+    static DefectStatistics open_dominant();
+    /// Uniform densities across mechanisms (ablation baseline).
+    static DefectStatistics uniform();
+};
+
+}  // namespace dlp::extract

@@ -1,0 +1,213 @@
+#include "extract/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dlp::extract {
+
+namespace {
+
+using cell::Layer;
+using cell::NetRef;
+using layout::FlatShape;
+
+/// splitmix64 (as in gatesim::RandomPatternGenerator; duplicated to keep
+/// the extract library independent of gatesim).
+struct Rng {
+    std::uint64_t state;
+    std::uint64_t next() {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+    double uniform() {  // in [0,1)
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+};
+
+/// Uniform spatial grid over one layer's shapes.
+class Grid {
+public:
+    Grid(const std::vector<const FlatShape*>& shapes, double x_lo,
+         double y_lo, double x_hi, double y_hi, double cell)
+        : x_lo_(x_lo), y_lo_(y_lo), cell_(cell) {
+        nx_ = std::max<long>(1, static_cast<long>((x_hi - x_lo) / cell) + 1);
+        ny_ = std::max<long>(1, static_cast<long>((y_hi - y_lo) / cell) + 1);
+        bins_.resize(static_cast<size_t>(nx_ * ny_));
+        for (const FlatShape* s : shapes) {
+            const long cx1 = clamp_x(static_cast<double>(s->rect.x1));
+            const long cx2 = clamp_x(static_cast<double>(s->rect.x2));
+            const long cy1 = clamp_y(static_cast<double>(s->rect.y1));
+            const long cy2 = clamp_y(static_cast<double>(s->rect.y2));
+            for (long gx = cx1; gx <= cx2; ++gx)
+                for (long gy = cy1; gy <= cy2; ++gy)
+                    bins_[static_cast<size_t>(gy * nx_ + gx)].push_back(s);
+        }
+    }
+
+    /// Visits shapes whose bins intersect the disk's bounding box.
+    template <typename Fn>
+    void for_near(double cx, double cy, double r, Fn&& fn) const {
+        const long gx1 = clamp_x(cx - r);
+        const long gx2 = clamp_x(cx + r);
+        const long gy1 = clamp_y(cy - r);
+        const long gy2 = clamp_y(cy + r);
+        for (long gx = gx1; gx <= gx2; ++gx)
+            for (long gy = gy1; gy <= gy2; ++gy)
+                for (const FlatShape* s :
+                     bins_[static_cast<size_t>(gy * nx_ + gx)])
+                    fn(*s);
+    }
+
+private:
+    long clamp_x(double x) const {
+        return std::clamp<long>(static_cast<long>((x - x_lo_) / cell_), 0,
+                                nx_ - 1);
+    }
+    long clamp_y(double y) const {
+        return std::clamp<long>(static_cast<long>((y - y_lo_) / cell_), 0,
+                                ny_ - 1);
+    }
+    double x_lo_, y_lo_, cell_;
+    long nx_ = 1, ny_ = 1;
+    std::vector<std::vector<const FlatShape*>> bins_;
+};
+
+bool disk_touches(const FlatShape& s, double cx, double cy, double r) {
+    const double dx = std::max({static_cast<double>(s.rect.x1) - cx, 0.0,
+                                cx - static_cast<double>(s.rect.x2)});
+    const double dy = std::max({static_cast<double>(s.rect.y1) - cy, 0.0,
+                                cy - static_cast<double>(s.rect.y2)});
+    return dx * dx + dy * dy <= r * r;
+}
+
+/// Missing-material break: the disk spans the shape's full narrow
+/// dimension at the defect's center coordinate (the model behind
+/// A(x) = L * (x - w)).
+bool disk_breaks(const FlatShape& s, double cx, double cy, double r) {
+    const bool horizontal = s.rect.width() >= s.rect.height();
+    if (horizontal) {
+        if (cx < static_cast<double>(s.rect.x1) ||
+            cx > static_cast<double>(s.rect.x2))
+            return false;
+        return cy - r <= static_cast<double>(s.rect.y1) &&
+               cy + r >= static_cast<double>(s.rect.y2);
+    }
+    if (cy < static_cast<double>(s.rect.y1) ||
+        cy > static_cast<double>(s.rect.y2))
+        return false;
+    return cx - r <= static_cast<double>(s.rect.x1) &&
+           cx + r >= static_cast<double>(s.rect.x2);
+}
+
+bool conducting_layer(Layer layer) {
+    switch (layer) {
+        case Layer::NDiff:
+        case Layer::PDiff:
+        case Layer::Poly:
+        case Layer::Metal1:
+        case Layer::Metal2:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace
+
+double MonteCarloResult::total_short_weight() const {
+    double sum = 0.0;
+    for (double w : short_weight) sum += w;
+    return sum;
+}
+
+double MonteCarloResult::total_open_weight() const {
+    double sum = 0.0;
+    for (double w : open_weight) sum += w;
+    return sum;
+}
+
+MonteCarloResult estimate_critical_weights(const layout::ChipLayout& chip,
+                                           const DefectStatistics& stats,
+                                           const MonteCarloOptions& options) {
+    MonteCarloResult result;
+    result.samples_per_layer = options.samples_per_layer;
+    const auto flat = layout::flatten(chip);
+
+    const double x_lo = static_cast<double>(chip.die.x1) - options.margin;
+    const double y_lo = static_cast<double>(chip.die.y1) - options.margin;
+    const double x_hi = static_cast<double>(chip.die.x2) + options.margin;
+    const double y_hi = static_cast<double>(chip.die.y2) + options.margin;
+    const double window = (x_hi - x_lo) * (y_hi - y_lo);
+
+    Rng rng{options.seed};
+    // Size density p(x) = 2 x0^2 / x^3 for x >= x0: inverse-CDF sampling
+    // x = x0 / sqrt(1 - u), truncated at max_diameter.
+    const auto sample_diameter = [&]() {
+        const double u = rng.uniform();
+        const double x = stats.x0 / std::sqrt(1.0 - u);
+        return std::min(x, options.max_diameter);
+    };
+
+    for (int li = 0; li < cell::kLayerCount; ++li) {
+        const Layer layer = static_cast<Layer>(li);
+        if (!conducting_layer(layer)) continue;
+        const double d_short = stats.shorts(layer);
+        const double d_open = stats.opens(layer);
+        if (d_short <= 0.0 && d_open <= 0.0) continue;
+
+        std::vector<const FlatShape*> shapes;
+        for (const FlatShape& s : flat)
+            if (s.layer == layer) shapes.push_back(&s);
+        if (shapes.empty()) continue;
+        const Grid grid(shapes, x_lo, y_lo, x_hi, y_hi, 32.0);
+
+        long short_hits = 0;
+        long open_hits = 0;
+        std::map<std::pair<NetRef, NetRef>, long> pair_hits;
+        for (long n = 0; n < options.samples_per_layer; ++n) {
+            const double cx = x_lo + rng.uniform() * (x_hi - x_lo);
+            const double cy = y_lo + rng.uniform() * (y_hi - y_lo);
+            const double r = sample_diameter() / 2.0;
+
+            // Extra material: which nets does the disk touch?
+            std::set<NetRef> touched;
+            grid.for_near(cx, cy, r, [&](const FlatShape& s) {
+                if (disk_touches(s, cx, cy, r)) touched.insert(s.net);
+            });
+            if (touched.size() >= 2) {
+                ++short_hits;
+                auto it = touched.begin();
+                const NetRef a = *it++;
+                const NetRef b = *it;
+                ++pair_hits[{a, b}];
+            }
+
+            // Missing material: does the disk sever any wire?  (Sampled
+            // with the same random defect - the mechanisms have separate
+            // densities, so the estimates scale independently.)
+            bool breaks = false;
+            grid.for_near(cx, cy, r, [&](const FlatShape& s) {
+                if (!breaks && disk_breaks(s, cx, cy, r)) breaks = true;
+            });
+            if (breaks) ++open_hits;
+        }
+
+        const double per_sample = window / static_cast<double>(
+                                               options.samples_per_layer);
+        result.short_weight[li] =
+            d_short * per_sample * static_cast<double>(short_hits);
+        result.open_weight[li] =
+            d_open * per_sample * static_cast<double>(open_hits);
+        for (const auto& [nets, hits] : pair_hits)
+            result.bridges[nets] +=
+                d_short * per_sample * static_cast<double>(hits);
+    }
+    return result;
+}
+
+}  // namespace dlp::extract

@@ -1,0 +1,47 @@
+// Monte-Carlo critical-area estimation: random spot defects (disks with
+// diameters drawn from the x0^2/x^3 size density) are dropped on the
+// flattened layout, and each one is classified the way a real defect would
+// act - extra material shorting every net it touches, missing material
+// breaking a wire it spans.  This provides an independent check of the
+// closed-form weights the extractor computes (L*x0^2/s for shorts,
+// L*x0^2/w for opens): the two must agree within sampling error.
+//
+// Estimator: for defect density D on a layer and a sampling window of area
+// W, the weight of fault j is  w_j = D * W * P(defect causes j), with P
+// estimated by the hit fraction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "extract/defect_stats.h"
+#include "layout/chip.h"
+
+namespace dlp::extract {
+
+struct MonteCarloOptions {
+    long samples_per_layer = 100000;  ///< per layer, per mechanism
+    std::uint64_t seed = 1;
+    double margin = 16.0;     ///< sampling window border around the die
+    double max_diameter = 64.0;  ///< truncate the size distribution here
+};
+
+struct MonteCarloResult {
+    long samples_per_layer = 0;
+    /// Estimated total short (bridge) weight per layer.
+    double short_weight[cell::kLayerCount] = {};
+    /// Estimated total open weight per layer.
+    double open_weight[cell::kLayerCount] = {};
+    /// Estimated weight per bridged net set (pairs and triples+, keyed by
+    /// the two smallest NetRefs involved).
+    std::map<std::pair<cell::NetRef, cell::NetRef>, double> bridges;
+
+    double total_short_weight() const;
+    double total_open_weight() const;
+};
+
+MonteCarloResult estimate_critical_weights(
+    const layout::ChipLayout& chip, const DefectStatistics& stats,
+    const MonteCarloOptions& options = {});
+
+}  // namespace dlp::extract

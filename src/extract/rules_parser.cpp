@@ -1,0 +1,123 @@
+#include "extract/rules_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlp::extract {
+
+namespace {
+
+std::optional<cell::Layer> layer_by_name(const std::string& name) {
+    for (int li = 0; li < cell::kLayerCount; ++li) {
+        const auto layer = static_cast<cell::Layer>(li);
+        if (name == cell::layer_name(layer)) return layer;
+    }
+    return std::nullopt;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+    throw std::runtime_error("rules:" + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+DefectStatistics parse_defect_rules(const std::string& text) {
+    DefectStatistics stats;
+    stats.x0 = 2.0;
+    double unit = 1.0;
+    // Collect raw entries first so `unit` can appear anywhere.
+    struct Entry {
+        int line;
+        std::string kind;
+        std::string layer;
+        double value;
+    };
+    std::vector<Entry> entries;
+
+    std::istringstream in(text);
+    std::string line_text;
+    int line_no = 0;
+    while (std::getline(in, line_text)) {
+        ++line_no;
+        const size_t hash = line_text.find('#');
+        if (hash != std::string::npos) line_text.erase(hash);
+        std::istringstream ls(line_text);
+        std::string kind;
+        if (!(ls >> kind)) continue;  // blank
+        Entry e{line_no, kind, "", 0.0};
+        if (kind == "short" || kind == "open") {
+            if (!(ls >> e.layer >> e.value))
+                fail(line_no, "expected '" + kind + " <layer> <density>'");
+        } else if (kind == "unit" || kind == "x0" || kind == "pinhole" ||
+                   kind == "contact_open") {
+            if (!(ls >> e.value))
+                fail(line_no, "expected '" + kind + " <value>'");
+        } else {
+            fail(line_no, "unknown directive '" + kind + "'");
+        }
+        std::string extra;
+        if (ls >> extra) fail(line_no, "trailing token '" + extra + "'");
+        entries.push_back(e);
+    }
+
+    for (const Entry& e : entries)
+        if (e.kind == "unit") unit = e.value;
+    for (const Entry& e : entries) {
+        if (e.kind == "unit") continue;
+        if (e.kind == "x0") {
+            if (!(e.value > 0.0)) fail(e.line, "x0 must be > 0");
+            stats.x0 = e.value;
+            continue;
+        }
+        if (e.value < 0.0) fail(e.line, "density must be >= 0");
+        if (e.kind == "pinhole") {
+            stats.pinhole_density = e.value * unit;
+        } else if (e.kind == "contact_open") {
+            stats.contact_open_density = e.value * unit;
+        } else {
+            const auto layer = layer_by_name(e.layer);
+            if (!layer) fail(e.line, "unknown layer '" + e.layer + "'");
+            const auto li = static_cast<size_t>(*layer);
+            if (e.kind == "short")
+                stats.short_density[li] = e.value * unit;
+            else
+                stats.open_density[li] = e.value * unit;
+        }
+    }
+    return stats;
+}
+
+DefectStatistics load_defect_rules(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_defect_rules(buf.str());
+}
+
+std::string to_rules(const DefectStatistics& stats) {
+    std::ostringstream out;
+    out.precision(12);
+    out << "# defect statistics (densities in defects per lambda^2)\n";
+    out << "unit 1\n";
+    out << "x0 " << stats.x0 << "\n";
+    for (int li = 0; li < cell::kLayerCount; ++li) {
+        const auto layer = static_cast<cell::Layer>(li);
+        if (stats.short_density[li] > 0.0)
+            out << "short " << cell::layer_name(layer) << " "
+                << stats.short_density[li] << "\n";
+        if (stats.open_density[li] > 0.0)
+            out << "open " << cell::layer_name(layer) << " "
+                << stats.open_density[li] << "\n";
+    }
+    if (stats.contact_open_density > 0.0)
+        out << "contact_open " << stats.contact_open_density << "\n";
+    if (stats.pinhole_density > 0.0)
+        out << "pinhole " << stats.pinhole_density << "\n";
+    return out.str();
+}
+
+}  // namespace dlp::extract

@@ -1,0 +1,225 @@
+#include "flow/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "gatesim/fault_sim.h"
+#include "model/dl_models.h"
+#include "model/yield.h"
+
+namespace dlp::flow {
+
+std::vector<switchsim::WeightedFault> to_switch_faults(
+    const extract::ExtractionResult& extraction,
+    const layout::ChipLayout& chip, const switchsim::SwitchNetlist& net) {
+    using EK = extract::ExtractedFault::Kind;
+    using SK = switchsim::SwitchFault::Kind;
+
+    // Gates of a sink pin: the transistors of the reading instance whose
+    // gate is that pin's local net.
+    const auto sink_gate_transistors = [&](const layout::Sink& sink,
+                                           std::vector<int>& out) {
+        const std::int32_t inst = sink.instance;
+        const cell::Cell& c = *net.cells[static_cast<size_t>(inst)];
+        const int pin_net = c.input_pin(sink.pin).net;
+        for (size_t t = 0; t < c.transistors.size(); ++t)
+            if (c.transistors[t].gate == pin_net)
+                out.push_back(net.global_transistor(inst,
+                                                    static_cast<int>(t)));
+    };
+
+    std::vector<switchsim::WeightedFault> out;
+    out.reserve(extraction.faults.size());
+    for (const auto& ef : extraction.faults) {
+        switchsim::WeightedFault wf;
+        wf.weight = ef.weight;
+        wf.name = ef.description;
+        // Trapped charge of a floating gate varies per defect instance:
+        // assign low/high/mid-band deterministically from the fault
+        // identity (3:3:2 - mid-band floats defeat static voltage testing
+        // and contribute to the residual defect level).
+        switch (std::hash<std::string>{}(ef.description) % 8u) {
+            case 0: case 1: case 2:
+                wf.fault.float_level = switchsim::SwitchFault::FloatLevel::Low;
+                break;
+            case 3: case 4: case 5:
+                wf.fault.float_level = switchsim::SwitchFault::FloatLevel::High;
+                break;
+            default:
+                wf.fault.float_level = switchsim::SwitchFault::FloatLevel::Mid;
+                break;
+        }
+        switch (ef.kind) {
+            case EK::Bridge:
+                wf.fault.kind = SK::Bridge;
+                wf.fault.a = net.node_of(ef.a);
+                wf.fault.b = net.node_of(ef.b);
+                if (!ef.c.is_none()) wf.fault.c = net.node_of(ef.c);
+                break;
+            case EK::Gross:
+                wf.fault.kind = SK::Gross;
+                break;
+            case EK::TransistorOpen:
+                wf.fault.kind = SK::TransistorOpen;
+                for (const auto& [inst, t] : ef.transistors)
+                    wf.fault.transistors.push_back(
+                        net.global_transistor(inst, t));
+                break;
+            case EK::GateFloat:
+                wf.fault.kind = SK::GateFloat;
+                for (const auto& [inst, t] : ef.transistors)
+                    wf.fault.transistors.push_back(
+                        net.global_transistor(inst, t));
+                break;
+            case EK::PoFloat:
+                wf.fault.kind = SK::None;
+                wf.fault.po_float = ef.po;
+                break;
+            case EK::NetOpen: {
+                wf.fault.kind = SK::GateFloat;
+                const auto& sinks = chip.sinks[ef.net];
+                if (ef.sink >= 0) {
+                    const auto& s = sinks[static_cast<size_t>(ef.sink)];
+                    if (s.is_po_pad()) {
+                        wf.fault.kind = SK::None;
+                        wf.fault.po_float = s.pin;
+                    } else {
+                        sink_gate_transistors(s, wf.fault.transistors);
+                    }
+                } else {
+                    for (const auto& s : sinks) {
+                        if (s.is_po_pad())
+                            wf.fault.po_float = s.pin;
+                        else
+                            sink_gate_transistors(s, wf.fault.transistors);
+                    }
+                    if (wf.fault.transistors.empty())
+                        wf.fault.kind = SK::None;
+                }
+                break;
+            }
+        }
+        out.push_back(std::move(wf));
+    }
+    return out;
+}
+
+namespace {
+
+/// Samples a coverage curve into fallout points, thinning long curves to
+/// keep the model fit balanced across the k axis (log-spaced).
+std::vector<size_t> sample_indices(size_t n) {
+    std::vector<size_t> idx;
+    size_t k = 1;
+    while (k <= n) {
+        idx.push_back(k - 1);
+        const size_t step = std::max<size_t>(1, k / 8);
+        k += step;
+    }
+    if (idx.empty() || idx.back() != n - 1) idx.push_back(n - 1);
+    return idx;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const netlist::Circuit& circuit,
+                                const ExperimentOptions& options) {
+    ExperimentResult r;
+
+    // 1. Technology map so every gate has a cell.
+    const netlist::Circuit mapped = netlist::techmap(circuit, options.techmap);
+    r.mapped_gates = mapped.logic_gate_count();
+
+    // 2. Stuck-at test generation (random prefix + PODEM tail).
+    auto stuck = gatesim::collapse_faults(
+        mapped, gatesim::full_fault_universe(mapped));
+    r.stuck_faults = stuck.size();
+    const atpg::TestGenResult tests =
+        atpg::generate_test_set(mapped, stuck, options.atpg);
+    r.vector_count = static_cast<int>(tests.vectors.size());
+    r.random_vectors = tests.random_count;
+
+    // T(k) over the full sequence, from the ATPG detection table.  Like the
+    // paper, proven-redundant faults are neglected (fault efficiency).
+    {
+        const double testable =
+            static_cast<double>(stuck.size() - tests.redundant);
+        std::vector<int> hits(tests.vectors.size() + 1, 0);
+        for (int at : tests.first_detected_at)
+            if (at >= 1) ++hits[static_cast<size_t>(at)];
+        r.t_curve.resize(tests.vectors.size());
+        double cum = 0;
+        for (size_t k = 1; k <= tests.vectors.size(); ++k) {
+            cum += hits[k];
+            r.t_curve[k - 1] = testable == 0.0 ? 0.0 : cum / testable;
+        }
+    }
+
+    // 3. Layout and fault extraction.
+    const layout::ChipLayout chip =
+        layout::place_and_route(mapped, options.layout);
+    r.die_area = chip.area();
+    extract::ExtractionResult extraction =
+        extract_faults(chip, options.defects, options.extract);
+    r.raw_total_weight = extraction.total_weight;
+    r.weight_by_class = extraction.weight_by_class;
+    r.realistic_faults = extraction.faults.size();
+
+    // 4. Yield scaling ("different size, same testability", paper sec. 3).
+    double scale = 1.0;
+    if (options.target_yield > 0.0) {
+        scale = model::yield_scale_factor(extraction.total_weight,
+                                          options.target_yield);
+        for (auto& f : extraction.faults) f.weight *= scale;
+        extraction.total_weight *= scale;
+    }
+    r.yield = std::exp(-extraction.total_weight);
+    r.fault_weights = extraction.weights();
+
+    // 5. Switch-level fault simulation of the same vector sequence.
+    const switchsim::SwitchNetlist swnet = switchsim::build_switch_netlist(mapped);
+    r.transistors = swnet.transistors.size();
+    const switchsim::SwitchSim sim(swnet, options.sim);
+    auto swfaults = to_switch_faults(extraction, chip, swnet);
+    if (!options.weighted)
+        for (auto& f : swfaults) f.weight = 1.0;
+    switchsim::SwitchFaultSimulator swsim(sim, std::move(swfaults));
+    swsim.apply(tests.vectors);
+    r.theta_curve = swsim.weighted_coverage_curve();
+    r.gamma_curve = swsim.unweighted_coverage_curve();
+    r.theta_iddq_curve = swsim.weighted_coverage_curve_with_iddq();
+
+    // 6. Defect-level points DL(theta(k)) against T(k) and Gamma(k).
+    for (size_t i : sample_indices(r.t_curve.size())) {
+        const double dl = model::weighted_dl(r.yield, r.theta_curve[i]);
+        r.dl_vs_t.push_back({r.t_curve[i], dl});
+        r.dl_vs_gamma.push_back({r.gamma_curve[i], dl});
+    }
+
+    // 7. Fits: eq (11) parameters and the coverage-law susceptibilities.
+    r.fit = model::fit_proposed_model(r.yield, r.dl_vs_t);
+    {
+        std::vector<model::CoveragePoint> t_pts;
+        std::vector<model::CoveragePoint> th_pts;
+        for (size_t i : sample_indices(r.t_curve.size())) {
+            t_pts.push_back({static_cast<double>(i + 1), r.t_curve[i]});
+            th_pts.push_back({static_cast<double>(i + 1), r.theta_curve[i]});
+        }
+        try {
+            r.t_law = model::fit_coverage_law(t_pts, false);
+        } catch (const std::exception&) {
+            r.t_law = {};
+        }
+        try {
+            r.theta_law = model::fit_coverage_law(th_pts, true);
+        } catch (const std::exception&) {
+            r.theta_law = {};
+        }
+    }
+    return r;
+}
+
+}  // namespace dlp::flow

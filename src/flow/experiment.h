@@ -1,0 +1,81 @@
+// The paper's end-to-end experiment as one call:
+//   circuit -> techmap -> {stuck-at ATPG, layout -> fault extraction ->
+//   switch-level fault simulation} -> T(k), theta(k), Gamma(k) ->
+//   DL curves -> model fit (R, theta_max).
+#pragma once
+
+#include "atpg/generate.h"
+#include "extract/extractor.h"
+#include "layout/place_route.h"
+#include "model/coverage_laws.h"
+#include "model/fit.h"
+#include "netlist/techmap.h"
+#include "switchsim/switch_fault_sim.h"
+
+namespace dlp::flow {
+
+struct ExperimentOptions {
+    double target_yield = 0.75;  ///< scale weights to this Y (0 = no scaling)
+    atpg::TestGenOptions atpg;
+    extract::DefectStatistics defects =
+        extract::DefectStatistics::cmos_bridging_dominant();
+    extract::ExtractOptions extract;
+    layout::LayoutOptions layout;
+    netlist::TechmapOptions techmap;
+    switchsim::SimParams sim;  ///< switch-level electrical parameters
+    bool weighted = true;  ///< false: ablation, all realistic faults equal
+};
+
+struct ExperimentResult {
+    // Workload facts.
+    std::size_t mapped_gates = 0;
+    std::size_t stuck_faults = 0;       ///< collapsed stuck-at universe
+    std::size_t realistic_faults = 0;   ///< extracted fault list
+    std::size_t transistors = 0;
+    int vector_count = 0;
+    int random_vectors = 0;
+    double yield = 1.0;                 ///< after scaling
+    double raw_total_weight = 0.0;      ///< before scaling
+    std::int64_t die_area = 0;
+    std::map<std::string, double> weight_by_class;
+    std::vector<double> fault_weights;  ///< per realistic fault (scaled)
+
+    // Coverage curves, index k-1 = after k vectors.
+    std::vector<double> t_curve;      ///< stuck-at T(k)
+    std::vector<double> theta_curve;  ///< weighted realistic theta(k)
+    std::vector<double> gamma_curve;  ///< unweighted realistic Gamma(k)
+    /// theta(k) when static voltage testing is complemented by IDDQ
+    /// measurements (the paper's zero-defect recommendation).
+    std::vector<double> theta_iddq_curve;
+
+    // Defect-level points (T(k), DL(theta(k))) and (Gamma(k), DL(theta(k))).
+    std::vector<model::FalloutPoint> dl_vs_t;
+    std::vector<model::FalloutPoint> dl_vs_gamma;
+
+    // Fits.
+    model::ProposedFit fit;           ///< (R, theta_max) of eq (11)
+    model::CoverageLaw t_law;         ///< fitted stuck-at susceptibility
+    model::CoverageLaw theta_law;     ///< fitted realistic susceptibility
+
+    double final_t() const { return t_curve.empty() ? 0.0 : t_curve.back(); }
+    double final_theta() const {
+        return theta_curve.empty() ? 0.0 : theta_curve.back();
+    }
+    double final_gamma() const {
+        return gamma_curve.empty() ? 0.0 : gamma_curve.back();
+    }
+    double final_theta_iddq() const {
+        return theta_iddq_curve.empty() ? 0.0 : theta_iddq_curve.back();
+    }
+};
+
+/// Runs the full experiment on a circuit.  Deterministic in options.
+ExperimentResult run_experiment(const netlist::Circuit& circuit,
+                                const ExperimentOptions& options = {});
+
+/// Maps extracted faults onto the switch-level fault model.
+std::vector<switchsim::WeightedFault> to_switch_faults(
+    const extract::ExtractionResult& extraction,
+    const layout::ChipLayout& chip, const switchsim::SwitchNetlist& net);
+
+}  // namespace dlp::flow

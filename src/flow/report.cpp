@@ -1,0 +1,76 @@
+#include "flow/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "model/dl_models.h"
+#include "model/stats.h"
+
+namespace dlp::flow {
+
+std::string curves_csv(const ExperimentResult& result) {
+    std::ostringstream out;
+    out << "k,T,theta,gamma,dl_ppm,wb_ppm,fit_ppm\n";
+    const model::ProposedModel fit{result.yield, result.fit.r,
+                                   result.fit.theta_max};
+    for (size_t i = 0; i < result.t_curve.size(); ++i) {
+        const double t = result.t_curve[i];
+        const double theta = result.theta_curve[i];
+        out << (i + 1) << ',' << t << ',' << theta << ','
+            << result.gamma_curve[i] << ','
+            << model::to_ppm(model::weighted_dl(result.yield, theta)) << ','
+            << model::to_ppm(model::williams_brown_dl(result.yield, t)) << ','
+            << model::to_ppm(fit.dl(t)) << '\n';
+    }
+    return out.str();
+}
+
+std::string weight_histogram_csv(const ExperimentResult& result, int bins) {
+    std::ostringstream out;
+    out << "w_lo,w_hi,count\n";
+    if (result.fault_weights.empty()) return out.str();
+    const auto [lo, hi] = std::minmax_element(result.fault_weights.begin(),
+                                              result.fault_weights.end());
+    model::LogHistogram hist(*lo * 0.99, *hi * 1.01, bins);
+    hist.add_all(result.fault_weights);
+    for (int b = 0; b < hist.bin_count(); ++b)
+        out << hist.bin_lo(b) << ',' << hist.bin_hi(b) << ',' << hist.count(b)
+            << '\n';
+    return out.str();
+}
+
+std::string summary_text(const ExperimentResult& result) {
+    std::ostringstream out;
+    out << "gates=" << result.mapped_gates
+        << " transistors=" << result.transistors
+        << " die_area=" << result.die_area << " lambda^2\n";
+    out << "stuck_faults=" << result.stuck_faults
+        << " realistic_faults=" << result.realistic_faults
+        << " vectors=" << result.vector_count << " (" << result.random_vectors
+        << " random)\n";
+    out << "yield=" << result.yield << " (raw total weight "
+        << result.raw_total_weight << ")\n";
+    out << "T_end=" << result.final_t() << " theta_end=" << result.final_theta()
+        << " gamma_end=" << result.final_gamma() << "\n";
+    out << "fit: R=" << result.fit.r << " theta_max=" << result.fit.theta_max
+        << " (log-DL rms " << result.fit.rms_error << ")\n";
+    const model::ProposedModel m{result.yield, result.fit.r,
+                                 result.fit.theta_max};
+    out << "residual DL floor=" << model::to_ppm(m.residual_dl()) << " ppm\n";
+    out << "weight by mechanism:\n";
+    for (const auto& [cls, w] : result.weight_by_class)
+        out << "  " << cls << " " << 100.0 * w / result.raw_total_weight
+            << "%\n";
+    return out.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    f << contents;
+    if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace dlp::flow

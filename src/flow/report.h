@@ -1,0 +1,25 @@
+// Report emission for experiment results: CSV curves (gnuplot/pandas
+// friendly) and a human-readable summary.
+#pragma once
+
+#include <string>
+
+#include "flow/experiment.h"
+
+namespace dlp::flow {
+
+/// CSV with one row per test vector:
+/// k,T,theta,gamma,dl_ppm,wb_ppm,fit_ppm
+std::string curves_csv(const ExperimentResult& result);
+
+/// CSV of the fault-weight histogram (log bins): lo,hi,count.
+std::string weight_histogram_csv(const ExperimentResult& result,
+                                 int bins = 16);
+
+/// Multi-line human-readable summary of the experiment.
+std::string summary_text(const ExperimentResult& result);
+
+/// Writes a string to a file; throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace dlp::flow

@@ -1,0 +1,116 @@
+#include "flow/wafer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dlp::flow {
+
+namespace {
+
+struct Rng {
+    std::uint64_t state;
+    std::uint64_t next() {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Knuth Poisson sampler (lambda is small here: ~0.3 defects/die).
+    long poisson(double lambda) {
+        const double limit = std::exp(-lambda);
+        long k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > limit);
+        return k - 1;
+    }
+
+    /// Marsaglia-Tsang gamma(alpha, 1) for alpha >= 1; boost for alpha < 1.
+    double gamma(double alpha) {
+        if (alpha < 1.0) {
+            const double u = uniform();
+            return gamma(alpha + 1.0) * std::pow(u, 1.0 / alpha);
+        }
+        const double d = alpha - 1.0 / 3.0;
+        const double c = 1.0 / std::sqrt(9.0 * d);
+        while (true) {
+            // Box-Muller normal.
+            const double u1 = uniform();
+            const double u2 = uniform();
+            const double n = std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+                             std::cos(6.283185307179586 * u2);
+            const double v = std::pow(1.0 + c * n, 3.0);
+            if (v <= 0.0) continue;
+            const double u = uniform();
+            if (std::log(u + 1e-300) < 0.5 * n * n + d - d * v +
+                                           d * std::log(v))
+                return d * v;
+        }
+    }
+};
+
+}  // namespace
+
+WaferResult simulate_wafer(std::span<const double> weights,
+                           std::span<const bool> detected,
+                           const WaferOptions& options) {
+    if (weights.size() != detected.size())
+        throw std::invalid_argument("weights/detected size mismatch");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0) throw std::invalid_argument("negative weight");
+        total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("empty fault list");
+
+    // Cumulative table for defect placement (faults are few; binary search).
+    std::vector<double> cumulative(weights.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        cumulative[i] = acc;
+    }
+
+    Rng rng{options.seed};
+    WaferResult result;
+    result.dies = options.dies;
+    for (long die = 0; die < options.dies; ++die) {
+        double lambda = total;
+        if (options.clustering_alpha > 0.0)
+            lambda *= rng.gamma(options.clustering_alpha) /
+                      options.clustering_alpha;
+        const long defects = rng.poisson(lambda);
+        if (defects == 0) {
+            ++result.defect_free;
+            ++result.passing;  // nothing to detect
+            continue;
+        }
+        bool caught = false;
+        bool escaped = false;
+        for (long d = 0; d < defects; ++d) {
+            const double u = rng.uniform() * total;
+            const size_t j = static_cast<size_t>(
+                std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+                cumulative.begin());
+            const size_t idx = std::min(j, weights.size() - 1);
+            if (detected[idx])
+                caught = true;
+            else
+                escaped = true;
+        }
+        if (!caught) {
+            ++result.passing;
+            if (escaped) ++result.shipped_defective;
+        }
+    }
+    return result;
+}
+
+}  // namespace dlp::flow

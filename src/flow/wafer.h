@@ -1,0 +1,49 @@
+// Die-level Monte-Carlo validation of the defect-level equations.
+//
+// The paper derives DL = 1 - Y^(1-theta) (eq. 3) analytically from Poisson
+// statistics over the weighted fault list.  Here we simulate actual dies:
+// each die draws a Poisson number of defects (mean = total fault weight),
+// each defect lands on fault j with probability w_j / sum(w); the die fails
+// the test iff any of its defects is test-detected.  The observed shipped
+// defect level among passing dies must match eq. (3), and with a gamma
+// die-to-die rate (clustering alpha) it must match the negative-binomial
+// generalization in model/planning.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dlp::flow {
+
+struct WaferOptions {
+    long dies = 200000;
+    std::uint64_t seed = 1;
+    /// 0 = Poisson; > 0 = gamma-mixed (Stapper clustering parameter).
+    double clustering_alpha = 0.0;
+};
+
+struct WaferResult {
+    long dies = 0;
+    long defect_free = 0;
+    long passing = 0;           ///< dies the test ships
+    long shipped_defective = 0; ///< passing dies with an undetected defect
+
+    double observed_yield() const {
+        return dies == 0 ? 0.0
+                         : static_cast<double>(defect_free) /
+                               static_cast<double>(dies);
+    }
+    double observed_dl() const {
+        return passing == 0 ? 0.0
+                            : static_cast<double>(shipped_defective) /
+                                  static_cast<double>(passing);
+    }
+};
+
+/// Simulates dies against a weighted fault list with per-fault detection
+/// verdicts (true = the test catches that fault).
+WaferResult simulate_wafer(std::span<const double> weights,
+                           std::span<const bool> detected,
+                           const WaferOptions& options = {});
+
+}  // namespace dlp::flow

@@ -1,0 +1,103 @@
+#include "gatesim/bist.h"
+
+#include <stdexcept>
+
+namespace dlp::gatesim {
+
+namespace {
+
+std::uint64_t width_mask(int width) {
+    return width == 64 ? ~0ULL : (1ULL << width) - 1;
+}
+
+}  // namespace
+
+std::uint64_t Lfsr::primitive_taps(int width) {
+    // Right-shift Galois masks of primitive polynomials.
+    switch (width) {
+        case 3: return 0x6;
+        case 4: return 0xC;
+        case 5: return 0x14;
+        case 6: return 0x30;
+        case 7: return 0x60;
+        case 8: return 0xB8;
+        case 15: return 0x6000;
+        case 16: return 0xB400;
+        case 24: return 0xE10000;
+        case 32: return 0x80200003;
+        default: return 0;
+    }
+}
+
+Lfsr::Lfsr(int width, std::uint64_t taps, std::uint64_t seed)
+    : width_(width),
+      taps_(taps ? taps : primitive_taps(width)),
+      mask_(width_mask(width)),
+      state_(seed & mask_) {
+    if (width < 1 || width > 64)
+        throw std::invalid_argument("LFSR width must be in [1,64]");
+    if (taps_ == 0)
+        // Fall back to a simple two-tap feedback; not necessarily maximal.
+        taps_ = 1ULL | (1ULL << (width_ - 1));
+    taps_ &= mask_;
+    if (state_ == 0) state_ = 1;
+}
+
+std::uint64_t Lfsr::step() {
+    // Right-shift Galois form: the outgoing bit conditions the taps XOR.
+    const std::uint64_t out = state_ & 1ULL;
+    state_ >>= 1;
+    if (out) state_ ^= taps_;
+    state_ &= mask_;
+    if (state_ == 0) state_ = 1;  // lockup guard for non-maximal taps
+    return state_;
+}
+
+Vector Lfsr::next_vector(const Circuit& circuit) {
+    step();
+    const size_t n = circuit.inputs().size();
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = (state_ >> (i % static_cast<size_t>(width_))) & 1ULL;
+    return v;
+}
+
+std::uint64_t Lfsr::period() const {
+    Lfsr probe(width_, taps_, state_);
+    std::uint64_t count = 0;
+    do {
+        probe.step();
+        ++count;
+        if (count > (mask_ + 2)) break;  // safety for degenerate taps
+    } while (probe.state() != state_);
+    return count;
+}
+
+Misr::Misr(int width, std::uint64_t taps, std::uint64_t seed)
+    : width_(width),
+      taps_(taps ? taps : Lfsr::primitive_taps(width)),
+      mask_(width_mask(width)),
+      state_(seed & mask_) {
+    if (width < 1 || width > 64)
+        throw std::invalid_argument("MISR width must be in [1,64]");
+    if (taps_ == 0) taps_ = 1ULL | (1ULL << (width_ - 1));
+    taps_ &= mask_;
+}
+
+void Misr::absorb(std::uint64_t response) {
+    const std::uint64_t out = state_ & 1ULL;
+    state_ >>= 1;
+    if (out) state_ ^= taps_;
+    state_ = (state_ ^ response) & mask_;
+}
+
+std::uint64_t pack_response(const Circuit& circuit,
+                            const std::vector<bool>& net_values) {
+    std::uint64_t word = 0;
+    const auto outs = circuit.outputs();
+    for (size_t o = 0; o < outs.size() && o < 64; ++o)
+        if (net_values[outs[o]]) word |= 1ULL << o;
+    return word;
+}
+
+}  // namespace dlp::gatesim

@@ -1,0 +1,74 @@
+// Built-in self-test substrate: LFSR pattern generation and MISR response
+// compaction.  The paper's coverage-growth law (eq. 7) comes from ref. [19]
+// (T.W. Williams, "Test Length in a Self-testing Environment"), where the
+// vectors are pseudo-random LFSR patterns and detection is judged from a
+// compacted signature - including the aliasing risk a MISR introduces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gatesim/logic_sim.h"
+
+namespace dlp::gatesim {
+
+/// Fibonacci LFSR over a programmable feedback polynomial.
+/// The polynomial is given by its taps mask: bit i set means stage i feeds
+/// the XOR (x^width term is implicit).  Default taps give maximal-length
+/// sequences for the common widths used in the tests/benches.
+class Lfsr {
+public:
+    /// @param width  register length in bits (1..64)
+    /// @param taps   feedback mask; 0 = pick a built-in primitive polynomial
+    /// @param seed   initial state (must be nonzero; masked to width)
+    Lfsr(int width, std::uint64_t taps = 0, std::uint64_t seed = 1);
+
+    std::uint64_t state() const { return state_; }
+    int width() const { return width_; }
+
+    /// Advances one clock; returns the new state.
+    std::uint64_t step();
+
+    /// Produces a test vector for a circuit by clocking the LFSR once per
+    /// vector and fanning the register out to the inputs (wrapping when
+    /// the circuit has more inputs than stages, as scan BIST does).
+    Vector next_vector(const Circuit& circuit);
+
+    /// Period until the state repeats (exhaustive walk; width <= 24
+    /// recommended).  A maximal LFSR returns 2^width - 1.
+    std::uint64_t period() const;
+
+    /// A known-primitive taps mask for the width, or 0 if not tabulated.
+    static std::uint64_t primitive_taps(int width);
+
+private:
+    int width_;
+    std::uint64_t taps_;
+    std::uint64_t mask_;
+    std::uint64_t state_;
+};
+
+/// Multiple-input signature register: compacts PO responses; equal
+/// signatures after N vectors mean "pass" (with aliasing probability
+/// ~2^-width for random error streams).
+class Misr {
+public:
+    Misr(int width, std::uint64_t taps = 0, std::uint64_t seed = 0);
+
+    /// Absorbs one response word (one bit per PO, packed little-endian).
+    void absorb(std::uint64_t response);
+
+    std::uint64_t signature() const { return state_; }
+
+private:
+    int width_;
+    std::uint64_t taps_;
+    std::uint64_t mask_;
+    std::uint64_t state_;
+};
+
+/// Packs PO values (as returned by simulate()) into a MISR response word.
+std::uint64_t pack_response(const Circuit& circuit,
+                            const std::vector<bool>& net_values);
+
+}  // namespace dlp::gatesim

@@ -1,0 +1,123 @@
+#include "gatesim/fault_sim.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace dlp::gatesim {
+
+FaultSimulator::FaultSimulator(const Circuit& circuit,
+                               std::vector<StuckAtFault> faults)
+    : circuit_(circuit), faults_(std::move(faults)) {
+    detected_at_.assign(faults_.size(), -1);
+}
+
+int FaultSimulator::apply(std::span<const Vector> vectors) {
+    int newly_detected = 0;
+    std::vector<std::uint64_t> fwords;
+    std::vector<std::uint64_t> operands;
+
+    for (size_t base = 0; base < vectors.size(); base += 64) {
+        const size_t take = std::min<size_t>(64, vectors.size() - base);
+        const PatternBlock block =
+            pack_vectors(circuit_, vectors.subspan(base, take));
+        const auto good = simulate_block(circuit_, block);
+        const std::uint64_t lane_mask =
+            take == 64 ? ~0ULL : (1ULL << take) - 1;
+
+        for (size_t fi = 0; fi < faults_.size(); ++fi) {
+            if (detected_at_[fi] >= 0) continue;  // fault dropping
+            const StuckAtFault& fault = faults_[fi];
+            const std::uint64_t stuck_word = fault.stuck_value ? ~0ULL : 0ULL;
+
+            fwords = good;
+            NetId first_gate;
+            if (fault.is_stem()) {
+                fwords[fault.net] = stuck_word;
+                if (((fwords[fault.net] ^ good[fault.net]) & lane_mask) == 0)
+                    continue;  // fault not excited by any lane
+                first_gate = fault.net + 1;
+            } else {
+                first_gate = fault.reader;
+            }
+
+            // Recompute the fanout cone (NetId order is topological).
+            for (NetId g = first_gate;
+                 g < static_cast<NetId>(circuit_.gate_count()); ++g) {
+                const auto& gate = circuit_.gate(g);
+                if (gate.type == netlist::GateType::Input) continue;
+                bool touched = false;
+                operands.clear();
+                for (int pin = 0; pin < static_cast<int>(gate.fanin.size());
+                     ++pin) {
+                    const NetId f = gate.fanin[static_cast<size_t>(pin)];
+                    std::uint64_t word = fwords[f];
+                    if (!fault.is_stem() && g == fault.reader &&
+                        pin == fault.pin) {
+                        word = stuck_word;
+                        touched = true;
+                    } else if (word != good[f]) {
+                        touched = true;
+                    }
+                    operands.push_back(word);
+                }
+                if (touched) fwords[g] = netlist::eval_gate(gate.type, operands);
+            }
+
+            std::uint64_t diff = 0;
+            for (NetId po : circuit_.outputs())
+                diff |= (fwords[po] ^ good[po]);
+            diff &= lane_mask;
+            if (diff != 0) {
+                const int lane = std::countr_zero(diff);
+                detected_at_[fi] =
+                    vectors_applied_ + static_cast<int>(base) + lane + 1;
+                ++detected_count_;
+                ++newly_detected;
+            }
+        }
+    }
+    vectors_applied_ += static_cast<int>(vectors.size());
+    return newly_detected;
+}
+
+double FaultSimulator::coverage() const {
+    return faults_.empty() ? 0.0
+                           : static_cast<double>(detected_count_) /
+                                 static_cast<double>(faults_.size());
+}
+
+std::vector<double> FaultSimulator::coverage_curve() const {
+    std::vector<int> hits(static_cast<size_t>(vectors_applied_) + 1, 0);
+    for (int at : detected_at_)
+        if (at >= 1 && at <= vectors_applied_) ++hits[static_cast<size_t>(at)];
+    std::vector<double> curve(static_cast<size_t>(vectors_applied_));
+    long cum = 0;
+    for (int k = 1; k <= vectors_applied_; ++k) {
+        cum += hits[static_cast<size_t>(k)];
+        curve[static_cast<size_t>(k - 1)] =
+            faults_.empty() ? 0.0
+                            : static_cast<double>(cum) /
+                                  static_cast<double>(faults_.size());
+    }
+    return curve;
+}
+
+std::vector<std::size_t> FaultSimulator::undetected() const {
+    std::vector<std::size_t> out;
+    for (size_t i = 0; i < faults_.size(); ++i)
+        if (detected_at_[i] < 0) out.push_back(i);
+    return out;
+}
+
+std::vector<int> run_fault_simulation(const Circuit& circuit,
+                                      std::span<const StuckAtFault> faults,
+                                      std::span<const Vector> vectors) {
+    FaultSimulator sim(circuit,
+                       std::vector<StuckAtFault>(faults.begin(), faults.end()));
+    sim.apply(vectors);
+    return std::vector<int>(sim.first_detected_at().begin(),
+                            sim.first_detected_at().end());
+}
+
+}  // namespace dlp::gatesim

@@ -1,0 +1,58 @@
+// Parallel-pattern single-fault-propagation (PPSFP) stuck-at fault
+// simulator with fault dropping.
+//
+// Vectors are applied in sequence; for every fault the simulator records the
+// 1-based index of the first detecting vector, which directly yields the
+// coverage-vs-test-length curve T(k) the paper plots (fig. 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gatesim/faults.h"
+#include "gatesim/logic_sim.h"
+
+namespace dlp::gatesim {
+
+class FaultSimulator {
+public:
+    FaultSimulator(const Circuit& circuit, std::vector<StuckAtFault> faults);
+
+    /// Applies vectors (appending to the sequence seen so far); returns the
+    /// number of newly detected faults.  Detected faults are dropped from
+    /// subsequent simulation.
+    int apply(std::span<const Vector> vectors);
+
+    const Circuit& circuit() const { return circuit_; }
+    std::span<const StuckAtFault> faults() const { return faults_; }
+
+    /// Per fault: 1-based index of the first detecting vector, -1 if still
+    /// undetected.
+    std::span<const int> first_detected_at() const { return detected_at_; }
+
+    int vectors_applied() const { return vectors_applied_; }
+    std::size_t detected_count() const { return detected_count_; }
+    double coverage() const;
+
+    /// Fault coverage after each prefix of the applied sequence:
+    /// result[k-1] = fraction of faults detected by the first k vectors.
+    std::vector<double> coverage_curve() const;
+
+    /// Indices (into faults()) of still-undetected faults.
+    std::vector<std::size_t> undetected() const;
+
+private:
+    const Circuit& circuit_;
+    std::vector<StuckAtFault> faults_;
+    std::vector<int> detected_at_;
+    int vectors_applied_ = 0;
+    std::size_t detected_count_ = 0;
+};
+
+/// One-shot convenience: simulate the whole sequence and return the
+/// detection table.
+std::vector<int> run_fault_simulation(const Circuit& circuit,
+                                      std::span<const StuckAtFault> faults,
+                                      std::span<const Vector> vectors);
+
+}  // namespace dlp::gatesim

@@ -1,0 +1,148 @@
+#include "gatesim/faults.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <tuple>
+
+namespace dlp::gatesim {
+
+std::string fault_name(const Circuit& circuit, const StuckAtFault& fault) {
+    std::string name = circuit.gate(fault.net).name;
+    if (!fault.is_stem())
+        name += "->" + circuit.gate(fault.reader).name + "." +
+                std::to_string(fault.pin);
+    return name + (fault.stuck_value ? "/SA1" : "/SA0");
+}
+
+std::vector<StuckAtFault> full_fault_universe(const Circuit& circuit) {
+    std::vector<StuckAtFault> faults;
+    const auto fanouts = circuit.fanouts();
+    for (NetId net = 0; net < circuit.gate_count(); ++net) {
+        faults.push_back({net, netlist::kNoNet, -1, false});
+        faults.push_back({net, netlist::kNoNet, -1, true});
+        if (fanouts[net].size() > 1) {
+            for (NetId reader : fanouts[net]) {
+                const auto& fanin = circuit.gate(reader).fanin;
+                for (int pin = 0; pin < static_cast<int>(fanin.size()); ++pin) {
+                    if (fanin[static_cast<size_t>(pin)] != net) continue;
+                    faults.push_back({net, reader, pin, false});
+                    faults.push_back({net, reader, pin, true});
+                }
+            }
+        }
+    }
+    return faults;
+}
+
+namespace {
+
+struct UnionFind {
+    std::vector<size_t> parent;
+    explicit UnionFind(size_t n) : parent(n) {
+        std::iota(parent.begin(), parent.end(), size_t{0});
+    }
+    size_t find(size_t x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+    }
+    void merge(size_t a, size_t b) { parent[find(a)] = find(b); }
+};
+
+using FaultKey = std::tuple<NetId, NetId, int, bool>;
+
+FaultKey key_of(const StuckAtFault& f) {
+    return {f.net, f.reader, f.pin, f.stuck_value};
+}
+
+}  // namespace
+
+std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,
+                                          std::vector<StuckAtFault> faults) {
+    std::map<FaultKey, size_t> index;
+    for (size_t i = 0; i < faults.size(); ++i) index[key_of(faults[i])] = i;
+    const auto fanouts = circuit.fanouts();
+
+    // The fault on gate g's input pin: the branch fault if the driving net
+    // fans out, otherwise the driver's stem fault.
+    const auto input_fault = [&](NetId gate, int pin,
+                                 bool value) -> std::optional<size_t> {
+        const NetId driver = circuit.gate(gate).fanin[static_cast<size_t>(pin)];
+        const FaultKey key = fanouts[driver].size() > 1
+                                 ? FaultKey{driver, gate, pin, value}
+                                 : FaultKey{driver, netlist::kNoNet, -1, value};
+        const auto it = index.find(key);
+        if (it == index.end()) return std::nullopt;
+        return it->second;
+    };
+    const auto stem_fault = [&](NetId net, bool value) -> std::optional<size_t> {
+        const auto it = index.find(FaultKey{net, netlist::kNoNet, -1, value});
+        if (it == index.end()) return std::nullopt;
+        return it->second;
+    };
+
+    UnionFind uf(faults.size());
+    const auto merge = [&](std::optional<size_t> a, std::optional<size_t> b) {
+        if (a && b) uf.merge(*a, *b);
+    };
+
+    using netlist::GateType;
+    for (NetId g = 0; g < circuit.gate_count(); ++g) {
+        const auto& gate = circuit.gate(g);
+        const int arity = static_cast<int>(gate.fanin.size());
+        switch (gate.type) {
+            case GateType::Input:
+                break;
+            case GateType::Buf:
+                merge(input_fault(g, 0, false), stem_fault(g, false));
+                merge(input_fault(g, 0, true), stem_fault(g, true));
+                break;
+            case GateType::Not:
+                merge(input_fault(g, 0, false), stem_fault(g, true));
+                merge(input_fault(g, 0, true), stem_fault(g, false));
+                break;
+            case GateType::And:
+                for (int p = 0; p < arity; ++p)
+                    merge(input_fault(g, p, false), stem_fault(g, false));
+                break;
+            case GateType::Nand:
+                for (int p = 0; p < arity; ++p)
+                    merge(input_fault(g, p, false), stem_fault(g, true));
+                break;
+            case GateType::Or:
+                for (int p = 0; p < arity; ++p)
+                    merge(input_fault(g, p, true), stem_fault(g, true));
+                break;
+            case GateType::Nor:
+                for (int p = 0; p < arity; ++p)
+                    merge(input_fault(g, p, true), stem_fault(g, false));
+                break;
+            case GateType::Xor:
+            case GateType::Xnor:
+                break;  // XOR gates have no equivalent input/output faults
+        }
+    }
+
+    // Keep one representative per class, preferring stems, then low net ids.
+    std::vector<size_t> best_of_class(faults.size(), static_cast<size_t>(-1));
+    const auto better = [&](size_t a, size_t b) {
+        const bool stem_a = faults[a].is_stem();
+        const bool stem_b = faults[b].is_stem();
+        if (stem_a != stem_b) return stem_a;
+        return std::tie(faults[a].net, faults[a].reader, faults[a].pin) <
+               std::tie(faults[b].net, faults[b].reader, faults[b].pin);
+    };
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const size_t root = uf.find(i);
+        if (best_of_class[root] == static_cast<size_t>(-1) ||
+            better(i, best_of_class[root]))
+            best_of_class[root] = i;
+    }
+    std::vector<StuckAtFault> collapsed;
+    for (size_t i = 0; i < faults.size(); ++i)
+        if (best_of_class[uf.find(i)] == i) collapsed.push_back(faults[i]);
+    return collapsed;
+}
+
+}  // namespace dlp::gatesim

@@ -1,0 +1,44 @@
+// Single stuck-at fault universe and equivalence collapsing.
+//
+// Fault sites are *lines*: the output stem of every gate (including primary
+// inputs) and every gate input pin (fanout branch).  Equivalence collapsing
+// follows the classic rules (e.g. for a NAND, any input s-a-0 is equivalent
+// to the output s-a-1; for a NOT/BUF, input faults are equivalent to the
+// corresponding output faults).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace dlp::gatesim {
+
+using netlist::Circuit;
+using netlist::NetId;
+
+/// A single stuck-at fault on a line.
+struct StuckAtFault {
+    NetId net = 0;       ///< the driving net of the faulted line
+    NetId reader = netlist::kNoNet;  ///< gate whose input pin is faulted, or
+                                     ///< kNoNet for the output stem
+    int pin = -1;        ///< pin index within reader's fanin (stem: -1)
+    bool stuck_value = false;
+
+    bool is_stem() const { return reader == netlist::kNoNet; }
+    bool operator==(const StuckAtFault&) const = default;
+};
+
+/// Human-readable fault name, e.g. "N12/SA0" or "N12->G7.1/SA1".
+std::string fault_name(const Circuit& circuit, const StuckAtFault& fault);
+
+/// The complete (uncollapsed) single stuck-at universe of a circuit:
+/// 2 faults per stem + 2 per gate input pin of nets with fanout > 1
+/// (single-fanout branch faults are structurally identical to the stem).
+std::vector<StuckAtFault> full_fault_universe(const Circuit& circuit);
+
+/// Equivalence-collapsed fault list (a representative per class).
+std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,
+                                          std::vector<StuckAtFault> faults);
+
+}  // namespace dlp::gatesim

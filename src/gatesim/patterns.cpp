@@ -1,0 +1,38 @@
+#include "gatesim/patterns.h"
+
+namespace dlp::gatesim {
+
+std::uint64_t RandomPatternGenerator::next_word() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Vector RandomPatternGenerator::next_vector(const Circuit& circuit) {
+    const size_t width = circuit.inputs().size();
+    Vector v(width);
+    std::uint64_t bits = 0;
+    int have = 0;
+    for (size_t i = 0; i < width; ++i) {
+        if (have == 0) {
+            bits = next_word();
+            have = 64;
+        }
+        v[i] = bits & 1ULL;
+        bits >>= 1;
+        --have;
+    }
+    return v;
+}
+
+std::vector<Vector> RandomPatternGenerator::vectors(const Circuit& circuit,
+                                                    int n) {
+    std::vector<Vector> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(next_vector(circuit));
+    return out;
+}
+
+}  // namespace dlp::gatesim

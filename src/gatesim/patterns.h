@@ -1,0 +1,29 @@
+// Deterministic pseudo-random test pattern generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gatesim/logic_sim.h"
+
+namespace dlp::gatesim {
+
+/// splitmix64-based pattern source: fast, seedable, no global state.
+class RandomPatternGenerator {
+public:
+    explicit RandomPatternGenerator(std::uint64_t seed) : state_(seed) {}
+
+    /// Next raw 64-bit word.
+    std::uint64_t next_word();
+
+    /// Next uniformly random test vector for a circuit.
+    Vector next_vector(const Circuit& circuit);
+
+    /// A batch of n vectors.
+    std::vector<Vector> vectors(const Circuit& circuit, int n);
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace dlp::gatesim

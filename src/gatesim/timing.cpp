@@ -1,0 +1,75 @@
+#include "gatesim/timing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlp::gatesim {
+
+double DelayModel::gate_delay(GateType type, int arity, int fanout) const {
+    double base = 0.0;
+    switch (type) {
+        case GateType::Input: return input_delay;
+        case GateType::Buf: base = buf_delay; break;
+        case GateType::Not: base = inv_delay; break;
+        case GateType::Nand: base = nand_delay; break;
+        case GateType::Nor: base = nor_delay; break;
+        case GateType::And: base = and_delay; break;
+        case GateType::Or: base = or_delay; break;
+        case GateType::Xor:
+        case GateType::Xnor: base = xor_delay; break;
+    }
+    const int extra = std::max(0, arity - 2);
+    return base + per_extra_input * extra +
+           per_fanout * std::max(0, fanout - 1);
+}
+
+double TimingAnalysis::min_slack() const {
+    if (slack.empty()) return 0.0;
+    return *std::min_element(slack.begin(), slack.end());
+}
+
+TimingAnalysis analyze_timing(const Circuit& circuit, const DelayModel& model,
+                              double clock_period) {
+    TimingAnalysis t;
+    const size_t n = circuit.gate_count();
+    t.arrival.assign(n, 0.0);
+    const auto fanouts = circuit.fanouts();
+
+    // Forward pass: latest arrival per net (NetId order is topological).
+    for (NetId g = 0; g < n; ++g) {
+        const auto& gate = circuit.gate(g);
+        double in_arr = 0.0;
+        for (NetId f : gate.fanin) in_arr = std::max(in_arr, t.arrival[f]);
+        t.arrival[g] =
+            in_arr + model.gate_delay(gate.type,
+                                      static_cast<int>(gate.fanin.size()),
+                                      static_cast<int>(fanouts[g].size()));
+    }
+    for (NetId po : circuit.outputs())
+        t.critical_delay = std::max(t.critical_delay, t.arrival[po]);
+
+    t.clock_period = clock_period > 0.0 ? clock_period : t.critical_delay;
+
+    // Backward pass: required times, then slack per net.
+    std::vector<double> required(n, 1e300);
+    for (NetId po : circuit.outputs())
+        required[po] = std::min(required[po], t.clock_period);
+    for (NetId g = static_cast<NetId>(n); g-- > 0;) {
+        const auto& gate = circuit.gate(g);
+        if (gate.type == netlist::GateType::Input) continue;
+        const double own = model.gate_delay(
+            gate.type, static_cast<int>(gate.fanin.size()),
+            static_cast<int>(fanouts[g].size()));
+        for (NetId f : gate.fanin)
+            required[f] = std::min(required[f], required[g] - own);
+    }
+    t.slack.assign(n, 0.0);
+    for (NetId g = 0; g < n; ++g) {
+        // Nets nobody reads and that are not POs keep a huge slack.
+        t.slack[g] = required[g] >= 1e299 ? t.clock_period
+                                          : required[g] - t.arrival[g];
+    }
+    return t;
+}
+
+}  // namespace dlp::gatesim

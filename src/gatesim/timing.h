@@ -1,0 +1,49 @@
+// Static timing analysis over the gate-level netlist: arrival times,
+// required times against a clock period, and per-line slacks.  Substrate
+// for the statistical delay-fault model (paper ref. [8], Park, Mercer &
+// Williams, "A Statistical Model for Delay-Fault Testing").
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace dlp::gatesim {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NetId;
+
+/// Simple gate delay model: intrinsic delay per type plus a load term per
+/// fanout (all in arbitrary time units).
+struct DelayModel {
+    double input_delay = 0.0;   ///< PI arrival
+    double buf_delay = 0.6;
+    double inv_delay = 0.5;
+    double nand_delay = 1.0;    ///< 2-input; wider gates add per-input cost
+    double nor_delay = 1.2;
+    double and_delay = 1.5;     ///< NAND + inverter
+    double or_delay = 1.7;
+    double xor_delay = 2.2;
+    double per_extra_input = 0.25;
+    double per_fanout = 0.15;
+
+    double gate_delay(GateType type, int arity, int fanout) const;
+};
+
+struct TimingAnalysis {
+    std::vector<double> arrival;   ///< per net, latest transition
+    std::vector<double> slack;     ///< per net, vs the clock period
+    double critical_delay = 0.0;   ///< max PO arrival
+    double clock_period = 0.0;
+
+    double min_slack() const;
+};
+
+/// Computes arrival times and slacks.  `clock_period <= 0` means "use the
+/// critical delay" (zero slack on the critical path).
+TimingAnalysis analyze_timing(const Circuit& circuit,
+                              const DelayModel& model = {},
+                              double clock_period = 0.0);
+
+}  // namespace dlp::gatesim

@@ -1,0 +1,129 @@
+#include "gatesim/transition.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace dlp::gatesim {
+
+std::string transition_fault_name(const Circuit& circuit,
+                                  const TransitionFault& fault) {
+    return circuit.gate(fault.line).name +
+           (fault.slow_to_rise ? "/STR" : "/STF");
+}
+
+std::vector<TransitionFault> full_transition_universe(
+    const Circuit& circuit) {
+    std::vector<TransitionFault> faults;
+    faults.reserve(circuit.gate_count() * 2);
+    for (NetId n = 0; n < circuit.gate_count(); ++n) {
+        faults.push_back({n, true});
+        faults.push_back({n, false});
+    }
+    return faults;
+}
+
+TransitionFaultSimulator::TransitionFaultSimulator(
+    const Circuit& circuit, std::vector<TransitionFault> faults)
+    : circuit_(circuit), faults_(std::move(faults)) {
+    detected_at_.assign(faults_.size(), -1);
+}
+
+int TransitionFaultSimulator::apply(std::span<const Vector> vectors) {
+    int newly = 0;
+    std::vector<std::uint64_t> operands;
+
+    for (size_t base = 0; base < vectors.size(); base += 64) {
+        const size_t take = std::min<size_t>(64, vectors.size() - base);
+        const PatternBlock block =
+            pack_vectors(circuit_, vectors.subspan(base, take));
+        const auto good = simulate_block(circuit_, block);
+        // Line values of the vector preceding this block (for lane 0 pairs).
+        std::vector<bool> prev_vals;
+        if (has_last_) prev_vals = simulate(circuit_, last_vector_);
+
+        // Detection mask of the stem stuck-at fault (line, value) for every
+        // lane of this block, computed on demand and cached per line+value.
+        struct MaskCache {
+            bool ready = false;
+            std::uint64_t mask = 0;
+        };
+        std::vector<MaskCache> cache(circuit_.gate_count() * 2);
+        const auto detect_mask = [&](NetId line, bool value) {
+            MaskCache& mc =
+                cache[static_cast<size_t>(line) * 2 + (value ? 1 : 0)];
+            if (mc.ready) return mc.mask;
+            std::vector<std::uint64_t> fwords = good;
+            fwords[line] = value ? ~0ULL : 0ULL;
+            for (NetId g = line + 1;
+                 g < static_cast<NetId>(circuit_.gate_count()); ++g) {
+                const auto& gate = circuit_.gate(g);
+                if (gate.type == netlist::GateType::Input) continue;
+                bool touched = false;
+                operands.clear();
+                for (NetId f : gate.fanin) {
+                    operands.push_back(fwords[f]);
+                    touched |= fwords[f] != good[f];
+                }
+                if (touched)
+                    fwords[g] = netlist::eval_gate(gate.type, operands);
+            }
+            std::uint64_t diff = 0;
+            for (NetId po : circuit_.outputs()) diff |= fwords[po] ^ good[po];
+            mc.mask = diff;
+            mc.ready = true;
+            return diff;
+        };
+
+        for (size_t fi = 0; fi < faults_.size(); ++fi) {
+            if (detected_at_[fi] >= 0) continue;
+            const TransitionFault& f = faults_[fi];
+            const bool init = !f.slow_to_rise;  // STR: init 0; STF: init 1
+            // Lane j detects iff line == init at lane j-1 (or in the carried
+            // last vector for j == 0) and the stuck-at-init fault is
+            // detected at lane j.
+            const std::uint64_t line_vals = good[f.line];
+            const std::uint64_t want = init ? line_vals : ~line_vals;
+            std::uint64_t init_ok = want << 1;  // predecessor within block
+            // Predecessor of lane 0 is the last vector before this block.
+            if (has_last_ && prev_vals[f.line] == init) init_ok |= 1ULL;
+            const std::uint64_t mask =
+                detect_mask(f.line, init) & init_ok &
+                (take == 64 ? ~0ULL : (1ULL << take) - 1);
+            if (mask != 0) {
+                const int lane = std::countr_zero(mask);
+                detected_at_[fi] =
+                    vectors_applied_ + static_cast<int>(base) + lane + 1;
+                ++newly;
+            }
+        }
+
+        last_vector_ = vectors[base + take - 1];
+        has_last_ = true;
+    }
+    vectors_applied_ += static_cast<int>(vectors.size());
+    return newly;
+}
+
+double TransitionFaultSimulator::coverage() const {
+    if (faults_.empty()) return 0.0;
+    size_t hit = 0;
+    for (int d : detected_at_) hit += d >= 0;
+    return static_cast<double>(hit) / static_cast<double>(faults_.size());
+}
+
+std::vector<double> TransitionFaultSimulator::coverage_curve() const {
+    std::vector<int> hits(static_cast<size_t>(vectors_applied_) + 1, 0);
+    for (int at : detected_at_)
+        if (at >= 1 && at <= vectors_applied_) ++hits[static_cast<size_t>(at)];
+    std::vector<double> curve(static_cast<size_t>(vectors_applied_));
+    double cum = 0;
+    for (int k = 1; k <= vectors_applied_; ++k) {
+        cum += hits[static_cast<size_t>(k)];
+        curve[static_cast<size_t>(k - 1)] =
+            faults_.empty() ? 0.0
+                            : cum / static_cast<double>(faults_.size());
+    }
+    return curve;
+}
+
+}  // namespace dlp::gatesim

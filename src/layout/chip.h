@@ -1,0 +1,95 @@
+// Chip-level layout: placed standard cells + channel routing.
+//
+// The physical style matches the paper's experimental setup ("2-metal CMOS
+// implementation ... obtained with a commercial standard cell design
+// system"): rows of cells, horizontal metal1 trunks in routing channels,
+// metal2 risers from cell pins, vertical metal2 feedthrough corridors
+// between cell groups for row crossings, and I/O pads at the top (PIs) and
+// bottom (POs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/cell.h"
+#include "netlist/circuit.h"
+
+namespace dlp::layout {
+
+using netlist::Circuit;
+using netlist::NetId;
+
+/// A placed cell instance.
+struct PlacedCell {
+    const cell::Cell* cell = nullptr;
+    NetId gate = 0;                    ///< circuit gate this instance implements
+    std::vector<NetId> input_nets;     ///< circuit nets, in pin order
+    int row = 0;
+    std::int64_t x = 0;                ///< lower-left origin
+    std::int64_t y = 0;
+};
+
+/// A sink (reader) of a routed net.
+struct Sink {
+    std::int32_t instance = -1;  ///< reading cell instance, -1 for a PO pad
+    int pin = 0;                 ///< input pin ordinal, or PO ordinal if pad
+    bool is_po_pad() const { return instance < 0; }
+};
+
+/// A top-level routing shape.  `sink` tells the extractor which sinks an
+/// open (missing material) defect in this shape disconnects:
+///   -1 : trunk/link - all sinks of the net
+///   -2 : driver stub - all sinks of the net
+///  >=0 : only sink ordinal `sink`
+struct RouteShape {
+    cell::Layer layer = cell::Layer::Metal1;
+    cell::Rect rect;
+    NetId net = 0;
+    int sink = -1;
+};
+
+struct ChipLayout {
+    Circuit circuit;  ///< the placed netlist (owned copy: layouts outlive
+                      ///< the netlists they were generated from)
+    cell::Rules rules;
+    std::vector<PlacedCell> cells;            ///< instance id = index
+    std::vector<std::int32_t> instance_of;    ///< per NetId; -1 if none (PI)
+    std::vector<std::vector<Sink>> sinks;     ///< per NetId
+    std::vector<RouteShape> routing;
+    cell::Rect die;
+    int rows = 0;
+
+    /// Total area in lambda^2.
+    std::int64_t area() const { return die.area(); }
+};
+
+/// A flattened, globally-positioned shape with extraction metadata.
+struct FlatShape {
+    cell::Layer layer = cell::Layer::Metal1;
+    cell::Rect rect;
+    cell::NetRef net;
+    std::int32_t instance = -1;       ///< owning cell instance, -1 = routing
+    cell::ShapeInfo info;             ///< cell-shape open semantics
+    int route_sink = -3;              ///< RouteShape::sink, -3 = not routing
+};
+
+/// A flattened gate-oxide region.
+struct FlatGateRegion {
+    cell::Rect rect;
+    std::int32_t instance = 0;
+    int transistor = 0;  ///< local transistor index within the instance
+};
+
+/// Resolves a cell-local net of an instance to a global NetRef (pins alias
+/// the bound circuit nets; true internals stay instance-scoped).
+cell::NetRef resolve_local_net(const ChipLayout& chip, std::int32_t instance,
+                               int local_net);
+
+/// Flattens cells + routing into global shapes for extraction.
+std::vector<FlatShape> flatten(const ChipLayout& chip);
+std::vector<FlatGateRegion> flatten_gate_regions(const ChipLayout& chip);
+
+/// Per-layer total shape area (lambda^2), for reporting.
+std::vector<std::int64_t> layer_areas(const ChipLayout& chip);
+
+}  // namespace dlp::layout

@@ -1,0 +1,94 @@
+#include "layout/drc.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dlp::layout {
+
+namespace {
+
+using cell::Layer;
+
+/// Simple sweep by x over shapes of one layer: yields candidate pairs whose
+/// x-ranges (grown by `slack`) overlap.
+template <typename Fn>
+void for_near_pairs(std::vector<const FlatShape*>& shapes,
+                    std::int64_t slack, Fn&& fn) {
+    std::sort(shapes.begin(), shapes.end(),
+              [](const FlatShape* a, const FlatShape* b) {
+                  return a->rect.x1 < b->rect.x1;
+              });
+    for (size_t i = 0; i < shapes.size(); ++i) {
+        for (size_t j = i + 1; j < shapes.size(); ++j) {
+            if (shapes[j]->rect.x1 > shapes[i]->rect.x2 + slack) break;
+            fn(*shapes[i], *shapes[j]);
+        }
+    }
+}
+
+std::int64_t gap(const cell::Rect& a, const cell::Rect& b) {
+    const std::int64_t dx =
+        std::max<std::int64_t>({a.x1 - b.x2, b.x1 - a.x2, 0});
+    const std::int64_t dy =
+        std::max<std::int64_t>({a.y1 - b.y2, b.y1 - a.y2, 0});
+    return std::max(dx, dy);  // Manhattan-style corner gap
+}
+
+std::int64_t min_spacing(const cell::Rules& rules, Layer layer) {
+    switch (layer) {
+        case Layer::Poly: return rules.poly_space;
+        case Layer::Metal1: return rules.m1_space;
+        case Layer::Metal2: return rules.m2_space;
+        case Layer::NDiff:
+        case Layer::PDiff: return 3;
+        default: return 2;
+    }
+}
+
+}  // namespace
+
+std::vector<DrcViolation> check_overlaps(const ChipLayout& chip) {
+    std::vector<DrcViolation> out;
+    const auto flat = flatten(chip);
+    std::map<Layer, std::vector<const FlatShape*>> by_layer;
+    for (const FlatShape& s : flat) by_layer[s.layer].push_back(&s);
+
+    for (auto& [layer, shapes] : by_layer) {
+        for_near_pairs(shapes, 0, [&](const FlatShape& a, const FlatShape& b) {
+            if (a.net == b.net) return;
+            if (!a.rect.intersects(b.rect)) return;
+            out.push_back({std::string("different-net overlap on ") +
+                               cell::layer_name(layer) + ": " +
+                               cell::net_ref_name(a.net) + " vs " +
+                               cell::net_ref_name(b.net),
+                           a.rect, b.rect});
+        });
+    }
+    return out;
+}
+
+std::vector<DrcViolation> check_spacing(const ChipLayout& chip) {
+    std::vector<DrcViolation> out;
+    const auto flat = flatten(chip);
+    std::map<Layer, std::vector<const FlatShape*>> by_layer;
+    for (const FlatShape& s : flat) by_layer[s.layer].push_back(&s);
+
+    for (auto& [layer, shapes] : by_layer) {
+        const std::int64_t spacing = min_spacing(chip.rules, layer);
+        for_near_pairs(shapes, spacing,
+                       [&](const FlatShape& a, const FlatShape& b) {
+                           if (a.net == b.net) return;
+                           const std::int64_t g = gap(a.rect, b.rect);
+                           if (g >= spacing || a.rect.intersects(b.rect))
+                               return;
+                           out.push_back(
+                               {std::string("spacing ") + std::to_string(g) +
+                                    " < " + std::to_string(spacing) + " on " +
+                                    cell::layer_name(layer),
+                                a.rect, b.rect});
+                       });
+    }
+    return out;
+}
+
+}  // namespace dlp::layout

@@ -1,0 +1,27 @@
+// DRC-lite: verifies that the generated layout is electrically sound.
+// The one non-negotiable rule is that shapes of *different* nets never
+// overlap on the same conducting layer (that would be a designed-in short
+// and would corrupt every bridge weight the extractor computes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/chip.h"
+
+namespace dlp::layout {
+
+struct DrcViolation {
+    std::string message;
+    cell::Rect a;
+    cell::Rect b;
+};
+
+/// Returns all different-net same-layer overlaps (empty = clean).
+std::vector<DrcViolation> check_overlaps(const ChipLayout& chip);
+
+/// Returns pairs closer than the layer's minimum spacing (informational:
+/// cell-internal geometry is intentionally dense).
+std::vector<DrcViolation> check_spacing(const ChipLayout& chip);
+
+}  // namespace dlp::layout

@@ -1,0 +1,468 @@
+#include "layout/place_route.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <stdexcept>
+
+#include "cell/library.h"
+
+namespace dlp::layout {
+
+namespace {
+
+using cell::Layer;
+using cell::Rect;
+
+struct Term {
+    int channel = 0;       ///< channel the riser lands in
+    std::int64_t x = 0;    ///< riser x (pin pad center)
+    std::int32_t instance = -1;  ///< -1: pad terminal
+    bool is_driver = false;
+    int sink_ordinal = -1;  ///< for sink terminals
+    bool is_pi_pad = false;
+    bool is_po_pad = false;
+};
+
+struct Link {
+    std::int64_t x = 0;  ///< riser column left edge
+    int c_lo = 0;
+    int c_hi = 0;
+};
+
+struct NetPlan {
+    std::vector<Term> terms;
+    std::map<int, std::pair<std::int64_t, std::int64_t>> trunk;  ///< channel -> x interval
+    std::vector<Link> links;
+    std::map<int, int> track;  ///< channel -> assigned track
+};
+
+}  // namespace
+
+namespace {
+ChipLayout place_and_route_attempt(const Circuit& circuit,
+                                   const LayoutOptions& options);
+}  // namespace
+
+ChipLayout place_and_route(const Circuit& circuit,
+                           const LayoutOptions& options) {
+    // Feedthrough demand depends on the netlist's row-crossing structure,
+    // which is only known after placement: on congestion, retry with a
+    // denser corridor grid (classic feedthrough-rich channel style).
+    LayoutOptions attempt = options;
+    for (int tries = 0;; ++tries) {
+        try {
+            return place_and_route_attempt(circuit, attempt);
+        } catch (const std::runtime_error& e) {
+            if (tries >= 3 ||
+                std::string(e.what()).find("congestion") == std::string::npos)
+                throw;
+            // Widen the corridors (more vertical track slots) while keeping
+            // the inter-corridor gap wide enough for the widest cell.
+            attempt.corridor_width *= 2;
+            attempt.corridor_pitch = attempt.corridor_width + 64;
+        }
+    }
+}
+
+namespace {
+
+ChipLayout place_and_route_attempt(const Circuit& circuit,
+                                   const LayoutOptions& options) {
+    const cell::Rules& rules = options.rules;
+    ChipLayout chip;
+    chip.circuit = circuit;
+    chip.rules = rules;
+    chip.instance_of.assign(circuit.gate_count(), -1);
+    chip.sinks.assign(circuit.gate_count(), {});
+
+    // ---------------- placement --------------------------------------
+    std::int64_t total_width = 0;
+    for (const auto& g : circuit.gates()) {
+        if (g.type == netlist::GateType::Input) continue;
+        if (!cell::has_cell(g.type, static_cast<int>(g.fanin.size())))
+            throw std::runtime_error(
+                "no library cell for gate '" + g.name + "' (" +
+                netlist::gate_type_name(g.type) + "/" +
+                std::to_string(g.fanin.size()) + "); run techmap first");
+        total_width +=
+            cell::library_cell(g.type, static_cast<int>(g.fanin.size())).width;
+    }
+    int rows = options.target_rows;
+    if (rows <= 0)
+        rows = std::max<int>(
+            1, static_cast<int>(std::lround(std::sqrt(
+                   static_cast<double>(total_width) /
+                   (3.0 * static_cast<double>(rules.cell_height))))));
+    chip.rows = rows;
+    const std::int64_t row_limit =
+        total_width / rows + 2 * rules.cell_height + options.corridor_pitch;
+
+    const auto next_corridor_after = [&](std::int64_t x) {
+        // Corridor k occupies [k*pitch, k*pitch + width).
+        const std::int64_t k = x / options.corridor_pitch;
+        return k * options.corridor_pitch;
+    };
+
+    int row = 0;
+    std::int64_t x = options.corridor_width;
+    std::int64_t max_row_end = 0;
+    for (netlist::NetId g = 0; g < circuit.gate_count(); ++g) {
+        const auto& gate = circuit.gate(g);
+        if (gate.type == netlist::GateType::Input) continue;
+        const cell::Cell& c =
+            cell::library_cell(gate.type, static_cast<int>(gate.fanin.size()));
+        if (c.width > options.corridor_pitch - options.corridor_width)
+            throw std::runtime_error(
+                "cell '" + c.name + "' wider than the inter-corridor gap");
+        // Skip corridors.
+        std::int64_t cx = x;
+        while (true) {
+            const std::int64_t k0 = next_corridor_after(cx);
+            const std::int64_t k1 = next_corridor_after(cx + c.width - 1);
+            if (k0 == k1 && cx >= k0 + options.corridor_width) break;
+            if (cx < k0 + options.corridor_width) {
+                cx = k0 + options.corridor_width;
+                continue;
+            }
+            // Would straddle the next corridor: jump past it.
+            cx = k1 + options.corridor_width;
+        }
+        if (cx + c.width > row_limit && row + 1 < rows) {
+            ++row;
+            cx = options.corridor_width;
+        }
+        PlacedCell pc;
+        pc.cell = &c;
+        pc.gate = g;
+        pc.input_nets.assign(gate.fanin.begin(), gate.fanin.end());
+        pc.row = row;
+        pc.x = cx;
+        chip.instance_of[g] = static_cast<std::int32_t>(chip.cells.size());
+        chip.cells.push_back(std::move(pc));
+        x = cx + c.width;
+        max_row_end = std::max(max_row_end, x);
+    }
+
+    // Sinks per net.
+    for (size_t inst = 0; inst < chip.cells.size(); ++inst) {
+        const PlacedCell& pc = chip.cells[inst];
+        for (size_t p = 0; p < pc.input_nets.size(); ++p)
+            chip.sinks[pc.input_nets[p]].push_back(
+                {static_cast<std::int32_t>(inst), static_cast<int>(p)});
+    }
+    for (size_t o = 0; o < circuit.outputs().size(); ++o)
+        chip.sinks[circuit.outputs()[o]].push_back({-1, static_cast<int>(o)});
+
+    // ---------------- terminals --------------------------------------
+    const int top_channel = rows;
+    std::vector<NetPlan> plans(circuit.gate_count());
+    std::set<std::int64_t> pad_xs_top;
+    std::set<std::int64_t> pad_xs_bottom;
+    // Pads are 8 lambda wide: keep centers 12 away from other pads and from
+    // any riser x seeded into `used`, and keep them out of the feedthrough
+    // corridors (where vertical links run).
+    const auto unique_pad_x = [&options](std::set<std::int64_t>& used,
+                                         std::int64_t want) {
+        const auto clashes = [&](std::int64_t x) {
+            const auto it = used.lower_bound(x - 11);
+            if (it != used.end() && *it <= x + 11) return true;
+            return x % options.corridor_pitch < options.corridor_width + 6;
+        };
+        while (clashes(want)) want += 4;
+        used.insert(want);
+        return want;
+    };
+    // Bottom-channel pad positions must clear the risers of row-0 pins;
+    // top-channel pads only share space with links (corridor check above).
+    for (const PlacedCell& pc : chip.cells) {
+        if (pc.row != 0) continue;
+        for (const cell::Pin& pin : pc.cell->pins)
+            pad_xs_bottom.insert(pc.x + pin.x);
+    }
+
+    for (netlist::NetId net = 0; net < circuit.gate_count(); ++net) {
+        // A net nobody reads (dangling, flagged by validate()): leave
+        // unrouted.  POs always have a pad sink.
+        if (chip.sinks[net].empty()) continue;
+        NetPlan& plan = plans[net];
+        // Driver terminal.
+        const std::int32_t drv_inst = chip.instance_of[net];
+        if (drv_inst >= 0) {
+            const PlacedCell& pc = chip.cells[static_cast<size_t>(drv_inst)];
+            Term t;
+            t.channel = pc.row;
+            t.x = pc.x + pc.cell->output_pin().x;
+            t.instance = drv_inst;
+            t.is_driver = true;
+            plan.terms.push_back(t);
+        }
+        // Sink terminals.
+        for (size_t s = 0; s < chip.sinks[net].size(); ++s) {
+            const Sink& sink = chip.sinks[net][s];
+            Term t;
+            t.sink_ordinal = static_cast<int>(s);
+            if (sink.is_po_pad()) {
+                t.channel = 0;
+                t.is_po_pad = true;
+                // x filled in below (near the driver).
+            } else {
+                const PlacedCell& pc =
+                    chip.cells[static_cast<size_t>(sink.instance)];
+                t.channel = pc.row;
+                t.x = pc.x + pc.cell->input_pin(sink.pin).x;
+                t.instance = sink.instance;
+            }
+            plan.terms.push_back(t);
+        }
+        if (plan.terms.empty()) continue;
+
+        // Pad x positions: PI pad near the median sink, PO pad near driver.
+        std::int64_t median_x = 0;
+        {
+            std::vector<std::int64_t> xs;
+            for (const Term& t : plan.terms)
+                if (t.instance >= 0) xs.push_back(t.x);
+            if (xs.empty()) xs.push_back(options.corridor_width + 8);
+            std::sort(xs.begin(), xs.end());
+            median_x = xs[xs.size() / 2];
+        }
+        if (drv_inst < 0) {
+            Term t;
+            t.channel = top_channel;
+            t.x = unique_pad_x(pad_xs_top, median_x);
+            t.is_driver = true;
+            t.is_pi_pad = true;
+            plan.terms.push_back(t);
+        }
+        for (Term& t : plan.terms)
+            if (t.is_po_pad) t.x = unique_pad_x(pad_xs_bottom, median_x);
+
+        for (const Term& t : plan.terms) {
+            auto it = plan.trunk.find(t.channel);
+            if (it == plan.trunk.end())
+                plan.trunk[t.channel] = {t.x, t.x};
+            else {
+                it->second.first = std::min(it->second.first, t.x);
+                it->second.second = std::max(it->second.second, t.x);
+            }
+        }
+    }
+
+    // ---------------- feedthrough links ------------------------------
+    const std::int64_t max_pad_x =
+        pad_xs_top.empty() ? 0 : *pad_xs_top.rbegin();
+    const std::int64_t die_x_hint =
+        std::max(max_row_end, max_pad_x) + options.corridor_pitch;
+    const int num_corridors =
+        static_cast<int>(die_x_hint / options.corridor_pitch) + 2;
+    const int slots_per_corridor = std::max<int>(
+        1, static_cast<int>((options.corridor_width - 2) /
+                            (rules.m2_width + rules.m2_space)));
+    // occupancy[corridor][slot] = list of reserved closed channel intervals
+    std::vector<std::vector<std::vector<std::pair<int, int>>>> occupancy(
+        static_cast<size_t>(num_corridors),
+        std::vector<std::vector<std::pair<int, int>>>(
+            static_cast<size_t>(slots_per_corridor)));
+
+    const auto reserve_link = [&](std::int64_t want_x, int c_lo,
+                                  int c_hi) -> std::int64_t {
+        const int want_k =
+            static_cast<int>(std::clamp<std::int64_t>(
+                want_x / options.corridor_pitch, 0, num_corridors - 1));
+        for (int delta = 0; delta < num_corridors; ++delta) {
+            for (const int k : {want_k - delta, want_k + delta}) {
+                if (k < 0 || k >= num_corridors) continue;
+                for (int slot = 0; slot < slots_per_corridor; ++slot) {
+                    auto& resv =
+                        occupancy[static_cast<size_t>(k)][static_cast<size_t>(slot)];
+                    bool free = true;
+                    for (const auto& [lo, hi] : resv)
+                        if (!(c_hi < lo || hi < c_lo)) {
+                            free = false;
+                            break;
+                        }
+                    if (!free) continue;
+                    resv.push_back({c_lo, c_hi});
+                    return static_cast<std::int64_t>(k) *
+                               options.corridor_pitch +
+                           2 +
+                           static_cast<std::int64_t>(slot) *
+                               (rules.m2_width + rules.m2_space);
+                }
+                if (delta == 0) break;  // avoid trying want_k twice
+            }
+        }
+        throw std::runtime_error("routing congestion: no free feedthrough");
+    };
+
+    for (netlist::NetId net = 0; net < circuit.gate_count(); ++net) {
+        NetPlan& plan = plans[net];
+        if (plan.trunk.size() < 2) continue;
+        std::vector<int> channels;
+        for (const auto& [c, iv] : plan.trunk) channels.push_back(c);
+        for (size_t i = 0; i + 1 < channels.size(); ++i) {
+            const int c_lo = channels[i];
+            const int c_hi = channels[i + 1];
+            auto& lo_iv = plan.trunk[c_lo];
+            auto& hi_iv = plan.trunk[c_hi];
+            const std::int64_t want =
+                (lo_iv.first + lo_iv.second + hi_iv.first + hi_iv.second) / 4;
+            const std::int64_t link_x = reserve_link(want, c_lo, c_hi);
+            plan.links.push_back({link_x, c_lo, c_hi});
+            lo_iv.first = std::min(lo_iv.first, link_x + 1);
+            lo_iv.second = std::max(lo_iv.second, link_x + 1);
+            hi_iv.first = std::min(hi_iv.first, link_x + 1);
+            hi_iv.second = std::max(hi_iv.second, link_x + 1);
+        }
+    }
+
+    // ---------------- channel track assignment -----------------------
+    struct Item {
+        std::int64_t x1, x2;
+        netlist::NetId net;
+        int channel;
+    };
+    std::vector<std::vector<Item>> channel_items(
+        static_cast<size_t>(rows + 1));
+    for (netlist::NetId net = 0; net < circuit.gate_count(); ++net)
+        for (const auto& [c, iv] : plans[net].trunk)
+            channel_items[static_cast<size_t>(c)].push_back(
+                {iv.first, iv.second, net, c});
+
+    std::vector<int> channel_tracks(static_cast<size_t>(rows + 1), 0);
+    for (auto& items : channel_items) {
+        std::sort(items.begin(), items.end(),
+                  [](const Item& a, const Item& b) { return a.x1 < b.x1; });
+        std::vector<std::int64_t> track_end;  // last x2 on each track
+        for (const Item& it : items) {
+            int assigned = -1;
+            for (size_t t = 0; t < track_end.size(); ++t) {
+                if (it.x1 - 1 >= track_end[t] + 2 + rules.m1_space) {
+                    assigned = static_cast<int>(t);
+                    break;
+                }
+            }
+            if (assigned < 0) {
+                assigned = static_cast<int>(track_end.size());
+                track_end.push_back(0);
+            }
+            track_end[static_cast<size_t>(assigned)] = it.x2;
+            plans[it.net].track[it.channel] = assigned;
+        }
+        if (!items.empty())
+            channel_tracks[static_cast<size_t>(items[0].channel)] =
+                static_cast<int>(track_end.size());
+    }
+
+    // ---------------- vertical geometry ------------------------------
+    const std::int64_t m1_pitch = rules.m1_pitch();
+    const std::int64_t pad_strip = 12;  // extra space for I/O pads
+    std::vector<std::int64_t> channel_base(static_cast<size_t>(rows + 2), 0);
+    std::vector<std::int64_t> row_base(static_cast<size_t>(rows), 0);
+    std::int64_t y = 0;
+    for (int c = 0; c <= rows; ++c) {
+        channel_base[static_cast<size_t>(c)] = y;
+        std::int64_t h = 2 * options.channel_margin +
+                         channel_tracks[static_cast<size_t>(c)] * m1_pitch;
+        if (c == 0 || c == rows) h += pad_strip;
+        y += h;
+        if (c < rows) {
+            row_base[static_cast<size_t>(c)] = y;
+            y += rules.cell_height;
+        }
+    }
+    const std::int64_t die_top = y;
+    for (auto& pc : chip.cells) pc.y = row_base[static_cast<size_t>(pc.row)];
+
+    const auto trunk_y = [&](int c, int track) {
+        std::int64_t base = channel_base[static_cast<size_t>(c)] +
+                            options.channel_margin +
+                            static_cast<std::int64_t>(track) * m1_pitch;
+        if (c == 0) base += pad_strip;  // pads below the bottom trunks
+        return base;
+    };
+
+    // ---------------- emit routing shapes ----------------------------
+    const auto emit = [&chip](Layer layer, Rect r, netlist::NetId net,
+                              int sink) {
+        if (!r.valid()) throw std::logic_error("invalid routing rect");
+        chip.routing.push_back({layer, r, net, sink});
+    };
+
+    for (netlist::NetId net = 0; net < circuit.gate_count(); ++net) {
+        NetPlan& plan = plans[net];
+        if (plan.terms.empty()) continue;
+
+        // Trunks.
+        for (const auto& [c, iv] : plan.trunk) {
+            const std::int64_t ty = trunk_y(c, plan.track.at(c));
+            emit(Layer::Metal1, {iv.first - 1, ty, iv.second + 2, ty + 3},
+                 net, -1);
+        }
+        // Links between channels.
+        for (const Link& link : plan.links) {
+            const std::int64_t y_lo = trunk_y(link.c_lo, plan.track.at(link.c_lo));
+            const std::int64_t y_hi = trunk_y(link.c_hi, plan.track.at(link.c_hi));
+            emit(Layer::Metal2, {link.x, y_lo, link.x + 3, y_hi + 3}, net, -1);
+            emit(Layer::Via, {link.x, y_lo, link.x + 2, y_lo + 2}, net, -1);
+            emit(Layer::Via, {link.x, y_hi + 1, link.x + 2, y_hi + 3}, net, -1);
+        }
+        // Terminals.
+        for (const Term& t : plan.terms) {
+            const std::int64_t ty = trunk_y(t.channel, plan.track.at(t.channel));
+            const int sink_tag = t.is_driver ? -2 : t.sink_ordinal;
+            if (t.is_pi_pad) {
+                const std::int64_t pad_y1 =
+                    channel_base[static_cast<size_t>(t.channel)] +
+                    2 * options.channel_margin +
+                    channel_tracks[static_cast<size_t>(t.channel)] * m1_pitch;
+                emit(Layer::Metal1, {t.x - 4, pad_y1, t.x + 4, pad_y1 + 8},
+                     net, sink_tag);
+                emit(Layer::Metal2, {t.x - 1, ty, t.x + 2, pad_y1 + 2}, net,
+                     sink_tag);
+                emit(Layer::Via, {t.x - 1, pad_y1, t.x + 1, pad_y1 + 2}, net,
+                     sink_tag);
+                emit(Layer::Via, {t.x - 1, ty, t.x + 1, ty + 2}, net, sink_tag);
+            } else if (t.is_po_pad) {
+                const std::int64_t pad_y2 =
+                    channel_base[0] + options.channel_margin + 8;
+                emit(Layer::Metal1,
+                     {t.x - 4, pad_y2 - 8, t.x + 4, pad_y2}, net, sink_tag);
+                emit(Layer::Metal2, {t.x - 1, pad_y2 - 2, t.x + 2, ty + 3},
+                     net, sink_tag);
+                emit(Layer::Via, {t.x - 1, pad_y2 - 2, t.x + 1, pad_y2}, net,
+                     sink_tag);
+                emit(Layer::Via, {t.x - 1, ty, t.x + 1, ty + 2}, net, sink_tag);
+            } else {
+                const PlacedCell& pc =
+                    chip.cells[static_cast<size_t>(t.instance)];
+                const cell::Pin& pin =
+                    t.is_driver ? pc.cell->output_pin()
+                                : pc.cell->input_pin(
+                                      chip.sinks[net][static_cast<size_t>(
+                                                          t.sink_ordinal)]
+                                          .pin);
+                const std::int64_t py = pc.y + pin.y;
+                emit(Layer::Metal2, {t.x - 1, ty, t.x + 2, py + 2}, net,
+                     sink_tag);
+                emit(Layer::Via, {t.x - 1, py - 1, t.x + 1, py + 1}, net,
+                     sink_tag);
+                emit(Layer::Via, {t.x - 1, ty, t.x + 1, ty + 2}, net, sink_tag);
+            }
+        }
+    }
+
+    chip.die = {0, 0,
+                std::max(max_row_end,
+                         die_x_hint - options.corridor_pitch) +
+                    options.corridor_width,
+                die_top};
+    return chip;
+}
+
+}  // namespace
+
+}  // namespace dlp::layout

@@ -1,0 +1,22 @@
+// Row placement + channel routing (see chip.h for the physical style).
+#pragma once
+
+#include "layout/chip.h"
+
+namespace dlp::layout {
+
+struct LayoutOptions {
+    int target_rows = 0;                ///< 0 = choose from aspect ratio
+    std::int64_t corridor_pitch = 80;   ///< vertical feedthrough grid
+    std::int64_t corridor_width = 16;   ///< feedthrough corridor width
+    std::int64_t channel_margin = 4;    ///< clearance above/below trunks
+    cell::Rules rules;
+};
+
+/// Places and routes a tech-mapped circuit (every gate must have a library
+/// cell; run netlist::techmap first).  Throws std::runtime_error on
+/// unmappable gates or routing congestion (exhausted feedthrough corridors).
+ChipLayout place_and_route(const Circuit& mapped,
+                           const LayoutOptions& options = {});
+
+}  // namespace dlp::layout

@@ -1,0 +1,96 @@
+#include "layout/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dlp::layout {
+
+namespace {
+
+using cell::Layer;
+
+const char* layer_color(Layer layer) {
+    switch (layer) {
+        case Layer::NDiff: return "#2e7d32";
+        case Layer::PDiff: return "#ef6c00";
+        case Layer::Poly: return "#d32f2f";
+        case Layer::Contact: return "#212121";
+        case Layer::Metal1: return "#1565c0";
+        case Layer::Via: return "#4a148c";
+        case Layer::Metal2: return "#8e24aa";
+    }
+    return "#000000";
+}
+
+double layer_opacity(Layer layer) {
+    switch (layer) {
+        case Layer::Contact:
+        case Layer::Via: return 0.9;
+        case Layer::Metal2: return 0.45;
+        default: return 0.6;
+    }
+}
+
+}  // namespace
+
+std::string render_svg(const ChipLayout& chip, const SvgOptions& options) {
+    const double s = options.scale;
+    const double width = static_cast<double>(chip.die.width()) * s;
+    const double height = static_cast<double>(chip.die.height()) * s;
+    std::ostringstream out;
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+        << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " "
+        << height << "\">\n";
+    out << "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n";
+
+    // SVG y grows downward; flip so the die's y=0 is at the bottom.
+    const auto emit_rect = [&](const cell::Rect& r, Layer layer) {
+        const double x = static_cast<double>(r.x1) * s;
+        const double y = height - static_cast<double>(r.y2) * s;
+        out << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+            << static_cast<double>(r.width()) * s << "\" height=\""
+            << static_cast<double>(r.height()) * s << "\" fill=\""
+            << layer_color(layer) << "\" fill-opacity=\""
+            << layer_opacity(layer) << "\"/>\n";
+    };
+
+    // Draw in fabrication order so upper layers overlay lower ones.
+    static constexpr Layer kOrder[] = {
+        Layer::NDiff, Layer::PDiff, Layer::Poly, Layer::Contact,
+        Layer::Metal1, Layer::Via, Layer::Metal2};
+    const auto flat = flatten(chip);
+    for (Layer layer : kOrder) {
+        for (const FlatShape& f : flat) {
+            if (f.layer != layer) continue;
+            if (options.routing_only && f.instance >= 0) continue;
+            emit_rect(f.rect, layer);
+        }
+    }
+
+    if (options.label_cells && !options.routing_only) {
+        for (const PlacedCell& pc : chip.cells) {
+            const double x =
+                (static_cast<double>(pc.x) +
+                 static_cast<double>(pc.cell->width) / 2.0) * s;
+            const double y =
+                height - (static_cast<double>(pc.y) + 20.0) * s;
+            out << "<text x=\"" << x << "\" y=\"" << y
+                << "\" font-size=\"" << 4.0 * s
+                << "\" text-anchor=\"middle\" fill=\"#000\" "
+                   "fill-opacity=\"0.5\">"
+                << pc.cell->name << "</text>\n";
+        }
+    }
+    out << "</svg>\n";
+    return out.str();
+}
+
+void write_svg(const ChipLayout& chip, const std::string& path,
+               const SvgOptions& options) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    f << render_svg(chip, options);
+    if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace dlp::layout

@@ -1,0 +1,25 @@
+// SVG rendering of a chip layout, for documentation and debugging.
+// Layers draw in fabrication order with translucent fills so overlaps
+// (contacts over diffusion, metal2 over metal1) stay readable.
+#pragma once
+
+#include <string>
+
+#include "layout/chip.h"
+
+namespace dlp::layout {
+
+struct SvgOptions {
+    double scale = 2.0;        ///< pixels per lambda
+    bool routing_only = false; ///< skip cell internals
+    bool label_cells = true;   ///< print instance names over cells
+};
+
+/// Renders the layout as a standalone SVG document.
+std::string render_svg(const ChipLayout& chip, const SvgOptions& options = {});
+
+/// Renders and writes to a file; throws std::runtime_error on I/O failure.
+void write_svg(const ChipLayout& chip, const std::string& path,
+               const SvgOptions& options = {});
+
+}  // namespace dlp::layout

@@ -1,0 +1,80 @@
+#include "model/coverage_laws.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/fit.h"
+
+namespace dlp::model {
+
+double CoverageLaw::coverage(double k) const {
+    if (k < 1.0) throw std::domain_error("k must be >= 1");
+    if (!(susceptibility > 1.0))
+        throw std::domain_error("susceptibility must be > 1");
+    return saturation * (1.0 - std::pow(k, -1.0 / std::log(susceptibility)));
+}
+
+double CoverageLaw::vectors_for(double target) const {
+    if (!(susceptibility > 1.0))
+        throw std::domain_error("susceptibility must be > 1");
+    if (target < 0.0 || target >= saturation)
+        throw std::domain_error("coverage target unreachable under this law");
+    // saturation*(1 - k^(-1/ln s)) = target
+    const double tail = 1.0 - target / saturation;
+    return std::pow(tail, -std::log(susceptibility));
+}
+
+CoverageLaw fit_coverage_law(std::span<const CoveragePoint> points,
+                             bool fit_saturation) {
+    std::vector<CoveragePoint> usable;
+    for (const auto& p : points)
+        if (p.k >= 2.0 && p.coverage > 0.0 && p.coverage < 1.0)
+            usable.push_back(p);
+    if (usable.size() < 2)
+        throw std::invalid_argument("need at least two usable curve points");
+
+    if (!fit_saturation) {
+        // ln(1-T) = -(1/ln s) * ln k: regression through the origin.
+        double sxy = 0.0;
+        double sxx = 0.0;
+        for (const auto& p : usable) {
+            const double x = std::log(p.k);
+            const double y = std::log(1.0 - p.coverage);
+            sxy += x * y;
+            sxx += x * x;
+        }
+        const double slope = sxy / sxx;  // = -1/ln(s), negative
+        if (slope >= 0.0)
+            throw std::domain_error("coverage curve is not increasing");
+        return CoverageLaw{std::exp(-1.0 / slope), 1.0};
+    }
+
+    // Joint fit of (s, saturation) by least squares on the coverage values.
+    const auto unpack = [](std::span<const double> x) {
+        const double s = 1.0 + std::exp(x[0]);
+        const double sat = 1.0 / (1.0 + std::exp(-x[1]));
+        return std::pair{s, sat};
+    };
+    const auto objective = [&](std::span<const double> x) {
+        const auto [s, sat] = unpack(x);
+        const CoverageLaw law{s, sat};
+        double sum = 0.0;
+        for (const auto& p : usable) {
+            const double d = law.coverage(p.k) - p.coverage;
+            sum += d * d;
+        }
+        return sum;
+    };
+    const double init[] = {1.0, 3.0};
+    const MinimizeResult res = minimize(objective, init);
+    const auto [s, sat] = unpack(res.x);
+    return CoverageLaw{s, sat};
+}
+
+double susceptibility_ratio(double s_stuck_at, double s_realistic) {
+    if (!(s_stuck_at > 1.0) || !(s_realistic > 1.0))
+        throw std::domain_error("susceptibilities must be > 1");
+    return std::log(s_stuck_at) / std::log(s_realistic);
+}
+
+}  // namespace dlp::model

@@ -1,0 +1,50 @@
+// Random-test coverage growth laws (Williams' test-length model) and
+// susceptibility estimation from measured coverage curves.
+//
+// The paper (eqs 7-8) models coverage under k random vectors as
+//   T(k)     = 1 - e^{-ln(k)/ln(s_T)}            = 1 - k^{-1/ln(s_T)}
+//   theta(k) = theta_max * (1 - k^{-1/ln(s_theta)})
+// where s is the *fault susceptibility* of the fault set: a larger s means a
+// harder-to-detect set (a longer test is needed for the same coverage).
+// Eliminating k yields eq (9) with the susceptibility ratio
+//   R = ln(s_T) / ln(s_theta)                      (eq 10)
+// so easier realistic faults (s_theta < s_T) give R > 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dlp::model {
+
+/// A point on a measured coverage curve: coverage after the first k vectors.
+struct CoveragePoint {
+    double k = 1.0;         ///< number of vectors applied (>= 1)
+    double coverage = 0.0;  ///< coverage in [0,1]
+};
+
+/// Coverage growth law of eqs (7)-(8).
+/// With saturation = 1 this is exactly eq (7); otherwise eq (8).
+struct CoverageLaw {
+    double susceptibility = 2.0;  ///< s > 1
+    double saturation = 1.0;      ///< theta_max (1 for the stuck-at set)
+
+    /// Coverage after k random vectors (k >= 1).
+    double coverage(double k) const;
+
+    /// Number of vectors needed to reach the given coverage.
+    /// Throws std::domain_error if coverage >= saturation (unreachable).
+    double vectors_for(double coverage) const;
+};
+
+/// Least-squares estimate of a CoverageLaw from a measured curve.
+///
+/// With fit_saturation = false the saturation is pinned to 1 (stuck-at
+/// curves); otherwise both parameters are fitted.  Points with k < 2 or
+/// coverage <= 0 are ignored (the law passes through (1, 0) by construction).
+CoverageLaw fit_coverage_law(std::span<const CoveragePoint> points,
+                             bool fit_saturation);
+
+/// Susceptibility ratio of eq (10): R = ln(s_T)/ln(s_theta).
+double susceptibility_ratio(double s_stuck_at, double s_realistic);
+
+}  // namespace dlp::model

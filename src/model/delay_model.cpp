@@ -1,0 +1,50 @@
+#include "model/delay_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlp::model {
+
+double DelaySizeDistribution::survival(double a) const {
+    if (a < 0.0) a = 0.0;
+    switch (kind) {
+        case Kind::Exponential:
+            if (!(scale > 0.0)) throw std::domain_error("scale must be > 0");
+            return std::exp(-a / scale);
+        case Kind::Uniform:
+            if (!(scale > 0.0)) throw std::domain_error("scale must be > 0");
+            return a >= scale ? 0.0 : 1.0 - a / scale;
+    }
+    throw std::domain_error("unknown distribution");
+}
+
+double delay_defect_coverage(std::span<const DelayLine> lines,
+                             const DelaySizeDistribution& dist) {
+    double fail = 0.0;
+    double detected = 0.0;
+    for (const DelayLine& l : lines) {
+        const double p_fail = l.weight * dist.survival(l.slack_op);
+        fail += p_fail;
+        if (!l.exercised) continue;
+        // Detected iff s > slack_test AND s > slack_op (must also be a real
+        // failure to count toward coverage of failing defects).
+        const double p_det =
+            l.weight * dist.survival(std::max(l.slack_op, l.slack_test));
+        detected += p_det;
+    }
+    return fail == 0.0 ? 0.0 : detected / fail;
+}
+
+double delay_failure_probability(std::span<const DelayLine> lines,
+                                 const DelaySizeDistribution& dist) {
+    double fail = 0.0;
+    double total = 0.0;
+    for (const DelayLine& l : lines) {
+        total += l.weight;
+        fail += l.weight * dist.survival(l.slack_op);
+    }
+    return total == 0.0 ? 0.0 : fail / total;
+}
+
+}  // namespace dlp::model

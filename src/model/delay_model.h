@@ -1,0 +1,45 @@
+// Statistical delay-fault model after the paper's reference [8]
+// (Park, Mercer & Williams, "A Statistical Model for Delay-Fault
+// Testing"): a delay defect of random size s sits on a line with timing
+// slack; the chip *fails at speed* iff s exceeds the line's slack at the
+// operating period, and a transition test *detects* it iff the test
+// exercises the line and s exceeds the slack at the test period.
+//
+// Delay-defect coverage is therefore a conditional probability over the
+// defect-size distribution:
+//   DC = P(detected by test | defect causes an at-speed failure)
+// which depends on the test clock: testing slower than the mission clock
+// leaves small-but-fatal delay defects undetected (the classic result of
+// ref. [8]).
+#pragma once
+
+#include <span>
+
+namespace dlp::model {
+
+/// Defect-size distribution: P(s > a) survival functions.
+struct DelaySizeDistribution {
+    enum class Kind { Exponential, Uniform } kind = Kind::Exponential;
+    double scale = 1.0;  ///< mean (Exponential) or max (Uniform)
+
+    double survival(double a) const;  ///< P(size > a), a >= 0
+};
+
+/// One line's inputs to the coverage computation.
+struct DelayLine {
+    double slack_op = 0.0;    ///< slack at the operating (mission) period
+    double slack_test = 0.0;  ///< slack at the test period
+    bool exercised = false;   ///< the test launches a transition through it
+    double weight = 1.0;      ///< likelihood weight of a defect here
+};
+
+/// Delay-defect coverage, eq. above.  Returns 0 when no line can fail.
+double delay_defect_coverage(std::span<const DelayLine> lines,
+                             const DelaySizeDistribution& dist);
+
+/// Probability that a delay defect (uniformly weighted over `lines`)
+/// causes an at-speed failure at all - the denominator of the coverage.
+double delay_failure_probability(std::span<const DelayLine> lines,
+                                 const DelaySizeDistribution& dist);
+
+}  // namespace dlp::model

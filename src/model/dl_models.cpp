@@ -1,0 +1,87 @@
+#include "model/dl_models.h"
+
+#include <cmath>
+
+namespace dlp::model {
+
+namespace {
+
+void check_yield(double yield) {
+    if (!(yield > 0.0) || yield > 1.0)
+        throw std::domain_error("yield must be in (0,1]");
+}
+
+void check_coverage(double coverage) {
+    if (coverage < 0.0 || coverage > 1.0)
+        throw std::domain_error("coverage must be in [0,1]");
+}
+
+}  // namespace
+
+double williams_brown_dl(double yield, double coverage) {
+    check_yield(yield);
+    check_coverage(coverage);
+    return 1.0 - std::pow(yield, 1.0 - coverage);
+}
+
+double williams_brown_required_coverage(double yield, double dl) {
+    check_yield(yield);
+    if (yield == 1.0) {
+        // A perfect-yield process ships no defects at any coverage.
+        if (dl < 0.0) throw std::domain_error("dl must be >= 0");
+        return 0.0;
+    }
+    if (dl < 0.0 || dl >= 1.0) throw std::domain_error("dl must be in [0,1)");
+    const double max_dl = 1.0 - yield;  // DL at T = 0
+    if (dl >= max_dl) return 0.0;
+    // 1 - Y^(1-T) = dl  =>  1-T = ln(1-dl)/ln(Y)
+    const double one_minus_t = std::log(1.0 - dl) / std::log(yield);
+    return 1.0 - one_minus_t;
+}
+
+double agrawal_dl(double yield, double coverage, double n_avg) {
+    check_yield(yield);
+    check_coverage(coverage);
+    if (n_avg < 1.0) throw std::domain_error("n_avg must be >= 1");
+    const double esc = (1.0 - coverage) * (1.0 - yield) *
+                       std::exp(-(n_avg - 1.0) * coverage);
+    return esc / (yield + esc);
+}
+
+double weighted_dl(double yield, double theta) {
+    check_yield(yield);
+    check_coverage(theta);
+    return 1.0 - std::pow(yield, 1.0 - theta);
+}
+
+double ProposedModel::theta_of_coverage(double coverage) const {
+    check_coverage(coverage);
+    return theta_max * (1.0 - std::pow(1.0 - coverage, r));
+}
+
+double ProposedModel::dl(double coverage) const {
+    check_yield(yield);
+    return 1.0 - std::pow(yield, 1.0 - theta_of_coverage(coverage));
+}
+
+double ProposedModel::residual_dl() const {
+    check_yield(yield);
+    return 1.0 - std::pow(yield, 1.0 - theta_max);
+}
+
+double ProposedModel::required_coverage(double dl_target) const {
+    check_yield(yield);
+    if (yield == 1.0) return 0.0;
+    const double floor = residual_dl();
+    if (dl_target < floor)
+        throw std::domain_error(
+            "target DL below the residual defect level of this test method");
+    if (dl_target >= williams_brown_dl(yield, 0.0)) return 0.0;
+    // Invert eq (11): theta = 1 - ln(1-dl)/ln(Y), then eq (9) for T.
+    const double theta = 1.0 - std::log(1.0 - dl_target) / std::log(yield);
+    const double inner = 1.0 - theta / theta_max;  // (1-T)^R
+    if (inner <= 0.0) return 1.0;
+    return 1.0 - std::pow(inner, 1.0 / r);
+}
+
+}  // namespace dlp::model

@@ -1,0 +1,67 @@
+// Defect-level models relating yield Y, fault coverage T and defect level DL.
+//
+// Implements, with the paper's equation numbers (Sousa et al., DATE 1994):
+//   eq (1)  Williams-Brown            DL = 1 - Y^(1-T)
+//   eq (2)  Agrawal et al.            DL with Poisson fault multiplicity n
+//   eq (3)  weighted realistic DL     DL = 1 - Y^(1-theta)
+//   eq (9)  theta(T)  = theta_max * (1 - (1-T)^R)
+//   eq (11) proposed  DL(T) = 1 - Y^(1 - theta_max*(1-(1-T)^R))
+//
+// Coverages and defect levels are fractions in [0,1]; ppm helpers provided.
+#pragma once
+
+#include <stdexcept>
+
+namespace dlp::model {
+
+/// Converts a defect-level fraction to parts-per-million.
+constexpr double to_ppm(double dl) { return dl * 1e6; }
+/// Converts parts-per-million to a defect-level fraction.
+constexpr double from_ppm(double ppm) { return ppm * 1e-6; }
+
+/// Williams-Brown defect level, eq (1): DL = 1 - Y^(1-T).
+/// @param yield    process yield Y in (0,1]
+/// @param coverage single stuck-at fault coverage T in [0,1]
+double williams_brown_dl(double yield, double coverage);
+
+/// Inverse of eq (1): the stuck-at coverage required to reach a target DL.
+/// Returns a value in [0,1]; throws std::domain_error if the target is
+/// unreachable (dl <= 0 requires T = 1 exactly; dl >= 1-Y requires T = 0).
+double williams_brown_required_coverage(double yield, double dl);
+
+/// Agrawal et al. defect level, eq (2), parameterized by the average number
+/// of faults on a faulty chip, n (>= 1):
+///   DL = (1-T)(1-Y)e^{-(n-1)T} / (Y + (1-T)(1-Y)e^{-(n-1)T})
+double agrawal_dl(double yield, double coverage, double n_avg);
+
+/// Weighted realistic defect level, eq (3): DL = 1 - Y^(1-theta), where
+/// theta is the *weighted* realistic fault coverage of eq (6).
+double weighted_dl(double yield, double theta);
+
+/// The paper's proposed model, eq (11).
+///
+/// theta_max in (0,1] is the maximum weighted realistic coverage reachable
+/// with the given test set and detection technique; R >= 1 is the
+/// susceptibility ratio of eq (10).  R = 1 and theta_max = 1 reduce exactly
+/// to Williams-Brown.
+struct ProposedModel {
+    double yield = 1.0;      ///< process yield Y
+    double r = 1.0;          ///< susceptibility ratio R, eq (10)
+    double theta_max = 1.0;  ///< asymptotic weighted coverage
+
+    /// Realistic weighted coverage as a function of stuck-at coverage, eq (9).
+    double theta_of_coverage(double coverage) const;
+
+    /// Defect level as a function of stuck-at coverage, eq (11).
+    double dl(double coverage) const;
+
+    /// Residual defect level 1 - Y^(1-theta_max): the floor that remains at
+    /// T = 1 because the detection technique cannot cover all faults.
+    double residual_dl() const;
+
+    /// Stuck-at coverage required for a target defect level.
+    /// Throws std::domain_error if dl_target < residual_dl() (unreachable).
+    double required_coverage(double dl_target) const;
+};
+
+}  // namespace dlp::model

@@ -1,0 +1,175 @@
+#include "model/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "model/dl_models.h"
+
+namespace dlp::model {
+
+namespace {
+
+using Vec = std::vector<double>;
+
+Vec blend(const Vec& a, const Vec& b, double wa, double wb) {
+    Vec out(a.size());
+    for (size_t i = 0; i < a.size(); ++i) out[i] = wa * a[i] + wb * b[i];
+    return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize(
+    const std::function<double(std::span<const double>)>& objective,
+    std::span<const double> initial, const MinimizeOptions& options) {
+    const size_t n = initial.size();
+    if (n == 0) throw std::invalid_argument("empty initial point");
+
+    // Build the initial simplex: the start point plus one vertex per axis.
+    std::vector<Vec> simplex;
+    simplex.emplace_back(initial.begin(), initial.end());
+    for (size_t i = 0; i < n; ++i) {
+        Vec v(initial.begin(), initial.end());
+        const double step =
+            v[i] != 0.0 ? options.initial_step * std::abs(v[i])
+                        : options.initial_step;
+        v[i] += step;
+        simplex.push_back(std::move(v));
+    }
+    std::vector<double> f(simplex.size());
+    for (size_t i = 0; i < simplex.size(); ++i) f[i] = objective(simplex[i]);
+
+    MinimizeResult result;
+    for (result.iterations = 0; result.iterations < options.max_iterations;
+         ++result.iterations) {
+        // Order vertices by objective value.
+        std::vector<size_t> order(simplex.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t b) { return f[a] < f[b]; });
+        const size_t best = order.front();
+        const size_t worst = order.back();
+        const size_t second_worst = order[order.size() - 2];
+
+        if (std::abs(f[worst] - f[best]) <
+            options.tolerance * (1.0 + std::abs(f[best]))) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all vertices except the worst.
+        Vec centroid(n, 0.0);
+        for (size_t i : order)
+            if (i != worst)
+                for (size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+        for (double& c : centroid) c /= static_cast<double>(n);
+
+        // Reflection.
+        Vec reflected = blend(centroid, simplex[worst], 2.0, -1.0);
+        const double f_reflected = objective(reflected);
+        if (f_reflected < f[best]) {
+            // Expansion.
+            Vec expanded = blend(centroid, simplex[worst], 3.0, -2.0);
+            const double f_expanded = objective(expanded);
+            if (f_expanded < f_reflected) {
+                simplex[worst] = std::move(expanded);
+                f[worst] = f_expanded;
+            } else {
+                simplex[worst] = std::move(reflected);
+                f[worst] = f_reflected;
+            }
+            continue;
+        }
+        if (f_reflected < f[second_worst]) {
+            simplex[worst] = std::move(reflected);
+            f[worst] = f_reflected;
+            continue;
+        }
+        // Contraction.
+        Vec contracted = blend(centroid, simplex[worst], 0.5, 0.5);
+        const double f_contracted = objective(contracted);
+        if (f_contracted < f[worst]) {
+            simplex[worst] = std::move(contracted);
+            f[worst] = f_contracted;
+            continue;
+        }
+        // Shrink toward the best vertex.
+        for (size_t i = 0; i < simplex.size(); ++i) {
+            if (i == best) continue;
+            simplex[i] = blend(simplex[best], simplex[i], 0.5, 0.5);
+            f[i] = objective(simplex[i]);
+        }
+    }
+
+    const size_t best = static_cast<size_t>(
+        std::min_element(f.begin(), f.end()) - f.begin());
+    result.x = simplex[best];
+    result.value = f[best];
+    return result;
+}
+
+namespace {
+
+double rms(double sum_sq, size_t count) {
+    return count == 0 ? 0.0 : std::sqrt(sum_sq / static_cast<double>(count));
+}
+
+}  // namespace
+
+ProposedFit fit_proposed_model(double yield,
+                               std::span<const FalloutPoint> points) {
+    if (points.empty()) throw std::invalid_argument("no fallout points");
+
+    // Parameterize r = 1 + e^u (>=1) and theta_max = 1/(1+e^-v) clipped to
+    // (0,1] so the simplex search is unconstrained.
+    const auto unpack = [](std::span<const double> x) {
+        const double r = 1.0 + std::exp(x[0]);
+        const double theta_max = 1.0 / (1.0 + std::exp(-x[1]));
+        return std::pair{std::min(r, 16.0), theta_max};
+    };
+    // Fit in log-DL space: defect levels span orders of magnitude (ppm at
+    // high coverage), and the residual floor near T = 1 - the model's whole
+    // point - would be invisible to absolute-error least squares.
+    constexpr double kFloor = 1e-9;
+    const auto objective = [&](std::span<const double> x) {
+        const auto [r, theta_max] = unpack(x);
+        const ProposedModel m{yield, r, theta_max};
+        double sum = 0.0;
+        for (const auto& p : points) {
+            const double d = std::log(std::max(m.dl(p.coverage), kFloor)) -
+                             std::log(std::max(p.defect_level, kFloor));
+            sum += d * d;
+        }
+        return sum;
+    };
+
+    // Start near R = 2, theta_max = 0.97 (paper's typical values).
+    const double init[] = {0.0, 3.5};
+    const MinimizeResult res = minimize(objective, init);
+    const auto [r, theta_max] = unpack(res.x);
+    return ProposedFit{r, theta_max, rms(res.value, points.size())};
+}
+
+AgrawalFit fit_agrawal_model(double yield,
+                             std::span<const FalloutPoint> points) {
+    if (points.empty()) throw std::invalid_argument("no fallout points");
+    const auto unpack = [](std::span<const double> x) {
+        return std::min(1.0 + std::exp(x[0]), 64.0);
+    };
+    const auto objective = [&](std::span<const double> x) {
+        const double n = unpack(x);
+        double sum = 0.0;
+        for (const auto& p : points) {
+            const double d = agrawal_dl(yield, p.coverage, n) - p.defect_level;
+            sum += d * d;
+        }
+        return sum;
+    };
+    const double init[] = {0.5};
+    const MinimizeResult res = minimize(objective, init);
+    return AgrawalFit{unpack(res.x), rms(res.value, points.size())};
+}
+
+}  // namespace dlp::model

@@ -1,0 +1,63 @@
+// Generic derivative-free minimization (Nelder-Mead) and curve-fitting
+// front-ends for the paper's models:
+//  * fit (R, theta_max) of eq (11) to measured (T, DL) fallout points,
+//  * fit the Agrawal multiplicity parameter n of eq (2) to the same points.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace dlp::model {
+
+/// Options for the Nelder-Mead simplex minimizer.
+struct MinimizeOptions {
+    int max_iterations = 2000;
+    double tolerance = 1e-12;    ///< stop when the simplex f-spread drops below
+    double initial_step = 0.25;  ///< relative initial simplex edge length
+};
+
+/// Result of a minimization.
+struct MinimizeResult {
+    std::vector<double> x;   ///< best parameter vector found
+    double value = 0.0;      ///< objective at x
+    int iterations = 0;      ///< iterations used
+    bool converged = false;  ///< tolerance reached before max_iterations
+};
+
+/// Minimizes an N-dimensional objective with the Nelder-Mead simplex method.
+MinimizeResult minimize(
+    const std::function<double(std::span<const double>)>& objective,
+    std::span<const double> initial, const MinimizeOptions& options = {});
+
+/// A measured fallout point: defect level observed at stuck-at coverage T.
+struct FalloutPoint {
+    double coverage = 0.0;      ///< stuck-at coverage T
+    double defect_level = 0.0;  ///< observed DL fraction
+};
+
+/// Fitted parameters of the proposed model (yield is known, not fitted).
+struct ProposedFit {
+    double r = 1.0;
+    double theta_max = 1.0;
+    double rms_error = 0.0;  ///< RMS of log-DL residuals at the fit
+};
+
+/// Least-squares fit of eq (11) to fallout points with known yield, in
+/// log-DL space (defect levels span orders of magnitude, and the residual
+/// floor near T = 1 must carry weight in the fit).
+/// R is constrained to [1, 16] and theta_max to (0, 1].
+ProposedFit fit_proposed_model(double yield,
+                               std::span<const FalloutPoint> points);
+
+/// Fitted Agrawal model parameter (eq 2), n constrained to [1, 64].
+struct AgrawalFit {
+    double n_avg = 1.0;
+    double rms_error = 0.0;
+};
+
+/// Least-squares fit of eq (2) to fallout points with known yield.
+AgrawalFit fit_agrawal_model(double yield,
+                             std::span<const FalloutPoint> points);
+
+}  // namespace dlp::model

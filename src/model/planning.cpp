@@ -1,0 +1,60 @@
+#include "model/planning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dlp::model {
+
+TestPlan plan_test_length(const TestPlanInputs& inputs, double dl_target) {
+    const ProposedModel m{inputs.yield, inputs.r, inputs.theta_max};
+    TestPlan plan;
+    plan.residual_dl = m.residual_dl();
+    if (dl_target < plan.residual_dl) {
+        plan.reachable = false;  // needs IDDQ/delay testing, not more vectors
+        return plan;
+    }
+    plan.reachable = true;
+    plan.required_coverage = m.required_coverage(dl_target);
+    const CoverageLaw law{inputs.s_stuck_at, 1.0};
+    plan.vectors = plan.required_coverage >= 1.0
+                       ? std::numeric_limits<double>::infinity()
+                       : law.vectors_for(plan.required_coverage);
+    return plan;
+}
+
+double dl_at_test_length(const TestPlanInputs& inputs, double vectors) {
+    const CoverageLaw law{inputs.s_stuck_at, 1.0};
+    const ProposedModel m{inputs.yield, inputs.r, inputs.theta_max};
+    return m.dl(law.coverage(vectors));
+}
+
+double clustered_dl(double lambda, double alpha, double theta) {
+    if (lambda < 0.0) throw std::domain_error("lambda must be >= 0");
+    if (!(alpha > 0.0)) throw std::domain_error("alpha must be > 0");
+    if (theta < 0.0 || theta > 1.0)
+        throw std::domain_error("theta must be in [0,1]");
+    // Gamma-mixed Poisson: a die's defect rate L ~ Gamma(alpha, lambda/alpha);
+    // detected defects thin with probability theta.
+    //   P(pass)        = E[e^{-theta L}] = (1 + theta*lambda/alpha)^-alpha
+    //   P(pass, clean) = E[e^{-L}]       = (1 + lambda/alpha)^-alpha  (= Y)
+    //   DL = 1 - P(clean | pass)
+    const double num = 1.0 + theta * lambda / alpha;
+    const double den = 1.0 + lambda / alpha;
+    return 1.0 - std::pow(num / den, alpha);
+}
+
+double clustered_required_theta(double lambda, double alpha,
+                                double dl_target) {
+    if (dl_target < 0.0 || dl_target >= 1.0)
+        throw std::domain_error("dl_target must be in [0,1)");
+    if (lambda == 0.0) return 0.0;  // perfect yield
+    // Invert: (1-DL)^(1/alpha) * (1 + lambda/alpha) = 1 + theta*lambda/alpha
+    const double lhs =
+        std::pow(1.0 - dl_target, 1.0 / alpha) * (1.0 + lambda / alpha);
+    const double theta = (lhs - 1.0) * alpha / lambda;
+    return std::clamp(theta, 0.0, 1.0);
+}
+
+}  // namespace dlp::model

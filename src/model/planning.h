@@ -1,0 +1,58 @@
+// Test planning on top of the proposed model: given a characterized
+// process (Y, R, theta_max) and the stuck-at susceptibility s_T, answer the
+// production questions the paper's examples pose:
+//   * how many random vectors for a target defect level?
+//   * what DL does a planned test length buy?
+//   * what residual DL does the detection method leave, and is the target
+//     reachable at all without better detection (IDDQ/delay)?
+//
+// Also provides the clustered-defect generalization of eq. (3): with
+// negative-binomial (Stapper) defect statistics instead of Poisson,
+//   Y     = (1 + lambda/alpha)^(-alpha)
+//   DL(theta) = 1 - [(1 + (1-theta)*lambda/alpha) / (1 + lambda/alpha)]^(-alpha) ... inverted:
+// shipped-part defect probability accounting for defect clustering, which
+// reduces DL at equal yield (defects pile onto already-dead dies).
+#pragma once
+
+#include "model/coverage_laws.h"
+#include "model/dl_models.h"
+
+namespace dlp::model {
+
+/// A characterized process + test method.
+struct TestPlanInputs {
+    double yield = 0.75;
+    double r = 1.9;               ///< susceptibility ratio, eq (10)
+    double theta_max = 0.96;      ///< detection-method ceiling
+    double s_stuck_at = 20.0;     ///< stuck-at susceptibility (eq 7), > 1
+};
+
+struct TestPlan {
+    bool reachable = false;   ///< target DL above the residual floor?
+    double residual_dl = 0.0; ///< 1 - Y^(1-theta_max)
+    double required_coverage = 0.0;  ///< stuck-at T needed (if reachable)
+    double vectors = 0.0;            ///< random test length for that T
+};
+
+/// Plans the random test length for a target defect level.
+TestPlan plan_test_length(const TestPlanInputs& inputs, double dl_target);
+
+/// Defect level delivered by a planned random test length.
+double dl_at_test_length(const TestPlanInputs& inputs, double vectors);
+
+/// Clustered-defect (negative binomial, Stapper) defect level as a
+/// function of weighted realistic coverage theta:
+///   DL = 1 - Y_escape / Y_total-ish; concretely, with mean defect count
+///   lambda and clustering alpha, a shipped die passed a test covering
+///   theta of the defect weight, so
+///   DL = 1 - (1 + (1-theta)lambda/alpha)^(-alpha) / ... (see .cpp)
+/// As alpha -> inf this reduces to eq. (3): 1 - Y^(1-theta).
+double clustered_dl(double lambda, double alpha, double theta);
+
+/// Clustered required coverage: smallest theta with clustered_dl <= target.
+/// Throws std::domain_error if unreachable even at theta = 1 (never, since
+/// clustered_dl(.,.,1) == 0).
+double clustered_required_theta(double lambda, double alpha,
+                                double dl_target);
+
+}  // namespace dlp::model

@@ -1,0 +1,118 @@
+#include "model/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlp::model {
+
+LogHistogram::LogHistogram(double lo, double hi, int bin_count) {
+    if (!(lo > 0.0) || !(hi > lo))
+        throw std::invalid_argument("need 0 < lo < hi");
+    if (bin_count < 1) throw std::invalid_argument("need >= 1 bin");
+    log_lo_ = std::log10(lo);
+    log_hi_ = std::log10(hi);
+    counts_.assign(static_cast<size_t>(bin_count), 0);
+}
+
+void LogHistogram::add(double value) {
+    if (!(value > 0.0)) throw std::domain_error("log histogram needs v > 0");
+    const double t = (std::log10(value) - log_lo_) / (log_hi_ - log_lo_);
+    const int n = bin_count();
+    int bin = static_cast<int>(std::floor(t * n));
+    bin = std::clamp(bin, 0, n - 1);
+    ++counts_[static_cast<size_t>(bin)];
+}
+
+void LogHistogram::add_all(std::span<const double> values) {
+    for (double v : values) add(v);
+}
+
+long LogHistogram::total() const {
+    return std::accumulate(counts_.begin(), counts_.end(), 0L);
+}
+
+double LogHistogram::bin_lo(int bin) const {
+    const double w = (log_hi_ - log_lo_) / bin_count();
+    return std::pow(10.0, log_lo_ + w * bin);
+}
+
+double LogHistogram::bin_hi(int bin) const { return bin_lo(bin + 1); }
+
+double LogHistogram::bin_center(int bin) const {
+    return std::sqrt(bin_lo(bin) * bin_hi(bin));
+}
+
+double LogHistogram::dispersion_decades() const {
+    int first = -1;
+    int last = -1;
+    for (int i = 0; i < bin_count(); ++i) {
+        if (count(i) > 0) {
+            if (first < 0) first = i;
+            last = i;
+        }
+    }
+    if (first < 0) return 0.0;
+    return std::log10(bin_center(last) / bin_center(first));
+}
+
+std::string LogHistogram::render(int width) const {
+    const long peak = *std::max_element(counts_.begin(), counts_.end());
+    std::string out;
+    for (int i = 0; i < bin_count(); ++i) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "%9.2e..%9.2e |", bin_lo(i),
+                      bin_hi(i));
+        out += label;
+        const int bars =
+            peak == 0 ? 0
+                      : static_cast<int>(std::lround(
+                            static_cast<double>(count(i)) * width /
+                            static_cast<double>(peak)));
+        out.append(static_cast<size_t>(bars), '#');
+        out += "  (" + std::to_string(count(i)) + ")\n";
+    }
+    return out;
+}
+
+Summary summarize(std::span<const double> values) {
+    Summary s;
+    s.count = values.size();
+    if (values.empty()) return s;
+    s.min = *std::min_element(values.begin(), values.end());
+    s.max = *std::max_element(values.begin(), values.end());
+    s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) var += (v - s.mean) * (v - s.mean);
+    s.stddev = values.size() > 1
+                   ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                   : 0.0;
+    return s;
+}
+
+LinearFit linear_regression(std::span<const double> x,
+                            std::span<const double> y) {
+    if (x.size() != y.size() || x.size() < 2)
+        throw std::invalid_argument("need >= 2 paired points");
+    const double n = static_cast<double>(x.size());
+    const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+    const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    if (sxx == 0.0) throw std::domain_error("degenerate x values");
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+}  // namespace dlp::model

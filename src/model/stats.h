@@ -1,0 +1,68 @@
+// Small statistics toolkit used across the project: logarithmic histograms
+// (for the paper's fault-weight histogram, fig. 3), summary statistics and
+// simple linear regression.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dlp::model {
+
+/// Histogram with logarithmically spaced bins, for magnitude-dispersed data
+/// such as fault weights (the paper's weights span ~1e-9..1e-6).
+class LogHistogram {
+public:
+    /// @param lo,hi        bin range (values outside are clamped into the
+    ///                     first/last bin); both must be > 0, lo < hi
+    /// @param bin_count    number of bins (>= 1)
+    LogHistogram(double lo, double hi, int bin_count);
+
+    void add(double value);
+    void add_all(std::span<const double> values);
+
+    int bin_count() const { return static_cast<int>(counts_.size()); }
+    long count(int bin) const { return counts_.at(static_cast<size_t>(bin)); }
+    long total() const;
+
+    /// Geometric lower/upper edge of a bin.
+    double bin_lo(int bin) const;
+    double bin_hi(int bin) const;
+    /// Geometric center of a bin.
+    double bin_center(int bin) const;
+
+    /// Ratio of the largest to the smallest non-empty bin center; quantifies
+    /// the weight dispersion the paper argues cannot be ignored.
+    double dispersion_decades() const;
+
+    /// Multi-line ASCII rendering (one row per bin, '#' bars).
+    std::string render(int width = 50) const;
+
+private:
+    double log_lo_;
+    double log_hi_;
+    std::vector<long> counts_;
+};
+
+/// Summary statistics of a sample.
+struct Summary {
+    size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Ordinary least-squares line y = intercept + slope * x.
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+
+LinearFit linear_regression(std::span<const double> x,
+                            std::span<const double> y);
+
+}  // namespace dlp::model

@@ -1,0 +1,63 @@
+#include "model/yield.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlp::model {
+
+double weight_from_probability(double p) {
+    if (p < 0.0 || p >= 1.0)
+        throw std::domain_error("probability must be in [0,1)");
+    return -std::log1p(-p);
+}
+
+double probability_from_weight(double w) {
+    if (w < 0.0) throw std::domain_error("weight must be >= 0");
+    return -std::expm1(-w);
+}
+
+double poisson_yield(double total_weight) {
+    if (total_weight < 0.0) throw std::domain_error("weight must be >= 0");
+    return std::exp(-total_weight);
+}
+
+double total_weight_for_yield(double yield) {
+    if (!(yield > 0.0) || yield > 1.0)
+        throw std::domain_error("yield must be in (0,1]");
+    return -std::log(yield);
+}
+
+double stapper_yield(double lambda, double alpha) {
+    if (lambda < 0.0) throw std::domain_error("lambda must be >= 0");
+    if (!(alpha > 0.0)) throw std::domain_error("alpha must be > 0");
+    return std::pow(1.0 + lambda / alpha, -alpha);
+}
+
+double weighted_coverage(std::span<const double> weights,
+                         std::span<const bool> detected) {
+    if (weights.size() != detected.size())
+        throw std::invalid_argument("weights/detected size mismatch");
+    double total = 0.0;
+    double hit = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] < 0.0) throw std::domain_error("negative weight");
+        total += weights[i];
+        if (detected[i]) hit += weights[i];
+    }
+    return total == 0.0 ? 0.0 : hit / total;
+}
+
+double unweighted_coverage(std::span<const bool> detected) {
+    if (detected.empty()) return 0.0;
+    size_t hit = 0;
+    for (bool d : detected) hit += d ? 1 : 0;
+    return static_cast<double>(hit) / static_cast<double>(detected.size());
+}
+
+double yield_scale_factor(double current_total_weight, double target_yield) {
+    if (!(current_total_weight > 0.0))
+        throw std::domain_error("total weight must be > 0");
+    return total_weight_for_yield(target_yield) / current_total_weight;
+}
+
+}  // namespace dlp::model

@@ -1,0 +1,46 @@
+// Yield models and fault-weight arithmetic (eqs 4-6 of the paper).
+//
+// Each extracted fault j carries a weight w_j = A_j * D_j (critical area x
+// defect density), which is the average number of defects inducing that
+// fault.  Then
+//   p_j   = 1 - e^{-w_j}                   (inverse of eq 4)
+//   Y     = e^{-sum_j w_j}                 (eq 5, Poisson yield)
+//   theta = sum_{detected} w_j / sum_j w_j (eq 6)
+#pragma once
+
+#include <span>
+
+namespace dlp::model {
+
+/// Fault weight from an occurrence probability, eq (4): w = -ln(1-p).
+double weight_from_probability(double p);
+
+/// Occurrence probability from a fault weight: p = 1 - e^{-w}.
+double probability_from_weight(double w);
+
+/// Poisson yield from the total fault weight, eq (5): Y = e^{-sum w}.
+double poisson_yield(double total_weight);
+
+/// Total weight that produces a given Poisson yield (inverse of eq 5).
+double total_weight_for_yield(double yield);
+
+/// Stapper negative-binomial yield with clustering parameter alpha:
+///   Y = (1 + lambda/alpha)^{-alpha},  lambda = mean defect (weight) count.
+/// As alpha -> infinity this tends to the Poisson yield e^{-lambda}.
+double stapper_yield(double lambda, double alpha);
+
+/// Weighted coverage of eq (6) given per-fault weights and detection flags.
+/// @param weights   w_j for every fault in the set
+/// @param detected  same length; true if fault j is detected
+double weighted_coverage(std::span<const double> weights,
+                         std::span<const bool> detected);
+
+/// Unweighted coverage Gamma: detected count / total count.
+double unweighted_coverage(std::span<const bool> detected);
+
+/// Scale factor that rescales all weights so that the Poisson yield becomes
+/// `target_yield` (the paper scales c432 to Y = 0.75: "a different size but
+/// the same testability features").
+double yield_scale_factor(double current_total_weight, double target_yield);
+
+}  // namespace dlp::model

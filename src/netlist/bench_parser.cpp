@@ -1,0 +1,193 @@
+#include "netlist/bench_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dlp::netlist {
+
+namespace {
+
+struct RawGate {
+    std::string out;
+    std::string type;
+    std::vector<std::string> fanin;
+    int line = 0;
+};
+
+std::string trim(const std::string& s) {
+    size_t a = 0;
+    size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+    return s.substr(a, b - a);
+}
+
+std::string upper(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+    throw std::runtime_error("bench:" + std::to_string(line) + ": " + what);
+}
+
+GateType type_from_string(const std::string& t, int line) {
+    const std::string u = upper(t);
+    if (u == "BUF" || u == "BUFF") return GateType::Buf;
+    if (u == "NOT" || u == "INV") return GateType::Not;
+    if (u == "AND") return GateType::And;
+    if (u == "NAND") return GateType::Nand;
+    if (u == "OR") return GateType::Or;
+    if (u == "NOR") return GateType::Nor;
+    if (u == "XOR") return GateType::Xor;
+    if (u == "XNOR") return GateType::Xnor;
+    fail(line, "unknown gate type '" + t + "'");
+}
+
+}  // namespace
+
+Circuit parse_bench(const std::string& text, std::string circuit_name) {
+    std::vector<std::string> input_names;
+    std::vector<std::string> output_names;
+    std::vector<RawGate> raw;
+
+    std::istringstream in(text);
+    std::string line_text;
+    int line_no = 0;
+    while (std::getline(in, line_text)) {
+        ++line_no;
+        const size_t hash = line_text.find('#');
+        if (hash != std::string::npos) line_text.erase(hash);
+        const std::string line = trim(line_text);
+        if (line.empty()) continue;
+
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            // INPUT(x) / OUTPUT(x)
+            const size_t lp = line.find('(');
+            const size_t rp = line.rfind(')');
+            if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+                fail(line_no, "expected INPUT(...) or OUTPUT(...)");
+            const std::string kw = upper(trim(line.substr(0, lp)));
+            const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
+            if (arg.empty()) fail(line_no, "empty net name");
+            if (kw == "INPUT")
+                input_names.push_back(arg);
+            else if (kw == "OUTPUT")
+                output_names.push_back(arg);
+            else
+                fail(line_no, "unknown directive '" + kw + "'");
+            continue;
+        }
+
+        RawGate g;
+        g.line = line_no;
+        g.out = trim(line.substr(0, eq));
+        const std::string rhs = trim(line.substr(eq + 1));
+        const size_t lp = rhs.find('(');
+        const size_t rp = rhs.rfind(')');
+        if (g.out.empty() || lp == std::string::npos ||
+            rp == std::string::npos || rp < lp)
+            fail(line_no, "expected '<net> = TYPE(a, b, ...)'");
+        g.type = trim(rhs.substr(0, lp));
+        std::string args = rhs.substr(lp + 1, rp - lp - 1);
+        std::string token;
+        std::istringstream as(args);
+        while (std::getline(as, token, ',')) {
+            token = trim(token);
+            if (token.empty()) fail(line_no, "empty fanin name");
+            g.fanin.push_back(token);
+        }
+        if (g.fanin.empty()) fail(line_no, "gate with no fanin");
+        raw.push_back(std::move(g));
+    }
+
+    // Topological emission (forward references are legal in .bench).
+    Circuit circuit(std::move(circuit_name));
+    std::unordered_map<std::string, NetId> net_of;
+    for (const std::string& name : input_names) {
+        if (net_of.count(name)) fail(0, "duplicate INPUT " + name);
+        net_of[name] = circuit.add_input(name);
+    }
+
+    std::vector<bool> emitted(raw.size(), false);
+    size_t remaining = raw.size();
+    while (remaining > 0) {
+        bool progress = false;
+        for (size_t i = 0; i < raw.size(); ++i) {
+            if (emitted[i]) continue;
+            const RawGate& g = raw[i];
+            bool ready = true;
+            for (const std::string& f : g.fanin)
+                if (!net_of.count(f)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready) continue;
+            std::vector<NetId> fanin;
+            fanin.reserve(g.fanin.size());
+            for (const std::string& f : g.fanin) fanin.push_back(net_of[f]);
+            if (net_of.count(g.out))
+                fail(g.line, "net '" + g.out + "' driven twice");
+            net_of[g.out] =
+                circuit.add_gate(type_from_string(g.type, g.line), g.out,
+                                 std::move(fanin));
+            emitted[i] = true;
+            --remaining;
+            progress = true;
+        }
+        if (!progress) {
+            for (size_t i = 0; i < raw.size(); ++i)
+                if (!emitted[i])
+                    fail(raw[i].line,
+                         "unresolvable fanin (combinational cycle or missing "
+                         "net) for '" + raw[i].out + "'");
+        }
+    }
+
+    for (const std::string& name : output_names) {
+        auto it = net_of.find(name);
+        if (it == net_of.end())
+            throw std::runtime_error("bench: OUTPUT(" + name +
+                                     ") never driven");
+        circuit.mark_output(it->second);
+    }
+    return circuit;
+}
+
+Circuit load_bench_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string name = path;
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name.erase(0, slash + 1);
+    const size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos) name.erase(dot);
+    return parse_bench(buf.str(), name);
+}
+
+std::string to_bench(const Circuit& circuit) {
+    std::ostringstream out;
+    out << "# " << circuit.name() << "\n";
+    for (NetId id : circuit.inputs())
+        out << "INPUT(" << circuit.gate(id).name << ")\n";
+    for (NetId id : circuit.outputs())
+        out << "OUTPUT(" << circuit.gate(id).name << ")\n";
+    for (const Gate& g : circuit.gates()) {
+        if (g.type == GateType::Input) continue;
+        out << g.name << " = " << gate_type_name(g.type) << "(";
+        for (size_t i = 0; i < g.fanin.size(); ++i) {
+            if (i) out << ", ";
+            out << circuit.gate(g.fanin[i]).name;
+        }
+        out << ")\n";
+    }
+    return out.str();
+}
+
+}  // namespace dlp::netlist

@@ -1,0 +1,27 @@
+// Reader/writer for the ISCAS-85 / LGSynth ".bench" netlist format:
+//
+//   # comment
+//   INPUT(1)
+//   OUTPUT(22)
+//   10 = NAND(1, 3)
+//
+// Gates are topologically sorted on load, so forward references are allowed.
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace dlp::netlist {
+
+/// Parses .bench text into a Circuit.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Circuit parse_bench(const std::string& text, std::string circuit_name);
+
+/// Loads a .bench file from disk.
+Circuit load_bench_file(const std::string& path);
+
+/// Serializes a circuit back to .bench text (round-trips with parse_bench).
+std::string to_bench(const Circuit& circuit);
+
+}  // namespace dlp::netlist

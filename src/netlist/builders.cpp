@@ -1,0 +1,387 @@
+#include "netlist/builders.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dlp::netlist {
+
+namespace {
+
+/// Builds a balanced tree of 2-input gates of the given type.
+NetId reduce_tree(Circuit& c, GateType type, std::vector<NetId> nets,
+                  const std::string& prefix) {
+    if (nets.empty()) throw std::invalid_argument("empty reduction");
+    int stage = 0;
+    while (nets.size() > 1) {
+        std::vector<NetId> next;
+        for (size_t i = 0; i + 1 < nets.size(); i += 2) {
+            next.push_back(c.add_gate(
+                type,
+                prefix + "_t" + std::to_string(stage) + "_" +
+                    std::to_string(i / 2),
+                {nets[i], nets[i + 1]}));
+        }
+        if (nets.size() % 2 == 1) next.push_back(nets.back());
+        nets = std::move(next);
+        ++stage;
+    }
+    return nets[0];
+}
+
+}  // namespace
+
+Circuit build_c17() {
+    Circuit c("c17");
+    const NetId n1 = c.add_input("1");
+    const NetId n2 = c.add_input("2");
+    const NetId n3 = c.add_input("3");
+    const NetId n6 = c.add_input("6");
+    const NetId n7 = c.add_input("7");
+    const NetId n10 = c.add_gate(GateType::Nand, "10", {n1, n3});
+    const NetId n11 = c.add_gate(GateType::Nand, "11", {n3, n6});
+    const NetId n16 = c.add_gate(GateType::Nand, "16", {n2, n11});
+    const NetId n19 = c.add_gate(GateType::Nand, "19", {n11, n7});
+    const NetId n22 = c.add_gate(GateType::Nand, "22", {n10, n16});
+    const NetId n23 = c.add_gate(GateType::Nand, "23", {n16, n19});
+    c.mark_output(n22);
+    c.mark_output(n23);
+    return c;
+}
+
+Circuit build_c432() {
+    Circuit c("c432");
+    constexpr int kChannels = 9;
+    std::vector<NetId> e(kChannels);
+    std::vector<NetId> a(kChannels);
+    std::vector<NetId> b(kChannels);
+    std::vector<NetId> cc(kChannels);
+    // ISCAS-85 pin order interleaves the buses; we group them for clarity.
+    for (int i = 0; i < kChannels; ++i) e[i] = c.add_input("E" + std::to_string(i));
+    for (int i = 0; i < kChannels; ++i) a[i] = c.add_input("A" + std::to_string(i));
+    for (int i = 0; i < kChannels; ++i) b[i] = c.add_input("B" + std::to_string(i));
+    for (int i = 0; i < kChannels; ++i) cc[i] = c.add_input("C" + std::to_string(i));
+
+    // Enabled per-channel requests, one AND plane per bus (module M1).
+    std::vector<NetId> ra(kChannels);
+    std::vector<NetId> rb(kChannels);
+    std::vector<NetId> rc(kChannels);
+    for (int i = 0; i < kChannels; ++i) {
+        const std::string s = std::to_string(i);
+        ra[i] = c.add_gate(GateType::And, "RA" + s, {a[i], e[i]});
+        rb[i] = c.add_gate(GateType::And, "RB" + s, {b[i], e[i]});
+        rc[i] = c.add_gate(GateType::And, "RC" + s, {cc[i], e[i]});
+    }
+
+    // Bus grant logic, priority A > B > C (modules M2/M3).
+    const NetId any_a = reduce_tree(c, GateType::Or, ra, "ANYA");
+    const NetId any_b = reduce_tree(c, GateType::Or, rb, "ANYB");
+    const NetId any_c = reduce_tree(c, GateType::Or, rc, "ANYC");
+    const NetId pa = c.add_gate(GateType::Buf, "PA", {any_a});
+    const NetId na = c.add_gate(GateType::Not, "NPA", {any_a});
+    const NetId pb = c.add_gate(GateType::And, "PB", {any_b, na});
+    const NetId nb = c.add_gate(GateType::Not, "NPB", {any_b});
+    const NetId pc_pre = c.add_gate(GateType::And, "PCP", {na, nb});
+    const NetId pc = c.add_gate(GateType::And, "PC", {any_c, pc_pre});
+
+    // Channel selection: requests of the granted bus only (module M4).
+    // An A-bus request needs no gating: any RA high already implies PA.
+    std::vector<NetId> sel(kChannels);
+    for (int i = 0; i < kChannels; ++i) {
+        const std::string s = std::to_string(i);
+        const NetId gb = c.add_gate(GateType::And, "GB" + s, {rb[i], pb});
+        const NetId gc = c.add_gate(GateType::And, "GC" + s, {rc[i], pc});
+        sel[i] = c.add_gate(GateType::Or, "SEL" + s, {ra[i], gb, gc});
+    }
+
+    // 9-input priority encoder, channel 8 highest (module M5): CHAN3..CHAN0
+    // is the binary index of the highest requesting channel of the granted
+    // bus.  hi[i] = sel[i] AND none of sel[i+1..8].
+    std::vector<NetId> hi(kChannels);
+    hi[kChannels - 1] = sel[kChannels - 1];
+    NetId none_above = c.add_gate(GateType::Not, "NAB8", {sel[kChannels - 1]});
+    for (int i = kChannels - 2; i >= 0; --i) {
+        const std::string s = std::to_string(i);
+        hi[i] = c.add_gate(GateType::And, "HI" + s, {sel[i], none_above});
+        if (i > 0) {
+            const NetId ni = c.add_gate(GateType::Not, "NS" + s, {sel[i]});
+            none_above =
+                c.add_gate(GateType::And, "NAB" + s, {none_above, ni});
+        }
+    }
+    // Binary encode CHAN = granted channel index + 1 (0 = no grant), so
+    // channel 0 is distinguishable and every hi[i] is observable.
+    for (int bit = 3; bit >= 0; --bit) {
+        std::vector<NetId> terms;
+        for (int i = 0; i < kChannels; ++i)
+            if ((i + 1) & (1 << bit)) terms.push_back(hi[i]);
+        NetId out;
+        if (terms.empty())
+            // Encoder bits that are never set (none for 9 channels, but kept
+            // general): constant 0 via x AND NOT x.
+            out = c.add_gate(GateType::And, "CHAN" + std::to_string(bit),
+                             {sel[0], c.add_gate(GateType::Not,
+                                                 "NZ" + std::to_string(bit),
+                                                 {sel[0]})});
+        else if (terms.size() == 1)
+            out = c.add_gate(GateType::Buf, "CHAN" + std::to_string(bit),
+                             {terms[0]});
+        else {
+            const NetId t = reduce_tree(c, GateType::Or, terms,
+                                        "ENC" + std::to_string(bit));
+            out = c.add_gate(GateType::Buf, "CHAN" + std::to_string(bit), {t});
+        }
+        c.mark_output(out);
+    }
+
+    c.mark_output(pa);
+    c.mark_output(pb);
+    c.mark_output(pc);
+    return c;
+}
+
+Circuit build_ripple_adder(int bits) {
+    if (bits < 1) throw std::invalid_argument("adder needs >= 1 bit");
+    Circuit c("adder" + std::to_string(bits));
+    std::vector<NetId> a(bits);
+    std::vector<NetId> b(bits);
+    for (int i = 0; i < bits; ++i) a[i] = c.add_input("A" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[i] = c.add_input("B" + std::to_string(i));
+    NetId carry = c.add_input("CIN");
+    for (int i = 0; i < bits; ++i) {
+        const std::string s = std::to_string(i);
+        const NetId axb = c.add_gate(GateType::Xor, "AXB" + s, {a[i], b[i]});
+        const NetId sum = c.add_gate(GateType::Xor, "S" + s, {axb, carry});
+        const NetId g = c.add_gate(GateType::And, "G" + s, {a[i], b[i]});
+        const NetId p = c.add_gate(GateType::And, "P" + s, {axb, carry});
+        carry = c.add_gate(GateType::Or, "CO" + s, {g, p});
+        c.mark_output(sum);
+    }
+    const NetId cout = c.add_gate(GateType::Buf, "COUT", {carry});
+    c.mark_output(cout);
+    return c;
+}
+
+Circuit build_parity_tree(int inputs) {
+    if (inputs < 2) throw std::invalid_argument("parity needs >= 2 inputs");
+    Circuit c("parity" + std::to_string(inputs));
+    std::vector<NetId> d(inputs);
+    for (int i = 0; i < inputs; ++i)
+        d[static_cast<size_t>(i)] = c.add_input("D" + std::to_string(i));
+    const NetId root = reduce_tree(c, GateType::Xor, d, "PT");
+    const NetId out = c.add_gate(GateType::Buf, "PAR", {root});
+    c.mark_output(out);
+    return c;
+}
+
+Circuit build_mux_tree(int select_bits) {
+    if (select_bits < 1 || select_bits > 8)
+        throw std::invalid_argument("select_bits must be in [1,8]");
+    Circuit c("mux" + std::to_string(select_bits));
+    const int n = 1 << select_bits;
+    std::vector<NetId> data(n);
+    for (int i = 0; i < n; ++i)
+        data[static_cast<size_t>(i)] = c.add_input("D" + std::to_string(i));
+    std::vector<NetId> sel(select_bits);
+    std::vector<NetId> nsel(select_bits);
+    for (int i = 0; i < select_bits; ++i) {
+        sel[static_cast<size_t>(i)] = c.add_input("S" + std::to_string(i));
+        nsel[static_cast<size_t>(i)] = c.add_gate(
+            GateType::Not, "NS" + std::to_string(i),
+            {sel[static_cast<size_t>(i)]});
+    }
+    std::vector<NetId> layer = data;
+    for (int s = 0; s < select_bits; ++s) {
+        std::vector<NetId> next;
+        for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+            const std::string tag =
+                std::to_string(s) + "_" + std::to_string(i / 2);
+            const NetId lo = c.add_gate(GateType::And, "M0_" + tag,
+                                        {layer[i], nsel[static_cast<size_t>(s)]});
+            const NetId hi = c.add_gate(GateType::And, "M1_" + tag,
+                                        {layer[i + 1], sel[static_cast<size_t>(s)]});
+            next.push_back(c.add_gate(GateType::Or, "MX_" + tag, {lo, hi}));
+        }
+        layer = std::move(next);
+    }
+    const NetId y = c.add_gate(GateType::Buf, "Y", {layer[0]});
+    c.mark_output(y);
+    return c;
+}
+
+Circuit build_decoder(int address_bits) {
+    if (address_bits < 1 || address_bits > 6)
+        throw std::invalid_argument("address_bits must be in [1,6]");
+    Circuit c("dec" + std::to_string(address_bits));
+    std::vector<NetId> addr(address_bits);
+    std::vector<NetId> naddr(address_bits);
+    for (int i = 0; i < address_bits; ++i) {
+        addr[static_cast<size_t>(i)] = c.add_input("A" + std::to_string(i));
+        naddr[static_cast<size_t>(i)] = c.add_gate(
+            GateType::Not, "NA" + std::to_string(i),
+            {addr[static_cast<size_t>(i)]});
+    }
+    const NetId en = c.add_input("EN");
+    const int n = 1 << address_bits;
+    for (int v = 0; v < n; ++v) {
+        std::vector<NetId> lits{en};
+        for (int bit = 0; bit < address_bits; ++bit)
+            lits.push_back((v >> bit) & 1 ? addr[static_cast<size_t>(bit)]
+                                          : naddr[static_cast<size_t>(bit)]);
+        const NetId t = reduce_tree(c, GateType::And, lits,
+                                    "T" + std::to_string(v));
+        const NetId y =
+            c.add_gate(GateType::Buf, "Y" + std::to_string(v), {t});
+        c.mark_output(y);
+    }
+    return c;
+}
+
+Circuit build_alu(int bits) {
+    if (bits < 1 || bits > 32)
+        throw std::invalid_argument("alu bits must be in [1,32]");
+    Circuit c("alu" + std::to_string(bits));
+    std::vector<NetId> a(static_cast<size_t>(bits));
+    std::vector<NetId> b(static_cast<size_t>(bits));
+    for (int i = 0; i < bits; ++i)
+        a[static_cast<size_t>(i)] = c.add_input("A" + std::to_string(i));
+    for (int i = 0; i < bits; ++i)
+        b[static_cast<size_t>(i)] = c.add_input("B" + std::to_string(i));
+    const NetId cin = c.add_input("CIN");
+    const NetId op0 = c.add_input("OP0");
+    const NetId op1 = c.add_input("OP1");
+
+    // Opcode decode: 00 ADD, 01 AND, 10 OR, 11 XOR.
+    const NetId n0 = c.add_gate(GateType::Not, "NOP0", {op0});
+    const NetId n1 = c.add_gate(GateType::Not, "NOP1", {op1});
+    const NetId s_add = c.add_gate(GateType::And, "SADD", {n1, n0});
+    const NetId s_and = c.add_gate(GateType::And, "SAND", {n1, op0});
+    const NetId s_or = c.add_gate(GateType::And, "SOR", {op1, n0});
+    const NetId s_xor = c.add_gate(GateType::And, "SXOR", {op1, op0});
+
+    NetId carry = cin;
+    std::vector<NetId> result(static_cast<size_t>(bits));
+    for (int i = 0; i < bits; ++i) {
+        const std::string s = std::to_string(i);
+        const NetId ai = a[static_cast<size_t>(i)];
+        const NetId bi = b[static_cast<size_t>(i)];
+        const NetId axb = c.add_gate(GateType::Xor, "AXB" + s, {ai, bi});
+        const NetId sum = c.add_gate(GateType::Xor, "SUM" + s, {axb, carry});
+        const NetId g = c.add_gate(GateType::And, "G" + s, {ai, bi});
+        const NetId p = c.add_gate(GateType::And, "P" + s, {axb, carry});
+        carry = c.add_gate(GateType::Or, "CO" + s, {g, p});
+        const NetId andv = c.add_gate(GateType::And, "ANDV" + s, {ai, bi});
+        const NetId orv = c.add_gate(GateType::Or, "ORV" + s, {ai, bi});
+        const NetId m_add = c.add_gate(GateType::And, "MADD" + s, {s_add, sum});
+        const NetId m_and = c.add_gate(GateType::And, "MAND" + s, {s_and, andv});
+        const NetId m_or = c.add_gate(GateType::And, "MOR" + s, {s_or, orv});
+        const NetId m_xor = c.add_gate(GateType::And, "MXOR" + s, {s_xor, axb});
+        result[static_cast<size_t>(i)] = c.add_gate(
+            GateType::Or, "R" + s, {m_add, m_and, m_or, m_xor});
+        c.mark_output(result[static_cast<size_t>(i)]);
+    }
+    const NetId cout = c.add_gate(GateType::Buf, "COUT", {carry});
+    c.mark_output(cout);
+    const NetId any = reduce_tree(c, GateType::Or, result, "ZT");
+    const NetId z = c.add_gate(GateType::Not, "Z", {any});
+    c.mark_output(z);
+    return c;
+}
+
+Circuit build_hamming_corrector(int data_bits) {
+    if (data_bits < 2 || data_bits > 57)
+        throw std::invalid_argument("data_bits must be in [2,57]");
+    // Smallest p with 2^p - p - 1 >= data_bits.
+    int p = 2;
+    while ((1 << p) - p - 1 < data_bits) ++p;
+
+    Circuit c("hamming" + std::to_string(data_bits));
+    std::vector<NetId> data(static_cast<size_t>(data_bits));
+    std::vector<NetId> parity(static_cast<size_t>(p));
+    for (int i = 0; i < data_bits; ++i)
+        data[static_cast<size_t>(i)] = c.add_input("D" + std::to_string(i));
+    for (int j = 0; j < p; ++j)
+        parity[static_cast<size_t>(j)] = c.add_input("P" + std::to_string(j));
+
+    // Code positions 1..2^p-1; powers of two hold parity, the rest data.
+    std::vector<int> data_pos;
+    for (int pos = 1; pos < (1 << p) && static_cast<int>(data_pos.size()) <
+                                            data_bits; ++pos)
+        if ((pos & (pos - 1)) != 0) data_pos.push_back(pos);
+
+    // Syndrome bit j = P_j XOR (XOR of data bits whose position has bit j).
+    std::vector<NetId> syn(static_cast<size_t>(p));
+    std::vector<NetId> nsyn(static_cast<size_t>(p));
+    for (int j = 0; j < p; ++j) {
+        std::vector<NetId> terms{parity[static_cast<size_t>(j)]};
+        for (int i = 0; i < data_bits; ++i)
+            if (data_pos[static_cast<size_t>(i)] & (1 << j))
+                terms.push_back(data[static_cast<size_t>(i)]);
+        const NetId t =
+            reduce_tree(c, GateType::Xor, terms, "ST" + std::to_string(j));
+        syn[static_cast<size_t>(j)] =
+            c.add_gate(GateType::Buf, "SYN" + std::to_string(j), {t});
+        nsyn[static_cast<size_t>(j)] = c.add_gate(
+            GateType::Not, "NSYN" + std::to_string(j),
+            {syn[static_cast<size_t>(j)]});
+    }
+
+    // Correct: C_i = D_i XOR (syndrome == position_i).
+    for (int i = 0; i < data_bits; ++i) {
+        const std::string s = std::to_string(i);
+        std::vector<NetId> lits;
+        for (int j = 0; j < p; ++j)
+            lits.push_back(data_pos[static_cast<size_t>(i)] & (1 << j)
+                               ? syn[static_cast<size_t>(j)]
+                               : nsyn[static_cast<size_t>(j)]);
+        const NetId hit = reduce_tree(c, GateType::And, lits, "HIT" + s);
+        const NetId corrected = c.add_gate(
+            GateType::Xor, "C" + s, {data[static_cast<size_t>(i)], hit});
+        c.mark_output(corrected);
+    }
+    return c;
+}
+
+Circuit build_random_circuit(int inputs, int gates, std::uint64_t seed) {
+    if (inputs < 2 || gates < 1)
+        throw std::invalid_argument("need >= 2 inputs and >= 1 gate");
+    Circuit c("rand_i" + std::to_string(inputs) + "_g" +
+              std::to_string(gates) + "_s" + std::to_string(seed));
+    // splitmix64: deterministic, seedable, no global state.
+    std::uint64_t state = seed;
+    const auto next = [&state]() {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+
+    for (int i = 0; i < inputs; ++i) c.add_input("I" + std::to_string(i));
+    static constexpr GateType kTypes[] = {
+        GateType::Nand, GateType::Nor, GateType::And,
+        GateType::Or,   GateType::Xor, GateType::Not};
+    for (int g = 0; g < gates; ++g) {
+        const GateType type = kTypes[next() % std::size(kTypes)];
+        const NetId pool = static_cast<NetId>(c.gate_count());
+        std::vector<NetId> fanin;
+        const int arity = type == GateType::Not ? 1 : 2 + static_cast<int>(next() % 2);
+        while (static_cast<int>(fanin.size()) < arity) {
+            // Bias toward recent nets to keep the logic depth realistic.
+            const NetId pick = next() % 2 == 0 && pool > 8
+                                   ? pool - 1 - static_cast<NetId>(next() % 8)
+                                   : static_cast<NetId>(next() % pool);
+            if (std::find(fanin.begin(), fanin.end(), pick) == fanin.end())
+                fanin.push_back(pick);
+        }
+        c.add_gate(type, "G" + std::to_string(g), std::move(fanin));
+    }
+    // Every dangling net becomes an observable output.
+    const auto fo = c.fanouts();
+    for (NetId n = 0; n < c.gate_count(); ++n)
+        if (fo[n].empty()) c.mark_output(n);
+    return c;
+}
+
+}  // namespace dlp::netlist

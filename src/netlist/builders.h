@@ -1,0 +1,56 @@
+// Programmatic benchmark circuits.
+//
+// * c17: the exact six-NAND ISCAS-85 benchmark.
+// * c432: a functional gate-level reconstruction of the ISCAS-85 27-channel
+//   interrupt controller (36 inputs, 7 outputs) after the module-level
+//   description of Hansen, Yalcin & Hayes, "Unveiling the ISCAS-85
+//   Benchmarks".  The original netlist file is not redistributable here; the
+//   reconstruction preserves the I/O profile, size class (~200 gates) and
+//   priority-encoder structure the paper's experiment depends on.
+// * parameterized families (adders, parity trees, mux trees, decoders,
+//   random circuits) used by tests, examples and ablation benches.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.h"
+
+namespace dlp::netlist {
+
+/// The exact ISCAS-85 c17 benchmark (5 inputs, 2 outputs, 6 NAND2).
+Circuit build_c17();
+
+/// Functional reconstruction of ISCAS-85 c432 (see file comment).
+/// Inputs: E0..E8 (channel enables), A0..A8, B0..B8, C0..C8 (three 9-bit
+/// request buses, priority A > B > C).  Outputs: PA, PB, PC (bus grants) and
+/// CHAN3..CHAN0 (binary index of the highest-priority granted channel).
+Circuit build_c432();
+
+/// N-bit ripple-carry adder: inputs A0.., B0.., CIN; outputs S0.., COUT.
+Circuit build_ripple_adder(int bits);
+
+/// N-input XOR parity tree: inputs D0..; output PAR.
+Circuit build_parity_tree(int inputs);
+
+/// 2^sel-to-1 multiplexer tree: inputs D*, S*; output Y.
+Circuit build_mux_tree(int select_bits);
+
+/// N-to-2^N decoder with enable: inputs A*, EN; outputs Y0..Y(2^N-1).
+Circuit build_decoder(int address_bits);
+
+/// Pseudo-random levelized combinational circuit (deterministic in seed).
+/// Gate types are drawn from {NAND, NOR, AND, OR, XOR, NOT}; every net is
+/// kept observable (dangling nets become primary outputs).
+Circuit build_random_circuit(int inputs, int gates, std::uint64_t seed);
+
+/// c880-class workload: an N-bit ALU.  Inputs A*, B*, CIN and a 2-bit
+/// opcode OP1 OP0 selecting {ADD, AND, OR, XOR}; outputs R0..R(N-1), COUT
+/// (ripple carry of the ADD path) and Z (result == 0).
+Circuit build_alu(int bits);
+
+/// c499-class workload: a Hamming single-error corrector.  Inputs: data
+/// D0..D(2^p-p-1 capped at `data_bits`) plus p parity bits P*; outputs the
+/// corrected data bits C*.  XOR-tree heavy, like the real c499.
+Circuit build_hamming_corrector(int data_bits);
+
+}  // namespace dlp::netlist

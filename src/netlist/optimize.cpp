@@ -1,0 +1,296 @@
+#include "netlist/optimize.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace dlp::netlist {
+
+namespace {
+
+/// Symbolic value of a net in the optimized circuit.
+struct Value {
+    static constexpr std::int64_t kConst0 = -1;
+    static constexpr std::int64_t kConst1 = -2;
+    std::int64_t v = kConst0;
+
+    static Value c0() { return {kConst0}; }
+    static Value c1() { return {kConst1}; }
+    static Value net(NetId id) { return {static_cast<std::int64_t>(id)}; }
+    bool is_const() const { return v < 0; }
+    bool is_one() const { return v == kConst1; }
+    bool is_zero() const { return v == kConst0; }
+    NetId id() const { return static_cast<NetId>(v); }
+    bool operator==(const Value&) const = default;
+};
+
+using Signature = std::pair<GateType, std::vector<std::int64_t>>;
+
+class Optimizer {
+public:
+    Optimizer(const Circuit& in, OptimizeStats* stats)
+        : in_(in), out_(in.name()), stats_(stats) {}
+
+    Circuit run() {
+        values_.assign(in_.gate_count(), Value::c0());
+        computed_.assign(in_.gate_count(), false);
+        for (NetId pi : in_.inputs()) {
+            values_[pi] = Value::net(out_.add_input(in_.gate(pi).name));
+            computed_[pi] = true;
+            not_of_.emplace_back(-1);  // one inverse slot per new net
+        }
+        // Drive evaluation from the primary outputs only: everything not
+        // reached is dead.
+        for (NetId po : in_.outputs()) {
+            const Value v = eval(po);
+            out_.mark_output(materialize_output(v, in_.gate(po).name));
+        }
+        return std::move(out_);
+    }
+
+private:
+    Value eval(NetId old_net) {
+        if (computed_[old_net]) return values_[old_net];
+        const Gate& g = in_.gate(old_net);
+        std::vector<Value> in_vals;
+        in_vals.reserve(g.fanin.size());
+        for (NetId f : g.fanin) in_vals.push_back(eval(f));
+        const Value v = simplify(g.type, std::move(in_vals), g.name);
+        values_[old_net] = v;
+        computed_[old_net] = true;
+        return v;
+    }
+
+    /// Complement relation between two already-materialized values.
+    bool complementary(const Value& a, const Value& b) {
+        if (a.is_const() && b.is_const()) return a.v != b.v;
+        if (a.is_const() || b.is_const()) return false;
+        return not_of_[a.id()] == static_cast<std::int64_t>(b.id()) ||
+               not_of_[b.id()] == static_cast<std::int64_t>(a.id());
+    }
+
+    Value make_not(Value x, const std::string& hint) {
+        if (x.is_const()) return x.is_zero() ? Value::c1() : Value::c0();
+        if (not_of_[x.id()] >= 0)
+            return Value::net(static_cast<NetId>(not_of_[x.id()]));
+        const Value v = emit(GateType::Not, {x}, hint);
+        // emit() may have CSE-hit an existing NOT; either way link both ways.
+        not_of_[x.id()] = static_cast<std::int64_t>(v.id());
+        not_of_[v.id()] = static_cast<std::int64_t>(x.id());
+        return v;
+    }
+
+    Value simplify(GateType type, std::vector<Value> ins,
+                   const std::string& name) {
+        switch (type) {
+            case GateType::Input:
+                throw std::logic_error("inputs handled in run()");
+            case GateType::Buf:
+                if (stats_) ++stats_->buffers;
+                return ins[0];
+            case GateType::Not:
+                return make_not(ins[0], name);
+            case GateType::And:
+            case GateType::Nand:
+            case GateType::Or:
+            case GateType::Nor: {
+                const bool and_like =
+                    type == GateType::And || type == GateType::Nand;
+                const bool invert =
+                    type == GateType::Nand || type == GateType::Nor;
+                // Controlling / identity constants.
+                std::vector<Value> kept;
+                for (const Value& v : ins) {
+                    if (and_like ? v.is_zero() : v.is_one()) {
+                        if (stats_) ++stats_->folded;
+                        Value c = and_like ? Value::c0() : Value::c1();
+                        return invert ? make_not(c, name) : c;
+                    }
+                    if (and_like ? v.is_one() : v.is_zero()) continue;
+                    if (std::find(kept.begin(), kept.end(), v) == kept.end())
+                        kept.push_back(v);
+                }
+                for (size_t i = 0; i < kept.size(); ++i)
+                    for (size_t j = i + 1; j < kept.size(); ++j)
+                        if (complementary(kept[i], kept[j])) {
+                            if (stats_) ++stats_->folded;
+                            Value c = and_like ? Value::c0() : Value::c1();
+                            return invert ? make_not(c, name) : c;
+                        }
+                if (kept.empty()) {
+                    if (stats_) ++stats_->folded;
+                    Value c = and_like ? Value::c1() : Value::c0();
+                    return invert ? make_not(c, name) : c;
+                }
+                if (kept.size() == 1) {
+                    if (stats_) ++stats_->folded;
+                    return invert ? make_not(kept[0], name) : kept[0];
+                }
+                // Commutative: canonical operand order for CSE.
+                std::sort(kept.begin(), kept.end(),
+                          [](const Value& a, const Value& b) {
+                              return a.v < b.v;
+                          });
+                return emit(type, kept, name);
+            }
+            case GateType::Xor:
+            case GateType::Xnor: {
+                bool parity = type == GateType::Xnor;
+                std::vector<Value> kept;
+                for (const Value& v : ins) {
+                    if (v.is_const()) {
+                        parity ^= v.is_one();
+                        continue;
+                    }
+                    // x ^ x = 0.
+                    const auto it = std::find(kept.begin(), kept.end(), v);
+                    if (it != kept.end())
+                        kept.erase(it);
+                    else
+                        kept.push_back(v);
+                }
+                // x ^ !x = 1 for any complementary pair.
+                for (size_t i = 0; i < kept.size(); ++i)
+                    for (size_t j = i + 1; j < kept.size(); ++j)
+                        if (complementary(kept[i], kept[j])) {
+                            kept.erase(kept.begin() + static_cast<long>(j));
+                            kept.erase(kept.begin() + static_cast<long>(i));
+                            parity ^= true;
+                            i = static_cast<size_t>(-1);  // restart scan
+                            break;
+                        }
+                if (kept.empty()) {
+                    if (stats_) ++stats_->folded;
+                    return parity ? Value::c1() : Value::c0();
+                }
+                if (kept.size() == 1) {
+                    if (stats_) ++stats_->folded;
+                    return parity ? make_not(kept[0], name) : kept[0];
+                }
+                std::sort(kept.begin(), kept.end(),
+                          [](const Value& a, const Value& b) {
+                              return a.v < b.v;
+                          });
+                return emit(parity ? GateType::Xnor : GateType::Xor, kept,
+                            name);
+            }
+        }
+        throw std::logic_error("unknown gate type");
+    }
+
+    Value emit(GateType type, const std::vector<Value>& ins,
+               const std::string& name) {
+        Signature sig{type, {}};
+        sig.second.reserve(ins.size());
+        for (const Value& v : ins) sig.second.push_back(v.v);
+        const auto it = cse_.find(sig);
+        if (it != cse_.end()) {
+            if (stats_) ++stats_->shared;
+            return Value::net(it->second);
+        }
+        std::vector<NetId> fanin;
+        fanin.reserve(ins.size());
+        for (const Value& v : ins) fanin.push_back(v.id());
+        const NetId id = out_.add_gate(type, unique_name(name),
+                                       std::move(fanin));
+        not_of_.emplace_back(-1);
+        cse_[sig] = id;
+        ++emitted_;
+        return Value::net(id);
+    }
+
+    /// POs must survive even when they reduce to a constant, a PI or a net
+    /// that is already an output: wrap in a buffer (constants become
+    /// x AND NOT x / x OR NOT x over the first input).
+    NetId materialize_output(Value v, const std::string& name) {
+        if (v.is_const()) {
+            if (in_.inputs().empty())
+                throw std::logic_error("constant PO in a circuit without PIs");
+            const Value pi = values_[in_.inputs()[0]];
+            const Value npi = make_not(pi, name + "$n");
+            const NetId id = out_.add_gate(
+                v.is_zero() ? GateType::And : GateType::Or,
+                unique_name(name), {pi.id(), npi.id()});
+            not_of_.emplace_back(-1);
+            return id;
+        }
+        // Keep the PO's own name where possible.
+        if (out_.gate(v.id()).name == name && !out_.is_output(v.id()))
+            return v.id();
+        const NetId id =
+            out_.add_gate(GateType::Buf, unique_name(name), {v.id()});
+        not_of_.emplace_back(-1);
+        return id;
+    }
+
+    std::string unique_name(const std::string& base) {
+        if (out_.find(base) == kNoNet) return base;
+        int n = 1;
+        while (out_.find(base + "$o" + std::to_string(n)) != kNoNet) ++n;
+        return base + "$o" + std::to_string(n);
+    }
+
+    const Circuit& in_;
+    Circuit out_;
+    OptimizeStats* stats_;
+    std::vector<Value> values_;
+    std::vector<bool> computed_;
+    std::vector<std::int64_t> not_of_;  ///< per new net: its inverse, or -1
+    std::map<Signature, NetId> cse_;
+    std::size_t emitted_ = 0;
+};
+
+}  // namespace
+
+namespace {
+
+/// Copies only the gates reachable from the primary outputs (simplified
+/// subtrees can leave helper gates - e.g. an inverter feeding a gate that
+/// later folded to a constant - with no remaining readers).
+Circuit strip_dead(const Circuit& in) {
+    std::vector<char> live(in.gate_count(), 0);
+    // Reverse topological mark: NetId order is topological, so one reverse
+    // pass suffices.
+    for (NetId po : in.outputs()) live[po] = 1;
+    for (NetId g = static_cast<NetId>(in.gate_count()); g-- > 0;)
+        if (live[g])
+            for (NetId f : in.gate(g).fanin) live[f] = 1;
+
+    Circuit out(in.name());
+    std::vector<NetId> remap(in.gate_count(), kNoNet);
+    for (NetId g = 0; g < in.gate_count(); ++g) {
+        const Gate& gate = in.gate(g);
+        if (gate.type == GateType::Input) {
+            remap[g] = out.add_input(gate.name);  // PIs always survive
+            continue;
+        }
+        if (!live[g]) continue;
+        std::vector<NetId> fanin;
+        fanin.reserve(gate.fanin.size());
+        for (NetId f : gate.fanin) fanin.push_back(remap[f]);
+        remap[g] = out.add_gate(gate.type, gate.name, std::move(fanin));
+    }
+    for (NetId po : in.outputs()) out.mark_output(remap[po]);
+    return out;
+}
+
+}  // namespace
+
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
+    if (stats) *stats = {};
+    Optimizer opt(circuit, stats);
+    Circuit out = strip_dead(opt.run());
+    if (stats) {
+        const std::size_t before = circuit.logic_gate_count();
+        const std::size_t after = out.logic_gate_count();
+        stats->dead = before > after + stats->folded + stats->shared +
+                                  stats->buffers
+                          ? before - after - stats->folded - stats->shared -
+                                stats->buffers
+                          : 0;
+    }
+    return out;
+}
+
+}  // namespace dlp::netlist

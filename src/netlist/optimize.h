@@ -1,0 +1,28 @@
+// Netlist cleanup passes, run between synthesis-style construction and
+// techmap: constant folding, common-subexpression sharing, buffer
+// elision and dead-gate removal.  Functionally equivalence-preserving on
+// the primary outputs.
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace dlp::netlist {
+
+struct OptimizeStats {
+    std::size_t folded = 0;     ///< gates simplified by constant inputs
+    std::size_t shared = 0;     ///< duplicate gates merged (CSE)
+    std::size_t buffers = 0;    ///< buffers bypassed
+    std::size_t dead = 0;       ///< unreachable gates dropped
+    std::size_t total_removed() const {
+        return folded + shared + buffers + dead;
+    }
+};
+
+/// Returns an equivalent, usually smaller circuit.  Primary inputs and
+/// outputs keep their order and names; a PO that reduces to a constant or
+/// to another net is re-driven through a named buffer so the output list
+/// stays intact.  Note: constants cannot exist in this IR, so folding only
+/// applies to *structurally* constant subtrees (e.g. AND(x, NOT(x))).
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats = nullptr);
+
+}  // namespace dlp::netlist

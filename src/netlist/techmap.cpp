@@ -1,0 +1,158 @@
+#include "netlist/techmap.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dlp::netlist {
+
+namespace {
+
+class Mapper {
+public:
+    Mapper(const Circuit& in, const TechmapOptions& options)
+        : in_(in), out_(in.name()), options_(options) {
+        if (options.max_arity < 2)
+            throw std::invalid_argument("max_arity must be >= 2");
+    }
+
+    Circuit run() {
+        map_.assign(in_.gate_count(), kNoNet);
+        for (NetId g = 0; g < in_.gate_count(); ++g) map_gate(g);
+        for (NetId po : in_.outputs()) out_.mark_output(map_[po]);
+        return std::move(out_);
+    }
+
+private:
+    /// Splits `nets` into a balanced tree of AND (for NAND/AND) or OR (for
+    /// NOR/OR) gates with bounded arity, returning the top-level operand
+    /// list (size <= max_arity) for the final gate.
+    std::vector<NetId> reduce(GateType inner, std::vector<NetId> nets,
+                              const std::string& base) {
+        const size_t width = static_cast<size_t>(options_.max_arity);
+        while (nets.size() > width) {
+            std::vector<NetId> next;
+            for (size_t i = 0; i < nets.size(); i += width) {
+                const size_t take = std::min(width, nets.size() - i);
+                if (take == 1) {
+                    next.push_back(nets[i]);
+                    continue;
+                }
+                std::vector<NetId> group(nets.begin() + static_cast<long>(i),
+                                         nets.begin() + static_cast<long>(i + take));
+                next.push_back(out_.add_gate(
+                    inner, base + "$m" + std::to_string(helper_++),
+                    std::move(group)));
+            }
+            nets = std::move(next);
+        }
+        return nets;
+    }
+
+    void map_gate(NetId g) {
+        const Gate& gate = in_.gate(g);
+        if (gate.type == GateType::Input) {
+            map_[g] = out_.add_input(gate.name);
+            return;
+        }
+        std::vector<NetId> fanin;
+        fanin.reserve(gate.fanin.size());
+        for (NetId f : gate.fanin) fanin.push_back(map_[f]);
+
+        switch (gate.type) {
+            case GateType::Buf:
+            case GateType::Not:
+                map_[g] = out_.add_gate(gate.type, gate.name, std::move(fanin));
+                return;
+            case GateType::And:
+            case GateType::Nand: {
+                auto top = reduce(GateType::And, std::move(fanin), gate.name);
+                map_[g] = top.size() == 1 && gate.type == GateType::And
+                              ? out_.add_gate(GateType::Buf, gate.name,
+                                              std::move(top))
+                              : out_.add_gate(gate.type, gate.name,
+                                              std::move(top));
+                return;
+            }
+            case GateType::Or:
+            case GateType::Nor: {
+                auto top = reduce(GateType::Or, std::move(fanin), gate.name);
+                map_[g] = top.size() == 1 && gate.type == GateType::Or
+                              ? out_.add_gate(GateType::Buf, gate.name,
+                                              std::move(top))
+                              : out_.add_gate(gate.type, gate.name,
+                                              std::move(top));
+                return;
+            }
+            case GateType::Xor:
+            case GateType::Xnor: {
+                if (options_.decompose_xor) {
+                    // Left fold of 2-input XORs, each as four NAND2s; the
+                    // final polarity inverter (for XNOR) keeps the name.
+                    NetId cur = fanin[0];
+                    for (size_t i = 1; i < fanin.size(); ++i) {
+                        const bool last = i + 1 == fanin.size();
+                        const std::string base =
+                            gate.name + "$m" + std::to_string(helper_++);
+                        const NetId a = cur;
+                        const NetId b = fanin[i];
+                        const NetId n1 =
+                            out_.add_gate(GateType::Nand, base + "a", {a, b});
+                        const NetId n2 =
+                            out_.add_gate(GateType::Nand, base + "b", {a, n1});
+                        const NetId n3 =
+                            out_.add_gate(GateType::Nand, base + "c", {n1, b});
+                        const std::string out_name =
+                            last && gate.type == GateType::Xor ? gate.name
+                                                               : base + "d";
+                        cur = out_.add_gate(GateType::Nand, out_name,
+                                            {n2, n3});
+                    }
+                    map_[g] = gate.type == GateType::Xor
+                                  ? cur
+                                  : out_.add_gate(GateType::Not, gate.name,
+                                                  {cur});
+                    return;
+                }
+                // Pairwise XOR tree; final gate carries the polarity.
+                std::vector<NetId> nets = std::move(fanin);
+                while (nets.size() > 2) {
+                    std::vector<NetId> next;
+                    for (size_t i = 0; i + 1 < nets.size(); i += 2)
+                        next.push_back(out_.add_gate(
+                            GateType::Xor,
+                            gate.name + "$m" + std::to_string(helper_++),
+                            {nets[i], nets[i + 1]}));
+                    if (nets.size() % 2 == 1) next.push_back(nets.back());
+                    nets = std::move(next);
+                }
+                if (nets.size() == 1)
+                    map_[g] = out_.add_gate(gate.type == GateType::Xor
+                                                ? GateType::Buf
+                                                : GateType::Not,
+                                            gate.name, std::move(nets));
+                else
+                    map_[g] = out_.add_gate(gate.type, gate.name,
+                                            std::move(nets));
+                return;
+            }
+            case GateType::Input:
+                break;
+        }
+        throw std::logic_error("unreachable gate type in techmap");
+    }
+
+    const Circuit& in_;
+    Circuit out_;
+    TechmapOptions options_;
+    std::vector<NetId> map_;
+    int helper_ = 0;
+};
+
+}  // namespace
+
+Circuit techmap(const Circuit& circuit, const TechmapOptions& options) {
+    return Mapper(circuit, options).run();
+}
+
+}  // namespace dlp::netlist

@@ -1,0 +1,28 @@
+// Technology mapping: rewrites a circuit so every gate matches a cell in the
+// standard-cell library (bounded arity, supported types).  Used before
+// layout generation.
+//
+// Mapping rules:
+//  * NAND/NOR/AND/OR with arity > max_arity are decomposed into balanced
+//    trees of max_arity-input gates (de Morgan-correct: an N-wide NAND
+//    becomes AND subtrees feeding a final NAND, etc.).
+//  * XOR/XNOR with arity > 2 become XOR2 trees (final gate keeps polarity).
+//  * Buf/Not pass through.
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace dlp::netlist {
+
+struct TechmapOptions {
+    int max_arity = 4;          ///< widest supported NAND/NOR/AND/OR cell
+    bool decompose_xor = true;  ///< rewrite XOR2/XNOR2 as four NAND2 (+ INV)
+                                ///< for libraries without XOR cells
+};
+
+/// Returns a functionally equivalent circuit whose gates all fit the cell
+/// library.  Net names of surviving gates are preserved; helper gates get
+/// "name$mN" suffixes.  Primary inputs/outputs are preserved in order.
+Circuit techmap(const Circuit& circuit, const TechmapOptions& options = {});
+
+}  // namespace dlp::netlist

@@ -1,0 +1,346 @@
+#include "switchsim/switch_fault_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+
+namespace dlp::switchsim {
+
+SwitchFaultSimulator::SwitchFaultSimulator(const SwitchSim& sim,
+                                           std::vector<WeightedFault> faults)
+    : sim_(&sim), faults_(std::move(faults)) {
+    const SwitchNetlist& net = sim.netlist();
+    detected_at_.assign(faults_.size(), -1);
+    iddq_at_.assign(faults_.size(), -1);
+    per_fault_.resize(faults_.size());
+    comp_visits_.assign(static_cast<size_t>(sim.component_count()), 0);
+    po_mask_.assign(static_cast<size_t>(net.node_count), 0);
+    for (NodeId po : net.output_nodes) po_mask_[static_cast<size_t>(po)] = 1;
+
+    const auto comp_of_node = [&](NodeId v) {
+        return sim.component_of()[static_cast<size_t>(v)];
+    };
+    for (size_t fi = 0; fi < faults_.size(); ++fi) {
+        const SwitchFault& f = faults_[fi].fault;
+        total_weight_ += faults_[fi].weight;
+        PerFault& pf = per_fault_[fi];
+        switch (f.kind) {
+            case SwitchFault::Kind::Bridge: {
+                std::vector<NodeId> ends{f.a, f.b};
+                if (f.c >= 0) ends.push_back(f.c);
+                for (NodeId n : ends) {
+                    const std::int32_t c = comp_of_node(n);
+                    if (c >= 0 && std::find(pf.seed_comps.begin(),
+                                            pf.seed_comps.end(),
+                                            c) == pf.seed_comps.end())
+                        pf.seed_comps.push_back(c);
+                }
+                if (pf.seed_comps.size() >= 2) pf.merged = pf.seed_comps;
+                break;
+            }
+            case SwitchFault::Kind::TransistorOpen:
+            case SwitchFault::Kind::GateFloat:
+                for (int t : f.transistors) {
+                    const auto& tr =
+                        sim.netlist().transistors[static_cast<size_t>(t)];
+                    const NodeId probe =
+                        (tr.source == SwitchNetlist::kGnd ||
+                         tr.source == SwitchNetlist::kVdd)
+                            ? tr.drain
+                            : tr.source;
+                    const std::int32_t c = comp_of_node(probe);
+                    if (c >= 0 &&
+                        std::find(pf.seed_comps.begin(), pf.seed_comps.end(),
+                                  c) == pf.seed_comps.end())
+                        pf.seed_comps.push_back(c);
+                }
+                break;
+            case SwitchFault::Kind::Gross:
+            case SwitchFault::Kind::None:
+                break;
+        }
+    }
+
+    good_ = sim.initial_state();
+    good_prev_ = good_;
+    cur_ = good_;
+    prev_scratch_ = good_;
+}
+
+void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
+    const SwitchFault& fault = faults_[fi].fault;
+    if (fault.kind == SwitchFault::Kind::Gross) {
+        detected_at_[fi] = vector_index;  // fails any test immediately
+        return;
+    }
+    if (fault.kind == SwitchFault::Kind::None) return;  // pure pad float: X
+    PerFault& pf = per_fault_[fi];
+
+    SwitchSim::FaultView fv;
+    fv.fault = &fault;
+
+    // Patch the scratch previous-state with this fault's retained charge.
+    for (const auto& [node, value] : pf.divergence)
+        prev_scratch_[static_cast<size_t>(node)] = value;
+
+    // Seed the worklist.  A component entering the working set restarts
+    // from X, matching the reference simulation's ternary least-fixpoint
+    // iteration: bridges can create feedback loops with several fixpoints,
+    // and starting from X is the only order-independent choice.
+    // Initialization that changes a node's visible value must notify that
+    // node's readers, or a component whose solve happens to equal its
+    // initialization would never trigger the re-solve of components that
+    // already read the mirror value.
+    std::deque<std::int32_t> work;
+    std::vector<std::int32_t> touched;
+    std::vector<NodeId> fixed_overrides;
+    std::vector<std::int32_t> pending;
+    const auto enqueue = [&pending](std::int32_t c) {
+        if (c >= 0) pending.push_back(c);
+    };
+    const auto drain = [&]() {
+        while (!pending.empty()) {
+            const std::int32_t c = pending.back();
+            pending.pop_back();
+            work.push_back(c);
+            if (std::find(touched.begin(), touched.end(), c) != touched.end())
+                continue;
+            touched.push_back(c);
+            for (NodeId v : sim_->component_nodes(c)) {
+                if (cur_[static_cast<size_t>(v)] == SV::X) continue;
+                cur_[static_cast<size_t>(v)] = SV::X;
+                for (std::int32_t dep : sim_->gate_dependents(v))
+                    pending.push_back(dep);
+            }
+        }
+    };
+    for (std::int32_t c : pf.seed_comps) enqueue(c);
+    drain();
+    for (const auto& [node, value] : pf.divergence) {
+        const std::int32_t c = sim_->component_of()[static_cast<size_t>(node)];
+        if (c >= 0)
+            enqueue(c);
+        else {
+            // Divergence at a component-less node (bridged PI): reapply.
+            cur_[static_cast<size_t>(node)] = value;
+            fixed_overrides.push_back(node);
+        }
+        for (std::int32_t dep : sim_->gate_dependents(node)) enqueue(dep);
+        drain();
+    }
+
+    // Bridged component-less (fixed) nodes: shorted driven inputs resolve
+    // wired-AND (supplies always win), mirroring SwitchSim::run.
+    if (fault.kind == SwitchFault::Kind::Bridge &&
+        pf.seed_comps.empty()) {
+        std::vector<NodeId> ends{fault.a, fault.b};
+        if (fault.c >= 0) ends.push_back(fault.c);
+        SV want = good_[static_cast<size_t>(ends[0])];
+        bool supply_found = false;
+        for (NodeId n : ends)
+            if (n == SwitchNetlist::kGnd || n == SwitchNetlist::kVdd) {
+                want = good_[static_cast<size_t>(n)];
+                supply_found = true;
+                break;
+            }
+        if (!supply_found) {
+            for (NodeId n : ends) {
+                const SV v = good_[static_cast<size_t>(n)];
+                if (v == want) continue;
+                want = (v == SV::X || want == SV::X) ? SV::X : SV::Zero;
+            }
+        }
+        for (const NodeId n : ends) {
+            if (n == SwitchNetlist::kGnd || n == SwitchNetlist::kVdd)
+                continue;
+            if (cur_[static_cast<size_t>(n)] != want) {
+                cur_[static_cast<size_t>(n)] = want;
+                fixed_overrides.push_back(n);
+                for (std::int32_t dep : sim_->gate_dependents(n))
+                    enqueue(dep);
+            }
+        }
+    }
+    drain();
+
+    // Process the worklist to a fixpoint.
+    const int cap = sim_->params().max_sweeps;
+    static thread_local std::vector<SV> before;
+    while (!work.empty()) {
+        const std::int32_t c = work.front();
+        work.pop_front();
+        if (comp_visits_[static_cast<size_t>(c)] >= cap) continue;
+        ++comp_visits_[static_cast<size_t>(c)];
+
+        std::span<const std::int32_t> group(&c, 1);
+        if (!pf.merged.empty() &&
+            std::find(pf.merged.begin(), pf.merged.end(), c) !=
+                pf.merged.end())
+            group = pf.merged;
+
+        before.clear();
+        for (std::int32_t gc : group)
+            for (NodeId v : sim_->component_nodes(gc))
+                before.push_back(cur_[static_cast<size_t>(v)]);
+        sim_->solve_component(cur_, prev_scratch_, group, fv);
+        size_t idx = 0;
+        for (std::int32_t gc : group)
+            for (NodeId v : sim_->component_nodes(gc)) {
+                if (cur_[static_cast<size_t>(v)] != before[idx])
+                    for (std::int32_t dep : sim_->gate_dependents(v))
+                        enqueue(dep);
+                ++idx;
+            }
+        drain();
+    }
+
+    // Collect the new divergence, check detection, then repair the scratch
+    // arrays back to the fault-free state.
+    pf.divergence.clear();
+    bool detected = false;
+    const NodeId excluded_po =
+        fault.po_float >= 0
+            ? sim_->netlist().output_nodes[static_cast<size_t>(fault.po_float)]
+            : -1;
+    const auto scan_node = [&](NodeId v) {
+        const SV fv_val = cur_[static_cast<size_t>(v)];
+        const SV gv = good_[static_cast<size_t>(v)];
+        if (fv_val != gv) {
+            pf.divergence.push_back({v, fv_val});
+            if (po_mask_[static_cast<size_t>(v)] && v != excluded_po &&
+                fv_val != SV::X && gv != SV::X)
+                detected = true;
+        }
+        cur_[static_cast<size_t>(v)] = gv;
+        prev_scratch_[static_cast<size_t>(v)] =
+            good_prev_[static_cast<size_t>(v)];
+    };
+    for (std::int32_t c : touched) {
+        comp_visits_[static_cast<size_t>(c)] = 0;
+        for (NodeId v : sim_->component_nodes(c)) scan_node(v);
+    }
+    for (NodeId v : fixed_overrides) scan_node(v);
+    // Divergent nodes outside touched comps (from earlier vectors whose
+    // comps were not re-solved): still divergent - should not happen since
+    // divergence seeds its comps, but repair defensively.
+    // (seeded comps are always in `touched`.)
+
+    if (detected) detected_at_[fi] = vector_index;
+}
+
+int SwitchFaultSimulator::apply(std::span<const Vector> vectors) {
+    int newly = 0;
+    // std::vector<bool> is bit-packed; unpack into a plain array for the span.
+    std::unique_ptr<bool[]> barr;
+    size_t barr_size = 0;
+    for (const Vector& v : vectors) {
+        ++vectors_applied_;
+        good_prev_ = good_;
+        if (barr_size < v.size()) {
+            barr = std::make_unique<bool[]>(v.size());
+            barr_size = v.size();
+        }
+        for (size_t i = 0; i < v.size(); ++i) barr[i] = v[i];
+        const std::span<const bool> in(barr.get(), v.size());
+
+        sim_->step(good_, in);
+        cur_ = good_;
+        prev_scratch_ = good_prev_;
+
+        for (size_t fi = 0; fi < faults_.size(); ++fi) {
+            if (iddq_at_[fi] < 0) check_iddq(fi, vectors_applied_);
+            if (detected_at_[fi] >= 0) continue;
+            simulate_fault(fi, vectors_applied_);
+            if (detected_at_[fi] >= 0) ++newly;
+        }
+    }
+    return newly;
+}
+
+void SwitchFaultSimulator::check_iddq(size_t fi, int vector_index) {
+    const SwitchFault& f = faults_[fi].fault;
+    if (f.kind == SwitchFault::Kind::Gross) {
+        iddq_at_[fi] = vector_index;  // a supply short conducts always
+        return;
+    }
+    if (f.kind != SwitchFault::Kind::Bridge) return;
+    // Elevated quiescent current whenever the defect-free circuit drives
+    // any two of the shorted nodes to opposite levels.
+    std::vector<NodeId> ends{f.a, f.b};
+    if (f.c >= 0) ends.push_back(f.c);
+    bool saw0 = false;
+    bool saw1 = false;
+    for (NodeId n : ends) {
+        const SV v = good_[static_cast<size_t>(n)];
+        saw0 |= v == SV::Zero;
+        saw1 |= v == SV::One;
+    }
+    if (saw0 && saw1) iddq_at_[fi] = vector_index;
+}
+
+std::vector<double> SwitchFaultSimulator::weighted_coverage_curve_with_iddq()
+    const {
+    std::vector<double> add(static_cast<size_t>(vectors_applied_) + 1, 0.0);
+    for (size_t i = 0; i < faults_.size(); ++i) {
+        int first = detected_at_[i];
+        if (iddq_at_[i] >= 1 && (first < 0 || iddq_at_[i] < first))
+            first = iddq_at_[i];
+        if (first >= 1) add[static_cast<size_t>(first)] += faults_[i].weight;
+    }
+    std::vector<double> curve(static_cast<size_t>(vectors_applied_));
+    double cum = 0.0;
+    for (int k = 1; k <= vectors_applied_; ++k) {
+        cum += add[static_cast<size_t>(k)];
+        curve[static_cast<size_t>(k - 1)] =
+            total_weight_ == 0.0 ? 0.0 : cum / total_weight_;
+    }
+    return curve;
+}
+
+double SwitchFaultSimulator::weighted_coverage() const {
+    if (total_weight_ == 0.0) return 0.0;
+    double hit = 0.0;
+    for (size_t i = 0; i < faults_.size(); ++i)
+        if (detected_at_[i] >= 0) hit += faults_[i].weight;
+    return hit / total_weight_;
+}
+
+double SwitchFaultSimulator::unweighted_coverage() const {
+    if (faults_.empty()) return 0.0;
+    size_t hit = 0;
+    for (int d : detected_at_) hit += d >= 0 ? 1 : 0;
+    return static_cast<double>(hit) / static_cast<double>(faults_.size());
+}
+
+std::vector<double> SwitchFaultSimulator::weighted_coverage_curve() const {
+    std::vector<double> add(static_cast<size_t>(vectors_applied_) + 1, 0.0);
+    for (size_t i = 0; i < faults_.size(); ++i)
+        if (detected_at_[i] >= 1)
+            add[static_cast<size_t>(detected_at_[i])] += faults_[i].weight;
+    std::vector<double> curve(static_cast<size_t>(vectors_applied_));
+    double cum = 0.0;
+    for (int k = 1; k <= vectors_applied_; ++k) {
+        cum += add[static_cast<size_t>(k)];
+        curve[static_cast<size_t>(k - 1)] =
+            total_weight_ == 0.0 ? 0.0 : cum / total_weight_;
+    }
+    return curve;
+}
+
+std::vector<double> SwitchFaultSimulator::unweighted_coverage_curve() const {
+    std::vector<int> add(static_cast<size_t>(vectors_applied_) + 1, 0);
+    for (int d : detected_at_)
+        if (d >= 1) ++add[static_cast<size_t>(d)];
+    std::vector<double> curve(static_cast<size_t>(vectors_applied_));
+    double cum = 0.0;
+    for (int k = 1; k <= vectors_applied_; ++k) {
+        cum += add[static_cast<size_t>(k)];
+        curve[static_cast<size_t>(k - 1)] =
+            faults_.empty() ? 0.0
+                            : cum / static_cast<double>(faults_.size());
+    }
+    return curve;
+}
+
+}  // namespace dlp::switchsim

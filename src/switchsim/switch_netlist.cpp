@@ -1,0 +1,70 @@
+#include "switchsim/switch_netlist.h"
+
+#include <stdexcept>
+
+#include "cell/library.h"
+
+namespace dlp::switchsim {
+
+NodeId SwitchNetlist::node_of(const cell::NetRef& ref) const {
+    if (ref.is_power()) return ref.index ? kVdd : kGnd;
+    if (ref.is_circuit()) return node_of_net(static_cast<netlist::NetId>(ref.index));
+    return local_nodes[static_cast<size_t>(ref.instance)]
+                      [static_cast<size_t>(ref.index)];
+}
+
+std::string SwitchNetlist::node_name(NodeId node) const {
+    if (node == kGnd) return "GND";
+    if (node == kVdd) return "VDD";
+    if (node < static_cast<NodeId>(2 + circuit->gate_count()))
+        return circuit->gate(static_cast<netlist::NetId>(node - 2)).name;
+    return "$int" + std::to_string(node);
+}
+
+SwitchNetlist build_switch_netlist(const netlist::Circuit& mapped) {
+    SwitchNetlist net;
+    net.circuit = &mapped;
+    net.node_count = static_cast<NodeId>(2 + mapped.gate_count());
+    net.instance_of.assign(mapped.gate_count(), -1);
+
+    for (netlist::NetId g = 0; g < mapped.gate_count(); ++g) {
+        const auto& gate = mapped.gate(g);
+        if (gate.type == netlist::GateType::Input) continue;
+        const cell::Cell& c =
+            cell::library_cell(gate.type, static_cast<int>(gate.fanin.size()));
+        const auto instance = static_cast<std::int32_t>(net.cells.size());
+        net.instance_of[g] = instance;
+        net.cells.push_back(&c);
+        net.transistor_base.push_back(
+            static_cast<std::int32_t>(net.transistors.size()));
+
+        // Map the cell's local nets to global nodes.
+        std::vector<NodeId> local(c.nets.size(), -1);
+        local[cell::Cell::kGnd] = SwitchNetlist::kGnd;
+        local[cell::Cell::kVdd] = SwitchNetlist::kVdd;
+        for (size_t p = 0; p + 1 < c.pins.size(); ++p)  // input pins
+            local[static_cast<size_t>(c.pins[p].net)] =
+                net.node_of_net(gate.fanin[p]);
+        local[static_cast<size_t>(c.output_pin().net)] = net.node_of_net(g);
+        for (size_t n = 0; n < local.size(); ++n)
+            if (local[n] < 0) local[n] = net.node_count++;
+        net.local_nodes.push_back(local);
+
+        for (size_t t = 0; t < c.transistors.size(); ++t) {
+            const cell::Transistor& ct = c.transistors[t];
+            net.transistors.push_back(
+                {ct.is_pmos, local[static_cast<size_t>(ct.gate)],
+                 local[static_cast<size_t>(ct.source)],
+                 local[static_cast<size_t>(ct.drain)], instance,
+                 static_cast<int>(t)});
+        }
+    }
+
+    for (netlist::NetId pi : mapped.inputs())
+        net.input_nodes.push_back(net.node_of_net(pi));
+    for (netlist::NetId po : mapped.outputs())
+        net.output_nodes.push_back(net.node_of_net(po));
+    return net;
+}
+
+}  // namespace dlp::switchsim

@@ -1,0 +1,57 @@
+// Transistor-level expansion of a tech-mapped circuit using the cell
+// library, with a canonical node numbering shared by the extractor:
+//   node 0 = GND, node 1 = VDD,
+//   node 2+n = circuit net n (NetId n),
+//   then the internal nets of each instance, in instance order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cell/cell.h"
+#include "netlist/circuit.h"
+
+namespace dlp::switchsim {
+
+using NodeId = std::int32_t;
+
+struct SwitchTransistor {
+    bool is_pmos = false;
+    NodeId gate = -1;
+    NodeId source = -1;
+    NodeId drain = -1;
+    std::int32_t instance = -1;  ///< owning cell instance
+    int local_index = -1;        ///< index within the cell's transistor list
+};
+
+struct SwitchNetlist {
+    static constexpr NodeId kGnd = 0;
+    static constexpr NodeId kVdd = 1;
+
+    const netlist::Circuit* circuit = nullptr;
+    NodeId node_count = 2;
+    std::vector<SwitchTransistor> transistors;
+    std::vector<std::int32_t> instance_of;      ///< per NetId, -1 = PI
+    std::vector<std::int32_t> transistor_base;  ///< per instance
+    std::vector<std::vector<NodeId>> local_nodes;  ///< per instance, per local net
+    std::vector<NodeId> input_nodes;   ///< PI nodes in circuit input order
+    std::vector<NodeId> output_nodes;  ///< PO nodes in circuit output order
+    std::vector<const cell::Cell*> cells;  ///< per instance
+
+    NodeId node_of_net(netlist::NetId net) const {
+        return static_cast<NodeId>(2 + net);
+    }
+    /// Resolves an extraction NetRef to a node.
+    NodeId node_of(const cell::NetRef& ref) const;
+    /// Global transistor index of an instance's local transistor.
+    int global_transistor(std::int32_t instance, int local) const {
+        return transistor_base[static_cast<size_t>(instance)] + local;
+    }
+    std::string node_name(NodeId node) const;
+};
+
+/// Expands a tech-mapped circuit (see netlist::techmap) to transistors.
+SwitchNetlist build_switch_netlist(const netlist::Circuit& mapped);
+
+}  // namespace dlp::switchsim

@@ -1,0 +1,447 @@
+#include "switchsim/switch_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlp::switchsim {
+
+namespace {
+
+/// Resolved value of bridged *driven* (component-less) nodes: a supply
+/// always wins; tester-driven inputs resolve wired-AND.
+SV resolve_fixed_bridge(std::span<const NodeId> nodes,
+                        std::span<const SV> values) {
+    for (size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i] == SwitchNetlist::kGnd ||
+            nodes[i] == SwitchNetlist::kVdd)
+            return values[i];
+    SV acc = values[0];
+    for (size_t i = 1; i < values.size(); ++i) {
+        if (values[i] == acc) continue;
+        if (values[i] == SV::X || acc == SV::X) return SV::X;
+        acc = SV::Zero;  // wired-AND of differing binary drives
+    }
+    return acc;
+}
+
+/// Endpoint nodes of a bridge fault (two or three).
+std::vector<NodeId> bridge_nodes(const SwitchFault& fault) {
+    std::vector<NodeId> nodes{fault.a, fault.b};
+    if (fault.c >= 0) nodes.push_back(fault.c);
+    return nodes;
+}
+
+}  // namespace
+
+SwitchSim::SwitchSim(const SwitchNetlist& netlist, SimParams params)
+    : netlist_(&netlist), params_(params) {
+    const size_t n = static_cast<size_t>(netlist.node_count);
+    // Union-find over source/drain edges, excluding the supplies.
+    std::vector<std::int32_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    const auto find = [&parent](std::int32_t x) {
+        while (parent[static_cast<size_t>(x)] != x)
+            x = parent[static_cast<size_t>(x)] =
+                parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+        return x;
+    };
+    const auto is_supply = [](NodeId v) {
+        return v == SwitchNetlist::kGnd || v == SwitchNetlist::kVdd;
+    };
+    for (const auto& t : netlist.transistors) {
+        if (is_supply(t.source) || is_supply(t.drain)) continue;
+        parent[static_cast<size_t>(find(t.source))] = find(t.drain);
+    }
+    // Nodes that touch a transistor channel belong to a component.
+    std::vector<char> in_channel(n, 0);
+    for (const auto& t : netlist.transistors) {
+        if (!is_supply(t.source)) in_channel[static_cast<size_t>(t.source)] = 1;
+        if (!is_supply(t.drain)) in_channel[static_cast<size_t>(t.drain)] = 1;
+    }
+    component_of_.assign(n, -1);
+    std::vector<std::int32_t> comp_id(n, -1);
+    for (NodeId v = 0; v < netlist.node_count; ++v) {
+        if (!in_channel[static_cast<size_t>(v)]) continue;
+        const std::int32_t root = find(v);
+        if (comp_id[static_cast<size_t>(root)] < 0) {
+            comp_id[static_cast<size_t>(root)] = component_count_++;
+            comp_nodes_.emplace_back();
+        }
+        component_of_[static_cast<size_t>(v)] = comp_id[static_cast<size_t>(root)];
+        comp_nodes_[static_cast<size_t>(comp_id[static_cast<size_t>(root)])]
+            .push_back(v);
+    }
+    comp_transistors_.assign(static_cast<size_t>(component_count_), {});
+    for (size_t t = 0; t < netlist.transistors.size(); ++t) {
+        const auto& tr = netlist.transistors[t];
+        const NodeId probe = is_supply(tr.source) ? tr.drain : tr.source;
+        const std::int32_t c = component_of_[static_cast<size_t>(probe)];
+        if (c >= 0)
+            comp_transistors_[static_cast<size_t>(c)].push_back(
+                static_cast<int>(t));
+    }
+    gate_deps_.assign(n, {});
+    for (size_t t = 0; t < netlist.transistors.size(); ++t) {
+        const auto& tr = netlist.transistors[t];
+        const NodeId probe = is_supply(tr.source) ? tr.drain : tr.source;
+        const std::int32_t c = component_of_[static_cast<size_t>(probe)];
+        if (c < 0) continue;
+        auto& deps = gate_deps_[static_cast<size_t>(tr.gate)];
+        if (std::find(deps.begin(), deps.end(), c) == deps.end())
+            deps.push_back(c);
+    }
+}
+
+SwitchSim::State SwitchSim::initial_state() const {
+    State s(static_cast<size_t>(netlist_->node_count), SV::X);
+    s[SwitchNetlist::kGnd] = SV::Zero;
+    s[SwitchNetlist::kVdd] = SV::One;
+    return s;
+}
+
+void SwitchSim::solve_component(State& state, const State& prev,
+                                std::span<const std::int32_t> comps,
+                                const FaultView& fault) const {
+    // Collect the node set and transistor list of the (possibly merged)
+    // component group.
+    static thread_local std::vector<NodeId> nodes;
+    static thread_local std::vector<int> node_slot;
+    nodes.clear();
+    for (std::int32_t c : comps)
+        for (NodeId v : comp_nodes_[static_cast<size_t>(c)]) nodes.push_back(v);
+    if (nodes.empty()) return;
+    if (node_slot.size() < static_cast<size_t>(netlist_->node_count))
+        node_slot.assign(static_cast<size_t>(netlist_->node_count), -1);
+    for (size_t i = 0; i < nodes.size(); ++i)
+        node_slot[static_cast<size_t>(nodes[i])] = static_cast<int>(i);
+    const size_t ns = nodes.size();
+
+    // Unknown boolean variables.  X-valued gate nets are enumerated as
+    // *nets*, not per transistor, so complementary N/P pairs stay mutually
+    // exclusive - the two-extremes ("all maybe on / all off") shortcut is
+    // non-monotone and oscillates on bridge feedback loops.  Fault-floating
+    // transistor gates and X-valued bridged-in terminals get their own
+    // variables.  The node value is the ternary join over all assignments.
+    struct Var {
+        char kind;      // 'g' gate net, 'f' floating transistor, 't' terminal
+        std::int64_t key;
+    };
+    static thread_local std::vector<Var> vars;
+    vars.clear();
+    const auto find_var = [&](char kind, std::int64_t key) {
+        for (size_t i = 0; i < vars.size(); ++i)
+            if (vars[i].kind == kind && vars[i].key == key)
+                return static_cast<int>(i);
+        vars.push_back({kind, key});
+        return static_cast<int>(vars.size() - 1);
+    };
+
+    struct Edge {
+        int u, v;       ///< slot indices, or -1 when the end is a terminal
+        NodeId tu, tv;  ///< original node ids
+        double g;
+        int var;        ///< -1: always conducts; else variable index
+        bool invert;    ///< edge conducts when the variable is 0 (PMOS)
+    };
+    static thread_local std::vector<Edge> edges;
+    edges.clear();
+
+    for (std::int32_t c : comps)
+        for (int t : comp_transistors_[static_cast<size_t>(c)]) {
+            const auto& tr = netlist_->transistors[static_cast<size_t>(t)];
+            if (fault.removed(t)) continue;
+            int var = -1;
+            bool invert = false;
+            if (fault.floating(t)) {
+                if (params_.float_gate == FloatGateModel::Unknown ||
+                    fault.fault->float_level ==
+                        SwitchFault::FloatLevel::Mid) {
+                    var = find_var('f', t);
+                } else {
+                    const bool high = fault.fault->float_level ==
+                                      SwitchFault::FloatLevel::High;
+                    if (!(tr.is_pmos ? !high : high)) continue;  // off
+                }
+            } else {
+                const SV gv = state[static_cast<size_t>(tr.gate)];
+                if (gv == SV::X) {
+                    var = find_var('g', tr.gate);
+                    invert = tr.is_pmos;
+                } else {
+                    const bool high = gv == SV::One;
+                    if (!(tr.is_pmos ? !high : high)) continue;  // off
+                }
+            }
+            edges.push_back({node_slot[static_cast<size_t>(tr.source)],
+                             node_slot[static_cast<size_t>(tr.drain)],
+                             tr.source, tr.drain,
+                             tr.is_pmos ? params_.g_pmos : params_.g_nmos,
+                             var, invert});
+        }
+    if (fault.has_bridge()) {
+        const auto add_bridge_edge = [&](NodeId a, NodeId b) {
+            const int sa = node_slot[static_cast<size_t>(a)];
+            const int sb = node_slot[static_cast<size_t>(b)];
+            if (sa >= 0 || sb >= 0)
+                edges.push_back({sa, sb, a, b, params_.g_bridge, -1, false});
+        };
+        add_bridge_edge(fault.fault->a, fault.fault->b);
+        if (fault.fault->c >= 0)
+            add_bridge_edge(fault.fault->b, fault.fault->c);
+    }
+    // X-valued terminals (a bridged-in PI that was itself forced to X).
+    for (const Edge& e : edges) {
+        if (e.u < 0 && state[static_cast<size_t>(e.tu)] == SV::X)
+            find_var('t', e.tu);
+        if (e.v < 0 && state[static_cast<size_t>(e.tv)] == SV::X)
+            find_var('t', e.tv);
+    }
+
+    static thread_local std::vector<SV> joined;
+    joined.assign(ns, SV::X);
+
+    constexpr int kMaxVars = 6;
+    if (static_cast<int>(vars.size()) > kMaxVars) {
+        // Too many unknowns: nodes that could possibly be driven become X;
+        // nodes with no conceivable path to a terminal keep their charge.
+        static thread_local std::vector<char> maybe_driven;
+        maybe_driven.assign(ns, 0);
+        for (const Edge& e : edges) {
+            if (e.u < 0 && e.v >= 0) maybe_driven[static_cast<size_t>(e.v)] = 1;
+            if (e.v < 0 && e.u >= 0) maybe_driven[static_cast<size_t>(e.u)] = 1;
+        }
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (const Edge& e : edges) {
+                if (e.u < 0 || e.v < 0) continue;
+                const size_t a = static_cast<size_t>(e.u);
+                const size_t b = static_cast<size_t>(e.v);
+                if (maybe_driven[a] != maybe_driven[b]) {
+                    maybe_driven[a] = maybe_driven[b] = 1;
+                    grew = true;
+                }
+            }
+        }
+        for (size_t i = 0; i < ns; ++i)
+            joined[i] = maybe_driven[i]
+                            ? SV::X
+                            : prev[static_cast<size_t>(nodes[i])];
+        for (size_t i = 0; i < ns; ++i)
+            state[static_cast<size_t>(nodes[i])] = joined[i];
+        for (NodeId v : nodes) node_slot[static_cast<size_t>(v)] = -1;
+        return;
+    }
+
+    const auto term_voltage = [&](NodeId v, unsigned assignment) -> double {
+        const SV tv = state[static_cast<size_t>(v)];
+        if (tv == SV::X) {
+            for (size_t i = 0; i < vars.size(); ++i)
+                if (vars[i].kind == 't' && vars[i].key == v)
+                    return (assignment >> i) & 1u ? 1.0 : 0.0;
+        }
+        return tv == SV::One ? 1.0 : 0.0;
+    };
+
+    static thread_local std::vector<double> a_mat;
+    static thread_local std::vector<double> rhs;
+    static thread_local std::vector<char> driven;
+    static thread_local std::vector<char> active;
+
+    const unsigned combos = 1u << vars.size();
+    for (unsigned assignment = 0; assignment < combos; ++assignment) {
+        active.assign(edges.size(), 0);
+        for (size_t e = 0; e < edges.size(); ++e) {
+            const int var = edges[e].var;
+            if (var < 0)
+                active[e] = 1;
+            else {
+                const bool bit = (assignment >> var) & 1u;
+                active[e] = (bit != edges[e].invert) ? 1 : 0;
+            }
+        }
+
+        a_mat.assign(ns * ns, 0.0);
+        rhs.assign(ns, 0.0);
+        driven.assign(ns, 0);
+        for (size_t e = 0; e < edges.size(); ++e) {
+            if (!active[e]) continue;
+            const Edge& ed = edges[e];
+            if (ed.u >= 0 && ed.v >= 0) {
+                a_mat[static_cast<size_t>(ed.u) * ns + static_cast<size_t>(ed.u)] += ed.g;
+                a_mat[static_cast<size_t>(ed.v) * ns + static_cast<size_t>(ed.v)] += ed.g;
+                a_mat[static_cast<size_t>(ed.u) * ns + static_cast<size_t>(ed.v)] -= ed.g;
+                a_mat[static_cast<size_t>(ed.v) * ns + static_cast<size_t>(ed.u)] -= ed.g;
+            } else if (ed.u >= 0 || ed.v >= 0) {
+                const int slot = ed.u >= 0 ? ed.u : ed.v;
+                const NodeId term = ed.u >= 0 ? ed.tv : ed.tu;
+                a_mat[static_cast<size_t>(slot) * ns + static_cast<size_t>(slot)] += ed.g;
+                rhs[static_cast<size_t>(slot)] += ed.g * term_voltage(term, assignment);
+                driven[static_cast<size_t>(slot)] = 1;
+            }
+        }
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (size_t e = 0; e < edges.size(); ++e) {
+                if (!active[e]) continue;
+                const Edge& ed = edges[e];
+                if (ed.u < 0 || ed.v < 0) continue;
+                const size_t p = static_cast<size_t>(ed.u);
+                const size_t q = static_cast<size_t>(ed.v);
+                if (driven[p] != driven[q]) {
+                    driven[p] = driven[q] = 1;
+                    grew = true;
+                }
+            }
+        }
+        for (size_t i = 0; i < ns; ++i)
+            if (a_mat[i * ns + i] == 0.0) a_mat[i * ns + i] = 1.0;
+
+        // Gauss-Jordan with partial pivoting.
+        for (size_t col = 0; col < ns; ++col) {
+            size_t pivot = col;
+            for (size_t r = col + 1; r < ns; ++r)
+                if (std::abs(a_mat[r * ns + col]) >
+                    std::abs(a_mat[pivot * ns + col]))
+                    pivot = r;
+            if (std::abs(a_mat[pivot * ns + col]) < 1e-12) continue;
+            if (pivot != col) {
+                for (size_t k = 0; k < ns; ++k)
+                    std::swap(a_mat[col * ns + k], a_mat[pivot * ns + k]);
+                std::swap(rhs[col], rhs[pivot]);
+            }
+            const double d = a_mat[col * ns + col];
+            for (size_t r = 0; r < ns; ++r) {
+                if (r == col) continue;
+                const double f = a_mat[r * ns + col] / d;
+                if (f == 0.0) continue;
+                for (size_t k = col; k < ns; ++k)
+                    a_mat[r * ns + k] -= f * a_mat[col * ns + k];
+                rhs[r] -= f * rhs[col];
+            }
+        }
+
+        for (size_t i = 0; i < ns; ++i) {
+            SV value;
+            if (!driven[i]) {
+                value = prev[static_cast<size_t>(nodes[i])];  // charge
+            } else {
+                const double d = a_mat[i * ns + i];
+                const double v = d == 0.0 ? 0.5 : rhs[i] / d;
+                value = v >= params_.v_high
+                            ? SV::One
+                            : (v <= params_.v_low ? SV::Zero : SV::X);
+            }
+            if (assignment == 0)
+                joined[i] = value;
+            else if (joined[i] != value)
+                joined[i] = SV::X;
+        }
+    }
+
+    for (size_t i = 0; i < ns; ++i)
+        state[static_cast<size_t>(nodes[i])] = joined[i];
+    for (NodeId v : nodes) node_slot[static_cast<size_t>(v)] = -1;
+}
+
+void SwitchSim::run(State& state, std::span<const bool> inputs,
+                    const FaultView& fault) const {
+    if (inputs.size() != netlist_->input_nodes.size())
+        throw std::invalid_argument("input width mismatch");
+    const State prev = state;
+    state[SwitchNetlist::kGnd] = SV::Zero;
+    state[SwitchNetlist::kVdd] = SV::One;
+    for (size_t i = 0; i < inputs.size(); ++i)
+        state[static_cast<size_t>(netlist_->input_nodes[i])] =
+            inputs[i] ? SV::One : SV::Zero;
+
+    // Bridged fixed (component-less) nodes - shorted driven inputs resolve
+    // wired-AND (the standard convention for bridged driven nets; a supply
+    // always wins).  Bridged channel components merge into one solve group.
+    std::vector<std::int32_t> merged;  // comps merged by a bridge
+    if (fault.has_bridge()) {
+        const auto nodes = bridge_nodes(*fault.fault);
+        for (NodeId n : nodes) {
+            const std::int32_t c = component_of_[static_cast<size_t>(n)];
+            if (c >= 0 &&
+                std::find(merged.begin(), merged.end(), c) == merged.end())
+                merged.push_back(c);
+        }
+        if (merged.size() < 2) merged.clear();
+        bool all_fixed = true;
+        for (NodeId n : nodes)
+            if (component_of_[static_cast<size_t>(n)] >= 0) all_fixed = false;
+        if (all_fixed) {
+            std::vector<SV> values;
+            for (NodeId n : nodes)
+                values.push_back(state[static_cast<size_t>(n)]);
+            const SV resolved = resolve_fixed_bridge(nodes, values);
+            for (NodeId n : nodes)
+                if (n != SwitchNetlist::kGnd && n != SwitchNetlist::kVdd)
+                    state[static_cast<size_t>(n)] = resolved;
+        }
+    }
+
+    // Ternary simulation from X: every channel node restarts at X and the
+    // sweeps converge to the least fixpoint, which is unique and
+    // independent of evaluation order (bridge faults can create feedback
+    // loops where other starting points would pick an arbitrary branch).
+    // Charge retention is unaffected: it enters through `prev`.
+    for (NodeId v = 0; v < netlist_->node_count; ++v)
+        if (component_of_[static_cast<size_t>(v)] >= 0)
+            state[static_cast<size_t>(v)] = SV::X;
+
+    bool changed = true;
+    int sweeps = 0;
+    while (changed && sweeps++ < params_.max_sweeps) {
+        changed = false;
+        for (std::int32_t c = 0; c < component_count_; ++c) {
+            if (!merged.empty() &&
+                std::find(merged.begin(), merged.end(), c) != merged.end()) {
+                if (c != merged[0]) continue;  // solve the group once
+                State before = state;
+                solve_component(state, prev, merged, fault);
+                if (before != state) changed = true;
+                continue;
+            }
+            // Cheap change detection: compare the component's nodes.
+            const auto& cn = comp_nodes_[static_cast<size_t>(c)];
+            static thread_local std::vector<SV> before;
+            before.clear();
+            for (NodeId v : cn) before.push_back(state[static_cast<size_t>(v)]);
+            const std::int32_t one = c;
+            solve_component(state, prev, std::span(&one, 1), fault);
+            for (size_t i = 0; i < cn.size(); ++i)
+                if (before[i] != state[static_cast<size_t>(cn[i])]) {
+                    changed = true;
+                    break;
+                }
+        }
+    }
+}
+
+void SwitchSim::step(State& state, std::span<const bool> inputs) const {
+    FaultView fv;
+    run(state, inputs, fv);
+}
+
+void SwitchSim::step_faulty(State& state, std::span<const bool> inputs,
+                            const SwitchFault& fault) const {
+    FaultView fv;
+    fv.fault = &fault;
+    run(state, inputs, fv);
+}
+
+std::vector<SV> SwitchSim::outputs(const State& state) const {
+    std::vector<SV> out;
+    out.reserve(netlist_->output_nodes.size());
+    for (NodeId v : netlist_->output_nodes)
+        out.push_back(state[static_cast<size_t>(v)]);
+    return out;
+}
+
+}  // namespace dlp::switchsim

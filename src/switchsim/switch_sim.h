@@ -1,0 +1,157 @@
+// Switch-level simulation with exact nodal analysis, so resistive bridging
+// faults resolve the way CMOS bridges do in silicon: parallel pull networks
+// add, series stacks divide, and the stronger network wins (typically
+// wired-AND, because NMOS conduct better than PMOS).
+//
+// Node values are ternary {0, 1, X}.  Per vector, each channel-connected
+// component (CCC) is solved:
+//  * transistors whose gate is a *binary* net are on or off; the component's
+//    conductance Laplacian is solved exactly (Gauss-Jordan) and node
+//    voltages classify against [v_low, v_high] - the middle band reads X,
+//    the conservative answer for a static voltage test;
+//  * X-valued gate *nets* are enumerated (both polarities) and the results
+//    ternary-joined, keeping complementary N/P pairs mutually exclusive -
+//    this is monotone, so the global sweep converges to the least fixpoint
+//    regardless of evaluation order, even across bridge-created feedback;
+//  * nodes with no conducting path keep their previous value (charge
+//    retention) - this is what makes stuck-open faults need two-pattern
+//    sequences, the paper's "opens are harder to detect" effect.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "switchsim/switch_netlist.h"
+
+namespace dlp::switchsim {
+
+/// Ternary signal value.
+enum class SV : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+/// A fault being simulated (see extract/extractor.h for provenance).
+struct SwitchFault {
+    enum class Kind : std::uint8_t {
+        None,            ///< no structural change
+        Bridge,          ///< resistive short between nodes a and b
+        TransistorOpen,  ///< listed transistors never conduct
+        GateFloat,       ///< listed transistors' gates float (maybe-conduct)
+        Gross,           ///< catastrophic (supply short): fails vector 1
+    };
+    Kind kind = Kind::None;
+    NodeId a = -1;
+    NodeId b = -1;
+    NodeId c = -1;  ///< third node of a multi-node bridge (-1: two-net)
+    std::vector<int> transistors;  ///< global indices (opens/floats)
+    /// PO ordinal whose pad floats (reads X, never detects); -1 = none.
+    /// Orthogonal to `kind`: a trunk open both floats gates and cuts a pad.
+    int po_float = -1;
+    /// GateFloat: level the floating gate drifts to.  Trapped charge varies
+    /// per defect instance (assigned pseudo-randomly at extraction); a gate
+    /// stuck in the mid band (Mid) defeats static voltage testing.
+    enum class FloatLevel : std::uint8_t { Low, High, Mid };
+    FloatLevel float_level = FloatLevel::Low;
+};
+
+/// Behaviour of a defect-floating transistor gate.  Real floating gates
+/// drift to a DC level set by leakage and trapped charge; the level varies
+/// per defect instance, so `PerFault` (the default) uses the fault's own
+/// `float_high` bit.  `Unknown` is the conservative ternary model (the
+/// gate may or may not conduct - such faults can never be guaranteed
+/// detected by a voltage test) and is kept for ablation.
+enum class FloatGateModel : std::uint8_t { PerFault, Unknown };
+
+/// Conductances (arbitrary units; only ratios matter) and the voltage
+/// thresholds used to classify solved node voltages.
+struct SimParams {
+    double g_nmos = 3.0;    ///< NMOS channel conductance
+    double g_pmos = 1.0;    ///< PMOS channel conductance
+    double g_bridge = 20.0; ///< bridge defect conductance (near-short)
+    double v_high = 0.55;   ///< node reads 1 at or above this voltage
+    double v_low = 0.45;    ///< node reads 0 at or below this voltage
+    int max_sweeps = 64;    ///< global fixpoint cap
+    FloatGateModel float_gate = FloatGateModel::PerFault;
+};
+
+class SwitchSim {
+public:
+    /// Internal view of the active fault during a solve (public so the
+    /// incremental fault simulator can drive solve_component directly).
+    struct FaultView {
+        const SwitchFault* fault = nullptr;
+
+        bool removed(int t) const {
+            return fault &&
+                   fault->kind == SwitchFault::Kind::TransistorOpen &&
+                   contains(t);
+        }
+        bool floating(int t) const {
+            return fault && fault->kind == SwitchFault::Kind::GateFloat &&
+                   contains(t);
+        }
+        bool has_bridge() const {
+            return fault && fault->kind == SwitchFault::Kind::Bridge;
+        }
+
+    private:
+        bool contains(int t) const {
+            for (int x : fault->transistors)
+                if (x == t) return true;
+            return false;
+        }
+    };
+
+    explicit SwitchSim(const SwitchNetlist& netlist, SimParams params = {});
+
+    const SwitchNetlist& netlist() const { return *netlist_; }
+
+    /// Full node-state vector (indexed by NodeId).
+    using State = std::vector<SV>;
+    State initial_state() const;
+
+    /// Applies one input vector to `state` (previous values provide charge
+    /// retention) in the fault-free circuit.
+    void step(State& state, std::span<const bool> inputs) const;
+
+    /// Applies one input vector under a fault.  `state` is the fault
+    /// circuit's own persistent state.
+    void step_faulty(State& state, std::span<const bool> inputs,
+                     const SwitchFault& fault) const;
+
+    /// PO values of a state, in circuit output order.
+    std::vector<SV> outputs(const State& state) const;
+
+    /// Static channel-connected component of each node (-1 for supplies and
+    /// gate-only nodes such as PIs).
+    std::span<const std::int32_t> component_of() const { return component_of_; }
+    int component_count() const { return component_count_; }
+
+    /// Solves one channel-connected component group in place.  `state`
+    /// supplies gate/terminal values and receives the group's new node
+    /// values; `prev` supplies charge-retention values.
+    void solve_component(State& state, const State& prev,
+                         std::span<const std::int32_t> comps,
+                         const FaultView& fault) const;
+
+    /// Components a value change on `node` can affect (via gates).
+    std::span<const std::int32_t> gate_dependents(NodeId node) const {
+        return gate_deps_[static_cast<size_t>(node)];
+    }
+    std::span<const NodeId> component_nodes(std::int32_t comp) const {
+        return comp_nodes_[static_cast<size_t>(comp)];
+    }
+    const SimParams& params() const { return params_; }
+
+private:
+    void run(State& state, std::span<const bool> inputs,
+             const FaultView& fault) const;
+
+    const SwitchNetlist* netlist_;
+    SimParams params_;
+    std::vector<std::int32_t> component_of_;
+    int component_count_ = 0;
+    std::vector<std::vector<int>> comp_transistors_;   ///< per component
+    std::vector<std::vector<NodeId>> comp_nodes_;      ///< per component
+    std::vector<std::vector<std::int32_t>> gate_deps_; ///< node -> components gated
+};
+
+}  // namespace dlp::switchsim

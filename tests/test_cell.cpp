@@ -1,0 +1,197 @@
+// Tests for the standard-cell library: transistor netlists implement the
+// cell's logic function (checked by a tiny network evaluator), geometry is
+// well-formed, and extraction tags are present.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cell/library.h"
+
+namespace dlp::cell {
+namespace {
+
+/// Evaluates a cell's transistor network for one input assignment by
+/// path-tracing: output = 1 if connected to VDD through conducting
+/// transistors, 0 if to GND, -1 if floating or shorted.
+int eval_cell(const Cell& c, const std::vector<bool>& inputs) {
+    std::map<int, bool> value;  // local net -> level
+    value[Cell::kGnd] = false;
+    value[Cell::kVdd] = true;
+    for (size_t i = 0; i + 1 < c.pins.size(); ++i)
+        value[c.pins[i].net] = inputs[i];
+
+    // Reachability of `net` from a supply through conducting transistors
+    // (transistors with still-unknown gate values do not conduct yet).
+    const auto reach = [&](int net, bool from_vdd) {
+        std::set<int> seen{from_vdd ? Cell::kVdd : Cell::kGnd};
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (const Transistor& t : c.transistors) {
+                const auto it = value.find(t.gate);
+                if (it == value.end()) continue;
+                const bool on = t.is_pmos ? !it->second : it->second;
+                if (!on) continue;
+                const bool s = seen.count(t.source) > 0;
+                const bool d = seen.count(t.drain) > 0;
+                if (s != d) {
+                    seen.insert(s ? t.drain : t.source);
+                    grew = true;
+                }
+            }
+        }
+        return seen.count(net) > 0;
+    };
+
+    // Multi-stage cells (AND/OR/BUF) resolve inner stages first: iterate
+    // until no more nets settle.
+    bool settled = false;
+    while (!settled) {
+        settled = true;
+        for (size_t n = 0; n < c.nets.size(); ++n) {
+            const int net = static_cast<int>(n);
+            if (value.count(net)) continue;
+            const bool up = reach(net, true);
+            const bool dn = reach(net, false);
+            if (up && dn) return -2;  // short: must never happen
+            if (up || dn) {
+                value[net] = up;
+                settled = false;
+            }
+        }
+    }
+    const int out = c.output_pin().net;
+    const auto it = value.find(out);
+    return it == value.end() ? -1 : (it->second ? 1 : 0);
+}
+
+std::uint64_t expected_output(netlist::GateType type,
+                              const std::vector<bool>& in) {
+    std::vector<std::uint64_t> words;
+    for (bool b : in) words.push_back(b ? ~0ULL : 0ULL);
+    return netlist::eval_gate(type, words) & 1ULL;
+}
+
+class CellFunction : public ::testing::TestWithParam<const Cell*> {};
+
+TEST_P(CellFunction, TransistorNetworkImplementsFunction) {
+    const Cell& c = *GetParam();
+    const int arity = c.arity;
+    for (int assignment = 0; assignment < (1 << arity); ++assignment) {
+        std::vector<bool> in;
+        for (int b = 0; b < arity; ++b) in.push_back((assignment >> b) & 1);
+        const int got = eval_cell(c, in);
+        ASSERT_GE(got, 0) << c.name << " floating/shorted at input "
+                          << assignment;
+        EXPECT_EQ(static_cast<std::uint64_t>(got),
+                  expected_output(c.function, in))
+            << c.name << " input " << assignment;
+    }
+}
+
+TEST_P(CellFunction, GeometryWellFormed) {
+    const Cell& c = *GetParam();
+    EXPECT_GT(c.width, 0);
+    EXPECT_FALSE(c.shapes.empty());
+    for (const LocalShape& s : c.shapes) {
+        EXPECT_TRUE(s.rect.valid());
+        EXPECT_GE(s.rect.x1, 0);
+        EXPECT_LE(s.rect.x2, c.width);
+        EXPECT_GE(s.rect.y1, 0);
+        EXPECT_LE(s.rect.y2, 40);
+        EXPECT_GE(s.net, 0);
+        EXPECT_LT(static_cast<size_t>(s.net), c.nets.size());
+    }
+    // No same-layer overlap between different nets inside the cell.
+    for (size_t i = 0; i < c.shapes.size(); ++i)
+        for (size_t j = i + 1; j < c.shapes.size(); ++j) {
+            const auto& a = c.shapes[i];
+            const auto& b = c.shapes[j];
+            if (a.layer != b.layer || a.net == b.net) continue;
+            EXPECT_FALSE(a.rect.intersects(b.rect))
+                << c.name << ": " << c.nets[static_cast<size_t>(a.net)]
+                << " overlaps " << c.nets[static_cast<size_t>(b.net)]
+                << " on " << layer_name(a.layer);
+        }
+}
+
+TEST_P(CellFunction, ExtractionTagsPresent) {
+    const Cell& c = *GetParam();
+    // Each transistor has exactly two gate regions... one; and every poly
+    // gate column is tagged with a GateFloat.
+    EXPECT_EQ(c.gate_regions.size(), c.transistors.size());
+    std::set<int> tagged;
+    for (const LocalShape& s : c.shapes) {
+        if (s.info.open == ShapeInfo::OpenKind::GateFloat) {
+            if (s.info.t1 >= 0) tagged.insert(s.info.t1);
+            if (s.info.t2 >= 0) tagged.insert(s.info.t2);
+        }
+        if (s.info.t1 >= 0)
+            EXPECT_LT(static_cast<size_t>(s.info.t1), c.transistors.size());
+        if (s.info.t2 >= 0)
+            EXPECT_LT(static_cast<size_t>(s.info.t2), c.transistors.size());
+    }
+    EXPECT_EQ(tagged.size(), c.transistors.size())
+        << c.name << ": every transistor gate must be float-taggable";
+}
+
+TEST_P(CellFunction, PinsAreOnMetal1) {
+    const Cell& c = *GetParam();
+    ASSERT_EQ(static_cast<int>(c.pins.size()), c.arity + 1);
+    for (const Pin& p : c.pins) {
+        bool on_m1 = false;
+        for (const LocalShape& s : c.shapes)
+            if (s.layer == Layer::Metal1 && s.net == p.net &&
+                p.x >= s.rect.x1 && p.x < s.rect.x2 && p.y >= s.rect.y1 &&
+                p.y < s.rect.y2)
+                on_m1 = true;
+        EXPECT_TRUE(on_m1) << c.name << " pin " << p.name
+                           << " not on its metal1";
+    }
+}
+
+std::vector<const Cell*> all_cells() {
+    std::vector<const Cell*> out;
+    for (const Cell& c : standard_library()) out.push_back(&c);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, CellFunction,
+                         ::testing::ValuesIn(all_cells()),
+                         [](const auto& info) { return info.param->name; });
+
+TEST(Library, CoversTechmapTargets) {
+    using netlist::GateType;
+    EXPECT_TRUE(has_cell(GateType::Not, 1));
+    EXPECT_TRUE(has_cell(GateType::Buf, 1));
+    for (int a = 2; a <= 4; ++a) {
+        EXPECT_TRUE(has_cell(GateType::Nand, a));
+        EXPECT_TRUE(has_cell(GateType::Nor, a));
+        EXPECT_TRUE(has_cell(GateType::And, a));
+        EXPECT_TRUE(has_cell(GateType::Or, a));
+    }
+    EXPECT_FALSE(has_cell(GateType::Xor, 2));
+    EXPECT_THROW(library_cell(GateType::Xor, 2), std::out_of_range);
+}
+
+TEST(Library, TransistorCountsMatchTopology) {
+    EXPECT_EQ(library_cell(netlist::GateType::Not, 1).transistors.size(), 2u);
+    EXPECT_EQ(library_cell(netlist::GateType::Nand, 2).transistors.size(), 4u);
+    EXPECT_EQ(library_cell(netlist::GateType::Nand, 4).transistors.size(), 8u);
+    EXPECT_EQ(library_cell(netlist::GateType::And, 2).transistors.size(), 6u);
+    EXPECT_EQ(library_cell(netlist::GateType::Buf, 1).transistors.size(), 4u);
+}
+
+TEST(MakeCell, RejectsBadStrips) {
+    EXPECT_THROW(make_cell("BAD", netlist::GateType::Not,
+                           {{{"A"}, {"GND"}, {"VDD", "Y"}}}, {"A"}),
+                 std::logic_error);
+    // Output net must be named Y.
+    EXPECT_THROW(make_cell("BAD2", netlist::GateType::Not,
+                           {{{"A"}, {"GND", "Z"}, {"VDD", "Z"}}}, {"A"}),
+                 std::logic_error);
+}
+
+}  // namespace
+}  // namespace dlp::cell

@@ -1,0 +1,414 @@
+// Unit + property tests for the defect-level models (eqs 1-11).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/coverage_laws.h"
+#include "model/delay_model.h"
+#include "model/dl_models.h"
+#include "model/fit.h"
+#include "model/planning.h"
+#include "model/stats.h"
+#include "model/yield.h"
+
+namespace dlp::model {
+namespace {
+
+TEST(WilliamsBrown, KnownValues) {
+    // DL = 1 - Y^(1-T)
+    EXPECT_DOUBLE_EQ(williams_brown_dl(0.5, 0.0), 0.5);
+    EXPECT_DOUBLE_EQ(williams_brown_dl(0.5, 1.0), 0.0);
+    EXPECT_NEAR(williams_brown_dl(0.75, 0.9), 1.0 - std::pow(0.75, 0.1),
+                1e-12);
+}
+
+TEST(WilliamsBrown, PerfectYieldShipsNoDefects) {
+    EXPECT_DOUBLE_EQ(williams_brown_dl(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(williams_brown_dl(1.0, 0.5), 0.0);
+}
+
+TEST(WilliamsBrown, RejectsBadInputs) {
+    EXPECT_THROW(williams_brown_dl(0.0, 0.5), std::domain_error);
+    EXPECT_THROW(williams_brown_dl(-0.1, 0.5), std::domain_error);
+    EXPECT_THROW(williams_brown_dl(1.1, 0.5), std::domain_error);
+    EXPECT_THROW(williams_brown_dl(0.5, -0.1), std::domain_error);
+    EXPECT_THROW(williams_brown_dl(0.5, 1.1), std::domain_error);
+}
+
+TEST(WilliamsBrown, RequiredCoverageInverts) {
+    const double y = 0.75;
+    for (double t : {0.1, 0.5, 0.9, 0.99}) {
+        const double dl = williams_brown_dl(y, t);
+        EXPECT_NEAR(williams_brown_required_coverage(y, dl), t, 1e-9);
+    }
+}
+
+TEST(WilliamsBrown, RequiredCoverageEdges) {
+    EXPECT_DOUBLE_EQ(williams_brown_required_coverage(0.75, 0.3), 0.0);
+    EXPECT_DOUBLE_EQ(williams_brown_required_coverage(1.0, 0.0), 0.0);
+    EXPECT_THROW(williams_brown_required_coverage(0.75, -0.1),
+                 std::domain_error);
+}
+
+TEST(Agrawal, ReducesTowardWilliamsBrownShape) {
+    // At n = 1 the Agrawal formula is DL = (1-T)(1-Y) / (Y + (1-T)(1-Y)).
+    const double y = 0.75;
+    const double t = 0.9;
+    const double esc = (1 - t) * (1 - y);
+    EXPECT_NEAR(agrawal_dl(y, t, 1.0), esc / (y + esc), 1e-12);
+}
+
+TEST(Agrawal, MonotoneDecreasingInCoverageAndN) {
+    const double y = 0.6;
+    double prev = 1.0;
+    for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const double dl = agrawal_dl(y, t, 3.0);
+        EXPECT_LE(dl, prev + 1e-15);
+        prev = dl;
+    }
+    EXPECT_GT(agrawal_dl(y, 0.5, 1.0), agrawal_dl(y, 0.5, 5.0));
+    EXPECT_THROW(agrawal_dl(y, 0.5, 0.5), std::domain_error);
+}
+
+TEST(ProposedModel, ReducesToWilliamsBrown) {
+    const ProposedModel m{0.75, 1.0, 1.0};
+    for (double t : {0.0, 0.3, 0.7, 0.95, 1.0})
+        EXPECT_NEAR(m.dl(t), williams_brown_dl(0.75, t), 1e-12);
+}
+
+TEST(ProposedModel, PaperExampleOne) {
+    // Paper, section 2, example 1: Y=.75, theta_max=1, R=2.1,
+    // DL = 100 ppm  =>  T = 97.7% (Williams-Brown would demand 99.97%).
+    const ProposedModel m{0.75, 2.1, 1.0};
+    const double t = m.required_coverage(from_ppm(100.0));
+    EXPECT_NEAR(t, 0.977, 5e-3);
+    const double t_wb =
+        williams_brown_required_coverage(0.75, from_ppm(100.0));
+    EXPECT_NEAR(t_wb, 0.9997, 5e-5);
+    EXPECT_GT(t_wb, t);  // the new model is less stringent
+}
+
+TEST(ProposedModel, PaperExampleTwo) {
+    // Example 2: Y=.75, T=100%, theta_max=.99, R=1: a residual defect level
+    // remains (eq 11 gives ~2.9e-3; Williams-Brown would claim zero).
+    const ProposedModel m{0.75, 1.0, 0.99};
+    const double dl = m.dl(1.0);
+    EXPECT_NEAR(dl, 1.0 - std::pow(0.75, 0.01), 1e-12);
+    EXPECT_GT(to_ppm(dl), 1000.0);
+    EXPECT_DOUBLE_EQ(williams_brown_dl(0.75, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.residual_dl(), dl);
+}
+
+TEST(ProposedModel, LiesBelowWilliamsBrownAtHighCoverage) {
+    // With R > 1, realistic coverage runs ahead of T, so DL(T) is concave
+    // and sits below Williams-Brown in the mid range (fig. 2).
+    const ProposedModel m{0.75, 2.0, 1.0};
+    for (double t : {0.2, 0.5, 0.8})
+        EXPECT_LT(m.dl(t), williams_brown_dl(0.75, t));
+}
+
+TEST(ProposedModel, ResidualFloorDominatesNearFullCoverage) {
+    const ProposedModel m{0.75, 2.0, 0.96};
+    EXPECT_GT(m.dl(1.0), 0.0);
+    EXPECT_NEAR(m.dl(1.0), m.residual_dl(), 1e-15);
+    EXPECT_GT(m.dl(0.9999), williams_brown_dl(0.75, 0.9999));
+}
+
+TEST(ProposedModel, RequiredCoverageUnreachableThrows) {
+    const ProposedModel m{0.75, 2.0, 0.96};
+    EXPECT_THROW(m.required_coverage(m.residual_dl() / 2), std::domain_error);
+}
+
+struct ModelParams {
+    double yield;
+    double r;
+    double theta_max;
+};
+
+class ProposedModelProperty : public ::testing::TestWithParam<ModelParams> {};
+
+TEST_P(ProposedModelProperty, MonotoneAndBounded) {
+    const auto p = GetParam();
+    const ProposedModel m{p.yield, p.r, p.theta_max};
+    double prev = 1.0;
+    for (int i = 0; i <= 100; ++i) {
+        const double t = i / 100.0;
+        const double dl = m.dl(t);
+        EXPECT_GE(dl, 0.0);
+        EXPECT_LE(dl, 1.0 - p.yield + 1e-12);
+        EXPECT_LE(dl, prev + 1e-12) << "DL must fall as T rises, t=" << t;
+        prev = dl;
+    }
+    // theta(T) stays within [0, theta_max].
+    for (int i = 0; i <= 10; ++i) {
+        const double th = m.theta_of_coverage(i / 10.0);
+        EXPECT_GE(th, 0.0);
+        EXPECT_LE(th, p.theta_max + 1e-12);
+    }
+}
+
+TEST_P(ProposedModelProperty, RoundTripRequiredCoverage) {
+    const auto p = GetParam();
+    const ProposedModel m{p.yield, p.r, p.theta_max};
+    for (double t : {0.05, 0.3, 0.6, 0.9}) {
+        const double dl = m.dl(t);
+        if (dl <= m.residual_dl() + 1e-15) continue;
+        EXPECT_NEAR(m.required_coverage(dl), t, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProposedModelProperty,
+    ::testing::Values(ModelParams{0.9, 1.0, 1.0}, ModelParams{0.75, 2.0, 0.96},
+                      ModelParams{0.5, 1.5, 0.99}, ModelParams{0.75, 2.1, 1.0},
+                      ModelParams{0.3, 3.0, 0.9},
+                      ModelParams{0.95, 1.2, 0.999}));
+
+TEST(CoverageLaws, Figure1Parameters) {
+    // Fig 1: s_T = e^3, s_theta = e^{3/2}, theta_max = .96 => R = 2.
+    const CoverageLaw t_law{std::exp(3.0), 1.0};
+    const CoverageLaw th_law{std::exp(1.5), 0.96};
+    EXPECT_DOUBLE_EQ(susceptibility_ratio(std::exp(3.0), std::exp(1.5)), 2.0);
+    // T(k) = 1 - k^{-1/3}.
+    EXPECT_NEAR(t_law.coverage(8.0), 1.0 - std::pow(8.0, -1.0 / 3.0), 1e-12);
+    // theta reaches its saturation fraction faster than T reaches 1.
+    const double k = 100.0;
+    EXPECT_GT(th_law.coverage(k) / 0.96, t_law.coverage(k));
+}
+
+TEST(CoverageLaws, VectorsForInverts) {
+    const CoverageLaw law{std::exp(2.0), 1.0};
+    for (double cov : {0.1, 0.5, 0.9}) {
+        const double k = law.vectors_for(cov);
+        EXPECT_NEAR(law.coverage(k), cov, 1e-9);
+    }
+    EXPECT_THROW(law.vectors_for(1.0), std::domain_error);
+    EXPECT_THROW(law.coverage(0.5), std::domain_error);
+}
+
+TEST(CoverageLaws, FitRecoversSusceptibility) {
+    const CoverageLaw truth{std::exp(2.5), 1.0};
+    std::vector<CoveragePoint> pts;
+    for (double k = 2; k < 5000; k *= 1.7)
+        pts.push_back({k, truth.coverage(k)});
+    const CoverageLaw fit = fit_coverage_law(pts, false);
+    EXPECT_NEAR(std::log(fit.susceptibility), 2.5, 1e-6);
+}
+
+TEST(CoverageLaws, FitRecoversSaturation) {
+    const CoverageLaw truth{std::exp(1.8), 0.93};
+    std::vector<CoveragePoint> pts;
+    for (double k = 2; k < 100000; k *= 1.5)
+        pts.push_back({k, truth.coverage(k)});
+    const CoverageLaw fit = fit_coverage_law(pts, true);
+    EXPECT_NEAR(fit.saturation, 0.93, 0.01);
+    EXPECT_NEAR(std::log(fit.susceptibility), 1.8, 0.15);
+}
+
+TEST(Yield, WeightArithmetic) {
+    EXPECT_DOUBLE_EQ(weight_from_probability(0.0), 0.0);
+    EXPECT_NEAR(probability_from_weight(weight_from_probability(0.3)), 0.3,
+                1e-12);
+    EXPECT_NEAR(poisson_yield(total_weight_for_yield(0.75)), 0.75, 1e-12);
+    EXPECT_THROW(weight_from_probability(1.0), std::domain_error);
+}
+
+TEST(Yield, StapperLimitsToPoisson) {
+    const double lambda = 0.3;
+    EXPECT_NEAR(stapper_yield(lambda, 1e9), std::exp(-lambda), 1e-6);
+    EXPECT_GT(stapper_yield(lambda, 0.5), std::exp(-lambda));  // clustering helps
+}
+
+TEST(Yield, WeightedCoverage) {
+    const double w[] = {1.0, 2.0, 7.0};
+    const bool d[] = {true, false, true};
+    EXPECT_DOUBLE_EQ(weighted_coverage(w, d), 0.8);
+    EXPECT_NEAR(unweighted_coverage(d), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Yield, ScaleFactorHitsTarget) {
+    const double scale = yield_scale_factor(5.0, 0.75);
+    EXPECT_NEAR(poisson_yield(5.0 * scale), 0.75, 1e-12);
+}
+
+TEST(Fit, RecoversProposedParameters) {
+    // Generate clean fallout data from a known model and refit.
+    const ProposedModel truth{0.75, 1.9, 0.96};
+    std::vector<FalloutPoint> pts;
+    for (int i = 1; i <= 40; ++i) {
+        const double t = i / 40.0;
+        pts.push_back({t, truth.dl(t)});
+    }
+    const ProposedFit fit = fit_proposed_model(0.75, pts);
+    EXPECT_NEAR(fit.r, 1.9, 0.05);
+    EXPECT_NEAR(fit.theta_max, 0.96, 0.005);
+    EXPECT_LT(fit.rms_error, 1e-4);
+}
+
+TEST(Fit, AgrawalFitMatchesItsOwnData) {
+    std::vector<FalloutPoint> pts;
+    for (int i = 0; i <= 20; ++i) {
+        const double t = i / 20.0;
+        pts.push_back({t, agrawal_dl(0.8, t, 4.0)});
+    }
+    const AgrawalFit fit = fit_agrawal_model(0.8, pts);
+    EXPECT_NEAR(fit.n_avg, 4.0, 0.1);
+}
+
+TEST(Fit, NelderMeadMinimizesQuadratic) {
+    const auto f = [](std::span<const double> x) {
+        const double a = x[0] - 3.0;
+        const double b = x[1] + 2.0;
+        return a * a + 2 * b * b + 5.0;
+    };
+    const double init[] = {0.0, 0.0};
+    const auto res = minimize(f, init);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 3.0, 1e-4);
+    EXPECT_NEAR(res.x[1], -2.0, 1e-4);
+    EXPECT_NEAR(res.value, 5.0, 1e-8);
+}
+
+TEST(Fit, EmptyInputsThrow) {
+    EXPECT_THROW(fit_proposed_model(0.75, {}), std::invalid_argument);
+    EXPECT_THROW(fit_agrawal_model(0.75, {}), std::invalid_argument);
+}
+
+TEST(Planning, TestLengthRoundTrips) {
+    const TestPlanInputs in{0.75, 1.9, 0.96, std::exp(3.0)};
+    const TestPlan plan = plan_test_length(in, from_ppm(20000));
+    ASSERT_TRUE(plan.reachable);
+    EXPECT_GT(plan.vectors, 1.0);
+    // Running that many vectors must deliver (about) the target DL.
+    EXPECT_NEAR(dl_at_test_length(in, plan.vectors), from_ppm(20000), 1e-9);
+}
+
+TEST(Planning, UnreachableBelowResidualFloor) {
+    const TestPlanInputs in{0.75, 1.9, 0.96, std::exp(3.0)};
+    const ProposedModel m{0.75, 1.9, 0.96};
+    const TestPlan plan = plan_test_length(in, m.residual_dl() / 2);
+    EXPECT_FALSE(plan.reachable);
+    EXPECT_NEAR(plan.residual_dl, m.residual_dl(), 1e-15);
+}
+
+TEST(Planning, MoreVectorsLowerDl) {
+    const TestPlanInputs in{0.75, 1.5, 0.98, std::exp(2.5)};
+    double prev = 1.0;
+    for (double k : {1.0, 10.0, 100.0, 1000.0, 100000.0}) {
+        const double dl = dl_at_test_length(in, k);
+        EXPECT_LE(dl, prev + 1e-15);
+        prev = dl;
+    }
+    // ...but never below the residual floor.
+    const ProposedModel m{0.75, 1.5, 0.98};
+    EXPECT_GE(dl_at_test_length(in, 1e12), m.residual_dl() - 1e-12);
+}
+
+TEST(Clustered, LimitsAndOrdering) {
+    const double lambda = total_weight_for_yield(0.75);
+    // alpha -> infinity reduces to the Poisson eq. (3).
+    for (double theta : {0.0, 0.3, 0.7, 0.95, 1.0})
+        EXPECT_NEAR(clustered_dl(lambda, 1e9, theta),
+                    weighted_dl(0.75, theta), 1e-6);
+    // Clustering (small alpha) lowers DL at equal lambda and theta:
+    // defects pile onto dies that fail the test anyway.
+    for (double theta : {0.3, 0.7, 0.95})
+        EXPECT_LT(clustered_dl(lambda, 0.5, theta),
+                  clustered_dl(lambda, 1e9, theta));
+    EXPECT_DOUBLE_EQ(clustered_dl(lambda, 2.0, 1.0), 0.0);
+    EXPECT_NEAR(clustered_dl(lambda, 2.0, 0.0),
+                1.0 - stapper_yield(lambda, 2.0), 1e-12);
+}
+
+TEST(Clustered, RequiredThetaInverts) {
+    const double lambda = 0.4;
+    const double alpha = 1.5;
+    for (double theta : {0.2, 0.6, 0.9}) {
+        const double dl = clustered_dl(lambda, alpha, theta);
+        EXPECT_NEAR(clustered_required_theta(lambda, alpha, dl), theta, 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(clustered_required_theta(0.0, 1.0, 0.001), 0.0);
+    EXPECT_THROW(clustered_dl(lambda, 0.0, 0.5), std::domain_error);
+}
+
+TEST(DelayModel, SurvivalFunctions) {
+    const DelaySizeDistribution expo{
+        DelaySizeDistribution::Kind::Exponential, 2.0};
+    EXPECT_DOUBLE_EQ(expo.survival(0.0), 1.0);
+    EXPECT_NEAR(expo.survival(2.0), std::exp(-1.0), 1e-12);
+    EXPECT_DOUBLE_EQ(expo.survival(-1.0), 1.0);  // sizes are nonnegative
+    const DelaySizeDistribution uni{DelaySizeDistribution::Kind::Uniform,
+                                    4.0};
+    EXPECT_DOUBLE_EQ(uni.survival(1.0), 0.75);
+    EXPECT_DOUBLE_EQ(uni.survival(4.0), 0.0);
+    EXPECT_DOUBLE_EQ(uni.survival(9.0), 0.0);
+}
+
+TEST(DelayModel, CoverageBehaviour) {
+    const DelaySizeDistribution dist{
+        DelaySizeDistribution::Kind::Exponential, 1.0};
+    // Two lines: one critical (zero op slack), one relaxed.
+    std::vector<DelayLine> lines{{0.0, 0.0, true, 1.0},
+                                 {3.0, 3.0, true, 1.0}};
+    // At-speed test, everything exercised: full coverage.
+    EXPECT_NEAR(delay_defect_coverage(lines, dist), 1.0, 1e-12);
+
+    // Slower test clock (larger test slack): coverage drops strictly.
+    std::vector<DelayLine> slow = lines;
+    slow[0].slack_test = 2.0;
+    slow[1].slack_test = 5.0;
+    const double dc_slow = delay_defect_coverage(slow, dist);
+    EXPECT_LT(dc_slow, 1.0);
+    EXPECT_GT(dc_slow, 0.0);
+
+    // Unexercised lines contribute failures but never detections.
+    std::vector<DelayLine> partial = lines;
+    partial[0].exercised = false;
+    const double dc_partial = delay_defect_coverage(partial, dist);
+    EXPECT_LT(dc_partial, 1.0);
+
+    // Failure probability weighs the critical line fully.
+    const double pf = delay_failure_probability(lines, dist);
+    EXPECT_NEAR(pf, (1.0 + std::exp(-3.0)) / 2.0, 1e-12);
+}
+
+TEST(DelayModel, MonotoneInTestSlack) {
+    const DelaySizeDistribution dist{
+        DelaySizeDistribution::Kind::Exponential, 1.5};
+    double prev = 1.1;
+    for (double extra : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+        std::vector<DelayLine> lines{{0.5, 0.5 + extra, true, 1.0},
+                                     {2.0, 2.0 + extra, true, 1.0}};
+        const double dc = delay_defect_coverage(lines, dist);
+        EXPECT_LT(dc, prev);
+        prev = dc;
+    }
+}
+
+TEST(Stats, LogHistogramBinsAndDispersion) {
+    LogHistogram h(1e-9, 1e-5, 8);
+    h.add(2e-9);
+    h.add(3e-9);
+    h.add(5e-6);
+    EXPECT_EQ(h.total(), 3);
+    EXPECT_GT(h.dispersion_decades(), 2.0);
+    EXPECT_THROW(h.add(0.0), std::domain_error);
+    // Out-of-range values clamp into the edge bins.
+    h.add(1e-12);
+    EXPECT_EQ(h.count(0) >= 1, true);
+}
+
+TEST(Stats, SummaryAndRegression) {
+    const double xs[] = {1.0, 2.0, 3.0, 4.0};
+    const double ys[] = {2.1, 4.2, 6.0, 8.1};
+    const Summary s = summarize(ys);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_NEAR(s.mean, 5.1, 1e-9);
+    const LinearFit f = linear_regression(xs, ys);
+    EXPECT_NEAR(f.slope, 2.0, 0.05);
+    EXPECT_GT(f.r_squared, 0.99);
+}
+
+}  // namespace
+}  // namespace dlp::model
