@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_abstraction.dir/ablation_abstraction.cpp.o"
+  "CMakeFiles/ablation_abstraction.dir/ablation_abstraction.cpp.o.d"
+  "ablation_abstraction"
+  "ablation_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

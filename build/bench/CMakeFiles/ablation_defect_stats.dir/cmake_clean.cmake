@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_defect_stats.dir/ablation_defect_stats.cpp.o"
+  "CMakeFiles/ablation_defect_stats.dir/ablation_defect_stats.cpp.o.d"
+  "ablation_defect_stats"
+  "ablation_defect_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defect_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

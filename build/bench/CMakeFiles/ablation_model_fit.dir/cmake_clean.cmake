@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_fit.dir/ablation_model_fit.cpp.o"
+  "CMakeFiles/ablation_model_fit.dir/ablation_model_fit.cpp.o.d"
+  "ablation_model_fit"
+  "ablation_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_delay_test.dir/ext_delay_test.cpp.o"
+  "CMakeFiles/ext_delay_test.dir/ext_delay_test.cpp.o.d"
+  "ext_delay_test"
+  "ext_delay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_iddq_residual.dir/ext_iddq_residual.cpp.o"
+  "CMakeFiles/ext_iddq_residual.dir/ext_iddq_residual.cpp.o.d"
+  "ext_iddq_residual"
+  "ext_iddq_residual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_iddq_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_selftest.dir/ext_selftest.cpp.o"
+  "CMakeFiles/ext_selftest.dir/ext_selftest.cpp.o.d"
+  "ext_selftest"
+  "ext_selftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

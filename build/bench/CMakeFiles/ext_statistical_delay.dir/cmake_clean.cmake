@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_statistical_delay.dir/ext_statistical_delay.cpp.o"
+  "CMakeFiles/ext_statistical_delay.dir/ext_statistical_delay.cpp.o.d"
+  "ext_statistical_delay"
+  "ext_statistical_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_statistical_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

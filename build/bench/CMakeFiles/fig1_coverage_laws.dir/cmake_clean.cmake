@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_coverage_laws.dir/fig1_coverage_laws.cpp.o"
+  "CMakeFiles/fig1_coverage_laws.dir/fig1_coverage_laws.cpp.o.d"
+  "fig1_coverage_laws"
+  "fig1_coverage_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_coverage_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

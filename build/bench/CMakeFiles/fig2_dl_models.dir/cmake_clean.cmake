@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dl_models.dir/fig2_dl_models.cpp.o"
+  "CMakeFiles/fig2_dl_models.dir/fig2_dl_models.cpp.o.d"
+  "fig2_dl_models"
+  "fig2_dl_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dl_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

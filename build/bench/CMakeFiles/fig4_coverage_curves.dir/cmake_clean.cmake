@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_coverage_curves.dir/fig4_coverage_curves.cpp.o"
+  "CMakeFiles/fig4_coverage_curves.dir/fig4_coverage_curves.cpp.o.d"
+  "fig4_coverage_curves"
+  "fig4_coverage_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_coverage_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

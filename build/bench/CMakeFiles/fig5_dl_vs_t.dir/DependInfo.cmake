@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_dl_vs_t.cpp" "bench/CMakeFiles/fig5_dl_vs_t.dir/fig5_dl_vs_t.cpp.o" "gcc" "bench/CMakeFiles/fig5_dl_vs_t.dir/fig5_dl_vs_t.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/dlp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/dlp_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/dlp_gatesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/dlp_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dlp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dlp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/dlp_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/dlp_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dlp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dl_vs_gamma.dir/fig6_dl_vs_gamma.cpp.o"
+  "CMakeFiles/fig6_dl_vs_gamma.dir/fig6_dl_vs_gamma.cpp.o.d"
+  "fig6_dl_vs_gamma"
+  "fig6_dl_vs_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dl_vs_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_wafer.dir/validation_wafer.cpp.o"
+  "CMakeFiles/validation_wafer.dir/validation_wafer.cpp.o.d"
+  "validation_wafer"
+  "validation_wafer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_wafer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

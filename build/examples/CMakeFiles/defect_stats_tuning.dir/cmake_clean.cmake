@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defect_stats_tuning.dir/defect_stats_tuning.cpp.o"
+  "CMakeFiles/defect_stats_tuning.dir/defect_stats_tuning.cpp.o.d"
+  "defect_stats_tuning"
+  "defect_stats_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defect_stats_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_projection_c432.dir/dl_projection_c432.cpp.o"
+  "CMakeFiles/dl_projection_c432.dir/dl_projection_c432.cpp.o.d"
+  "dl_projection_c432"
+  "dl_projection_c432.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_projection_c432.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dl_projection_c432.
+# This may be replaced when dependencies are built.

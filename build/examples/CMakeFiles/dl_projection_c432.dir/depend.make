@@ -1,0 +1,2 @@
+# Empty dependencies file for dl_projection_c432.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planning.dir/test_planning.cpp.o"
+  "CMakeFiles/test_planning.dir/test_planning.cpp.o.d"
+  "test_planning"
+  "test_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

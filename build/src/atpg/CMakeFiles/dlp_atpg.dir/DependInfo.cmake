@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/compaction.cpp" "src/atpg/CMakeFiles/dlp_atpg.dir/compaction.cpp.o" "gcc" "src/atpg/CMakeFiles/dlp_atpg.dir/compaction.cpp.o.d"
+  "/root/repo/src/atpg/generate.cpp" "src/atpg/CMakeFiles/dlp_atpg.dir/generate.cpp.o" "gcc" "src/atpg/CMakeFiles/dlp_atpg.dir/generate.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/dlp_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/dlp_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/scoap.cpp" "src/atpg/CMakeFiles/dlp_atpg.dir/scoap.cpp.o" "gcc" "src/atpg/CMakeFiles/dlp_atpg.dir/scoap.cpp.o.d"
+  "/root/repo/src/atpg/transition_tpg.cpp" "src/atpg/CMakeFiles/dlp_atpg.dir/transition_tpg.cpp.o" "gcc" "src/atpg/CMakeFiles/dlp_atpg.dir/transition_tpg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gatesim/CMakeFiles/dlp_gatesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dlp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_atpg.dir/compaction.cpp.o"
+  "CMakeFiles/dlp_atpg.dir/compaction.cpp.o.d"
+  "CMakeFiles/dlp_atpg.dir/generate.cpp.o"
+  "CMakeFiles/dlp_atpg.dir/generate.cpp.o.d"
+  "CMakeFiles/dlp_atpg.dir/podem.cpp.o"
+  "CMakeFiles/dlp_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/dlp_atpg.dir/scoap.cpp.o"
+  "CMakeFiles/dlp_atpg.dir/scoap.cpp.o.d"
+  "CMakeFiles/dlp_atpg.dir/transition_tpg.cpp.o"
+  "CMakeFiles/dlp_atpg.dir/transition_tpg.cpp.o.d"
+  "libdlp_atpg.a"
+  "libdlp_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

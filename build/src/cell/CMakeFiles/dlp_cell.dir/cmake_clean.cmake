@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_cell.dir/cell.cpp.o"
+  "CMakeFiles/dlp_cell.dir/cell.cpp.o.d"
+  "CMakeFiles/dlp_cell.dir/geom.cpp.o"
+  "CMakeFiles/dlp_cell.dir/geom.cpp.o.d"
+  "CMakeFiles/dlp_cell.dir/library.cpp.o"
+  "CMakeFiles/dlp_cell.dir/library.cpp.o.d"
+  "libdlp_cell.a"
+  "libdlp_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/critical_area.cpp" "src/extract/CMakeFiles/dlp_extract.dir/critical_area.cpp.o" "gcc" "src/extract/CMakeFiles/dlp_extract.dir/critical_area.cpp.o.d"
+  "/root/repo/src/extract/defect_stats.cpp" "src/extract/CMakeFiles/dlp_extract.dir/defect_stats.cpp.o" "gcc" "src/extract/CMakeFiles/dlp_extract.dir/defect_stats.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "src/extract/CMakeFiles/dlp_extract.dir/extractor.cpp.o" "gcc" "src/extract/CMakeFiles/dlp_extract.dir/extractor.cpp.o.d"
+  "/root/repo/src/extract/monte_carlo.cpp" "src/extract/CMakeFiles/dlp_extract.dir/monte_carlo.cpp.o" "gcc" "src/extract/CMakeFiles/dlp_extract.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/extract/rules_parser.cpp" "src/extract/CMakeFiles/dlp_extract.dir/rules_parser.cpp.o" "gcc" "src/extract/CMakeFiles/dlp_extract.dir/rules_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/dlp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dlp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/dlp_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dlp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

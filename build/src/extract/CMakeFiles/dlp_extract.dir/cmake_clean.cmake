@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_extract.dir/critical_area.cpp.o"
+  "CMakeFiles/dlp_extract.dir/critical_area.cpp.o.d"
+  "CMakeFiles/dlp_extract.dir/defect_stats.cpp.o"
+  "CMakeFiles/dlp_extract.dir/defect_stats.cpp.o.d"
+  "CMakeFiles/dlp_extract.dir/extractor.cpp.o"
+  "CMakeFiles/dlp_extract.dir/extractor.cpp.o.d"
+  "CMakeFiles/dlp_extract.dir/monte_carlo.cpp.o"
+  "CMakeFiles/dlp_extract.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/dlp_extract.dir/rules_parser.cpp.o"
+  "CMakeFiles/dlp_extract.dir/rules_parser.cpp.o.d"
+  "libdlp_extract.a"
+  "libdlp_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlp_extract.a"
+)

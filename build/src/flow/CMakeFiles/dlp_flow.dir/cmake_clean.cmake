@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_flow.dir/experiment.cpp.o"
+  "CMakeFiles/dlp_flow.dir/experiment.cpp.o.d"
+  "CMakeFiles/dlp_flow.dir/report.cpp.o"
+  "CMakeFiles/dlp_flow.dir/report.cpp.o.d"
+  "CMakeFiles/dlp_flow.dir/wafer.cpp.o"
+  "CMakeFiles/dlp_flow.dir/wafer.cpp.o.d"
+  "libdlp_flow.a"
+  "libdlp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

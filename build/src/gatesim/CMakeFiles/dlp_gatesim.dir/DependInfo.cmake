@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gatesim/bist.cpp" "src/gatesim/CMakeFiles/dlp_gatesim.dir/bist.cpp.o" "gcc" "src/gatesim/CMakeFiles/dlp_gatesim.dir/bist.cpp.o.d"
+  "/root/repo/src/gatesim/bridge_sim.cpp" "src/gatesim/CMakeFiles/dlp_gatesim.dir/bridge_sim.cpp.o" "gcc" "src/gatesim/CMakeFiles/dlp_gatesim.dir/bridge_sim.cpp.o.d"
+  "/root/repo/src/gatesim/fault_sim.cpp" "src/gatesim/CMakeFiles/dlp_gatesim.dir/fault_sim.cpp.o" "gcc" "src/gatesim/CMakeFiles/dlp_gatesim.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/gatesim/faults.cpp" "src/gatesim/CMakeFiles/dlp_gatesim.dir/faults.cpp.o" "gcc" "src/gatesim/CMakeFiles/dlp_gatesim.dir/faults.cpp.o.d"
+  "/root/repo/src/gatesim/logic_sim.cpp" "src/gatesim/CMakeFiles/dlp_gatesim.dir/logic_sim.cpp.o" "gcc" "src/gatesim/CMakeFiles/dlp_gatesim.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/gatesim/patterns.cpp" "src/gatesim/CMakeFiles/dlp_gatesim.dir/patterns.cpp.o" "gcc" "src/gatesim/CMakeFiles/dlp_gatesim.dir/patterns.cpp.o.d"
+  "/root/repo/src/gatesim/timing.cpp" "src/gatesim/CMakeFiles/dlp_gatesim.dir/timing.cpp.o" "gcc" "src/gatesim/CMakeFiles/dlp_gatesim.dir/timing.cpp.o.d"
+  "/root/repo/src/gatesim/transition.cpp" "src/gatesim/CMakeFiles/dlp_gatesim.dir/transition.cpp.o" "gcc" "src/gatesim/CMakeFiles/dlp_gatesim.dir/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dlp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

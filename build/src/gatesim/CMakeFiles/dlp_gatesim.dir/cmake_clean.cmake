@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_gatesim.dir/bist.cpp.o"
+  "CMakeFiles/dlp_gatesim.dir/bist.cpp.o.d"
+  "CMakeFiles/dlp_gatesim.dir/bridge_sim.cpp.o"
+  "CMakeFiles/dlp_gatesim.dir/bridge_sim.cpp.o.d"
+  "CMakeFiles/dlp_gatesim.dir/fault_sim.cpp.o"
+  "CMakeFiles/dlp_gatesim.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/dlp_gatesim.dir/faults.cpp.o"
+  "CMakeFiles/dlp_gatesim.dir/faults.cpp.o.d"
+  "CMakeFiles/dlp_gatesim.dir/logic_sim.cpp.o"
+  "CMakeFiles/dlp_gatesim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/dlp_gatesim.dir/patterns.cpp.o"
+  "CMakeFiles/dlp_gatesim.dir/patterns.cpp.o.d"
+  "CMakeFiles/dlp_gatesim.dir/timing.cpp.o"
+  "CMakeFiles/dlp_gatesim.dir/timing.cpp.o.d"
+  "CMakeFiles/dlp_gatesim.dir/transition.cpp.o"
+  "CMakeFiles/dlp_gatesim.dir/transition.cpp.o.d"
+  "libdlp_gatesim.a"
+  "libdlp_gatesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_gatesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

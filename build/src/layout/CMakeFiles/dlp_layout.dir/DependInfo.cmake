@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/chip.cpp" "src/layout/CMakeFiles/dlp_layout.dir/chip.cpp.o" "gcc" "src/layout/CMakeFiles/dlp_layout.dir/chip.cpp.o.d"
+  "/root/repo/src/layout/drc.cpp" "src/layout/CMakeFiles/dlp_layout.dir/drc.cpp.o" "gcc" "src/layout/CMakeFiles/dlp_layout.dir/drc.cpp.o.d"
+  "/root/repo/src/layout/place_route.cpp" "src/layout/CMakeFiles/dlp_layout.dir/place_route.cpp.o" "gcc" "src/layout/CMakeFiles/dlp_layout.dir/place_route.cpp.o.d"
+  "/root/repo/src/layout/svg.cpp" "src/layout/CMakeFiles/dlp_layout.dir/svg.cpp.o" "gcc" "src/layout/CMakeFiles/dlp_layout.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cell/CMakeFiles/dlp_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dlp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

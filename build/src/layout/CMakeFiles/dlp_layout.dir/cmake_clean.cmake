@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_layout.dir/chip.cpp.o"
+  "CMakeFiles/dlp_layout.dir/chip.cpp.o.d"
+  "CMakeFiles/dlp_layout.dir/drc.cpp.o"
+  "CMakeFiles/dlp_layout.dir/drc.cpp.o.d"
+  "CMakeFiles/dlp_layout.dir/place_route.cpp.o"
+  "CMakeFiles/dlp_layout.dir/place_route.cpp.o.d"
+  "CMakeFiles/dlp_layout.dir/svg.cpp.o"
+  "CMakeFiles/dlp_layout.dir/svg.cpp.o.d"
+  "libdlp_layout.a"
+  "libdlp_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/coverage_laws.cpp" "src/model/CMakeFiles/dlp_model.dir/coverage_laws.cpp.o" "gcc" "src/model/CMakeFiles/dlp_model.dir/coverage_laws.cpp.o.d"
+  "/root/repo/src/model/delay_model.cpp" "src/model/CMakeFiles/dlp_model.dir/delay_model.cpp.o" "gcc" "src/model/CMakeFiles/dlp_model.dir/delay_model.cpp.o.d"
+  "/root/repo/src/model/dl_models.cpp" "src/model/CMakeFiles/dlp_model.dir/dl_models.cpp.o" "gcc" "src/model/CMakeFiles/dlp_model.dir/dl_models.cpp.o.d"
+  "/root/repo/src/model/fit.cpp" "src/model/CMakeFiles/dlp_model.dir/fit.cpp.o" "gcc" "src/model/CMakeFiles/dlp_model.dir/fit.cpp.o.d"
+  "/root/repo/src/model/planning.cpp" "src/model/CMakeFiles/dlp_model.dir/planning.cpp.o" "gcc" "src/model/CMakeFiles/dlp_model.dir/planning.cpp.o.d"
+  "/root/repo/src/model/stats.cpp" "src/model/CMakeFiles/dlp_model.dir/stats.cpp.o" "gcc" "src/model/CMakeFiles/dlp_model.dir/stats.cpp.o.d"
+  "/root/repo/src/model/yield.cpp" "src/model/CMakeFiles/dlp_model.dir/yield.cpp.o" "gcc" "src/model/CMakeFiles/dlp_model.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

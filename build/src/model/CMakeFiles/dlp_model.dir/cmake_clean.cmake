@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_model.dir/coverage_laws.cpp.o"
+  "CMakeFiles/dlp_model.dir/coverage_laws.cpp.o.d"
+  "CMakeFiles/dlp_model.dir/delay_model.cpp.o"
+  "CMakeFiles/dlp_model.dir/delay_model.cpp.o.d"
+  "CMakeFiles/dlp_model.dir/dl_models.cpp.o"
+  "CMakeFiles/dlp_model.dir/dl_models.cpp.o.d"
+  "CMakeFiles/dlp_model.dir/fit.cpp.o"
+  "CMakeFiles/dlp_model.dir/fit.cpp.o.d"
+  "CMakeFiles/dlp_model.dir/planning.cpp.o"
+  "CMakeFiles/dlp_model.dir/planning.cpp.o.d"
+  "CMakeFiles/dlp_model.dir/stats.cpp.o"
+  "CMakeFiles/dlp_model.dir/stats.cpp.o.d"
+  "CMakeFiles/dlp_model.dir/yield.cpp.o"
+  "CMakeFiles/dlp_model.dir/yield.cpp.o.d"
+  "libdlp_model.a"
+  "libdlp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_netlist.dir/bench_parser.cpp.o"
+  "CMakeFiles/dlp_netlist.dir/bench_parser.cpp.o.d"
+  "CMakeFiles/dlp_netlist.dir/builders.cpp.o"
+  "CMakeFiles/dlp_netlist.dir/builders.cpp.o.d"
+  "CMakeFiles/dlp_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/dlp_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/dlp_netlist.dir/optimize.cpp.o"
+  "CMakeFiles/dlp_netlist.dir/optimize.cpp.o.d"
+  "CMakeFiles/dlp_netlist.dir/techmap.cpp.o"
+  "CMakeFiles/dlp_netlist.dir/techmap.cpp.o.d"
+  "libdlp_netlist.a"
+  "libdlp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

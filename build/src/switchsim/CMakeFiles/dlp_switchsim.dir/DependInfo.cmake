@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/switch_fault_sim.cpp" "src/switchsim/CMakeFiles/dlp_switchsim.dir/switch_fault_sim.cpp.o" "gcc" "src/switchsim/CMakeFiles/dlp_switchsim.dir/switch_fault_sim.cpp.o.d"
+  "/root/repo/src/switchsim/switch_netlist.cpp" "src/switchsim/CMakeFiles/dlp_switchsim.dir/switch_netlist.cpp.o" "gcc" "src/switchsim/CMakeFiles/dlp_switchsim.dir/switch_netlist.cpp.o.d"
+  "/root/repo/src/switchsim/switch_sim.cpp" "src/switchsim/CMakeFiles/dlp_switchsim.dir/switch_sim.cpp.o" "gcc" "src/switchsim/CMakeFiles/dlp_switchsim.dir/switch_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cell/CMakeFiles/dlp_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dlp_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

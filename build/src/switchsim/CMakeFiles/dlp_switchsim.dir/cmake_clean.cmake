@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlp_switchsim.dir/switch_fault_sim.cpp.o"
+  "CMakeFiles/dlp_switchsim.dir/switch_fault_sim.cpp.o.d"
+  "CMakeFiles/dlp_switchsim.dir/switch_netlist.cpp.o"
+  "CMakeFiles/dlp_switchsim.dir/switch_netlist.cpp.o.d"
+  "CMakeFiles/dlp_switchsim.dir/switch_sim.cpp.o"
+  "CMakeFiles/dlp_switchsim.dir/switch_sim.cpp.o.d"
+  "libdlp_switchsim.a"
+  "libdlp_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlp_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_model "/root/repo/build/tests/test_model")
+set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_netlist "/root/repo/build/tests/test_netlist")
+set_tests_properties(test_netlist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gatesim "/root/repo/build/tests/test_gatesim")
+set_tests_properties(test_gatesim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_atpg "/root/repo/build/tests/test_atpg")
+set_tests_properties(test_atpg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cell "/root/repo/build/tests/test_cell")
+set_tests_properties(test_cell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_layout "/root/repo/build/tests/test_layout")
+set_tests_properties(test_layout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_extract "/root/repo/build/tests/test_extract")
+set_tests_properties(test_extract PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_switchsim "/root/repo/build/tests/test_switchsim")
+set_tests_properties(test_switchsim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_flow "/root/repo/build/tests/test_flow")
+set_tests_properties(test_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;dlp_test;/root/repo/tests/CMakeLists.txt;0;")
