@@ -35,17 +35,22 @@ int main() {
 
     std::printf("%-32s %8s %11s %9s %11s %11s\n", "variant", "R",
                 "theta_max", "T_end%", "theta_end%", "Gamma_end%");
+    // One staged runner for the whole sweep: every case shares the techmap,
+    // layout and ATPG test set; only extraction + simulation + fit re-run.
+    flow::ExperimentOptions opt;
+    opt.atpg.seed = 5;
+    flow::ExperimentRunner runner(netlist::build_c432(), opt);
     for (const Case& c : cases) {
-        flow::ExperimentOptions opt;
-        opt.atpg.seed = 5;
-        opt.defects = c.stats;
-        opt.weighted = c.weighted;
-        opt.extract.multi_node_bridges = c.multi_node;
-        opt.sim.float_gate = c.float_gate;
-        const auto r = flow::run_experiment(netlist::build_c432(), opt);
+        runner.options().defects = c.stats;
+        runner.options().weighted = c.weighted;
+        runner.options().extract.multi_node_bridges = c.multi_node;
+        runner.options().sim.float_gate = c.float_gate;
+        runner.invalidate_extraction();
+        const auto& r = runner.fit();
         std::printf("%-32s %8.2f %11.3f %9.2f %11.2f %11.2f\n", c.name,
-                    r.fit.r, r.fit.theta_max, 100 * r.final_t(),
-                    100 * r.final_theta(), 100 * r.final_gamma());
+                    r.fit.r, r.fit.theta_max, 100 * r.t_curve.final(),
+                    100 * r.theta_curve.final(),
+                    100 * r.gamma_curve.final());
     }
     std::printf("\nShape check: the paper's bridging-dominant premise plus "
                 "multi-node shorts produce R > 1; weighting moves theta "

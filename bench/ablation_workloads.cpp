@@ -33,8 +33,8 @@ int main() {
                                                   r.fault_weights.end());
         std::printf("%-24s %6zu %7zu %8.2f %11.3f %9.2f %11.2f %10.1f\n",
                     w.name, r.mapped_gates, r.realistic_faults, r.fit.r,
-                    r.fit.theta_max, 100 * r.final_t(),
-                    100 * r.final_theta(), std::log10(*hi / *lo));
+                    r.fit.theta_max, 100 * r.t_curve.final(),
+                    100 * r.theta_curve.final(), std::log10(*hi / *lo));
     }
     std::printf("\nShape check: every workload lands in the paper's regime "
                 "(R >= 1, theta_max < 1, multi-decade weight dispersion).\n");

@@ -22,13 +22,14 @@ int main() {
                     100 * r.theta_iddq_curve[i]);
     }
 
-    const double dl_v = model::weighted_dl(r.yield, r.final_theta());
-    const double dl_iq = model::weighted_dl(r.yield, r.final_theta_iddq());
+    const double dl_v = model::weighted_dl(r.yield, r.theta_curve.final());
+    const double dl_iq =
+        model::weighted_dl(r.yield, r.theta_iddq_curve.final());
     std::printf("\nEnd of test set:\n");
     std::printf("  voltage only:   theta=%.4f  DL=%7.0f ppm\n",
-                r.final_theta(), model::to_ppm(dl_v));
+                r.theta_curve.final(), model::to_ppm(dl_v));
     std::printf("  voltage + IDDQ: theta=%.4f  DL=%7.0f ppm  (%.1fx lower)\n",
-                r.final_theta_iddq(), model::to_ppm(dl_iq),
+                r.theta_iddq_curve.final(), model::to_ppm(dl_iq),
                 dl_iq > 0 ? dl_v / dl_iq : 0.0);
     std::printf("\nShape check: IDDQ flags every conducting bridge "
                 "regardless of logic masking, so the weighted coverage "

@@ -18,8 +18,9 @@ int main() {
     }
     std::printf("\nFinal: T=%.2f%%  theta=%.2f%%  Gamma=%.2f%%  (%d vectors, "
                 "%d random)\n",
-                100 * r.final_t(), 100 * r.final_theta(),
-                100 * r.final_gamma(), r.vector_count, r.random_vectors);
+                100 * r.t_curve.final(), 100 * r.theta_curve.final(),
+                100 * r.gamma_curve.final(), r.vector_count,
+                r.random_vectors);
     std::printf("Fitted susceptibilities: ln s_T=%.2f  ln s_theta=%.2f  "
                 "theta_max(fit)=%.3f\n",
                 std::log(r.t_law.susceptibility),

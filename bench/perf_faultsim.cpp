@@ -22,21 +22,29 @@ const netlist::Circuit& mapped_c432() {
     return c;
 }
 
+// Args: {vectors, worker threads}.
 void BM_GateLevelFaultSim(benchmark::State& state) {
     const auto& c = mapped_c432();
     const auto faults =
         gatesim::collapse_faults(c, gatesim::full_fault_universe(c));
     gatesim::RandomPatternGenerator rng(1);
     const auto vectors = rng.vectors(c, static_cast<int>(state.range(0)));
+    const parallel::ParallelOptions par{static_cast<int>(state.range(1))};
     for (auto _ : state) {
-        gatesim::FaultSimulator sim(c, faults);
+        gatesim::FaultSimulator sim(c, faults, par);
         sim.apply(vectors);
         benchmark::DoNotOptimize(sim.coverage());
     }
     state.SetItemsProcessed(state.iterations() * state.range(0) *
                             static_cast<long>(faults.size()));
 }
-BENCHMARK(BM_GateLevelFaultSim)->Arg(64)->Arg(256);
+BENCHMARK(BM_GateLevelFaultSim)
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->UseRealTime();
 
 void BM_SwitchLevelGoodSim(benchmark::State& state) {
     const auto& c = mapped_c432();
@@ -85,6 +93,8 @@ void BM_LayoutAndExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_LayoutAndExtraction);
 
+// Args: {vectors, worker threads}.  The speedup acceptance target for the
+// parallel engine reads off the per-thread-count rows here.
 void BM_SwitchLevelFaultSim(benchmark::State& state) {
     const auto& c = mapped_c432();
     const auto chip = layout::place_and_route(c);
@@ -97,15 +107,22 @@ void BM_SwitchLevelFaultSim(benchmark::State& state) {
     std::vector<switchsim::Vector> vectors;
     for (const auto& v : rng.vectors(c, static_cast<int>(state.range(0))))
         vectors.emplace_back(v.begin(), v.end());
+    const parallel::ParallelOptions par{static_cast<int>(state.range(1))};
     for (auto _ : state) {
-        switchsim::SwitchFaultSimulator fs(sim, faults);
+        switchsim::SwitchFaultSimulator fs(sim, faults, par);
         fs.apply(vectors);
         benchmark::DoNotOptimize(fs.weighted_coverage());
     }
     state.SetItemsProcessed(state.iterations() * state.range(0) *
                             static_cast<long>(faults.size()));
 }
-BENCHMARK(BM_SwitchLevelFaultSim)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SwitchLevelFaultSim)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -67,7 +67,8 @@ int main() {
     double acc = 0.0;
     double total = 0.0;
     for (double x : w) total += x;
-    for (size_t j = 0; j < w.size() && acc / total < r.final_theta(); ++j) {
+    for (size_t j = 0;
+         j < w.size() && acc / total < r.theta_curve.final(); ++j) {
         det8[j] = 1;
         acc += w[j];
     }

@@ -2,6 +2,9 @@
 // layout -> layout fault extraction -> stuck-at ATPG -> switch-level fault
 // simulation -> defect-level projection and model fit.
 //
+// Runs through the staged flow::ExperimentRunner with a progress callback,
+// so each stage (and the long switch-level simulation) reports as it goes.
+//
 // With an output directory argument it also writes the artifacts:
 //   dl_projection_c432 out/   ->  out/curves.csv, out/weights.csv,
 //                                 out/c432_layout.svg, out/summary.txt
@@ -10,11 +13,9 @@
 
 #include "flow/experiment.h"
 #include "flow/report.h"
-#include "layout/place_route.h"
 #include "layout/svg.h"
 #include "model/dl_models.h"
 #include "netlist/builders.h"
-#include "netlist/techmap.h"
 
 int main(int argc, char** argv) {
     using namespace dlp;
@@ -22,17 +23,25 @@ int main(int argc, char** argv) {
     flow::ExperimentOptions opt;
     opt.target_yield = 0.75;  // scale like the paper ("same testability")
     std::printf("Running the full physical-to-logical flow on c432...\n");
-    const flow::ExperimentResult r =
-        flow::run_experiment(netlist::build_c432(), opt);
+
+    flow::ExperimentRunner runner(netlist::build_c432(), opt);
+    runner.set_progress([](std::string_view stage, std::size_t done,
+                           std::size_t total) {
+        // Stage transitions once; switch-sim every vector batch.
+        if (done == total || done % 256 == 0)
+            std::fprintf(stderr, "  [%.*s] %zu/%zu\n",
+                         static_cast<int>(stage.size()), stage.data(), done,
+                         total);
+    });
+    const flow::ExperimentResult& r = runner.run();
 
     if (argc >= 2) {
         const std::string dir = argv[1];
         flow::write_file(dir + "/curves.csv", flow::curves_csv(r));
         flow::write_file(dir + "/weights.csv", flow::weight_histogram_csv(r));
         flow::write_file(dir + "/summary.txt", flow::summary_text(r));
-        const auto chip = layout::place_and_route(
-            netlist::techmap(netlist::build_c432()), opt.layout);
-        layout::write_svg(chip, dir + "/c432_layout.svg");
+        // The layout is already cached in the runner's prepared design.
+        layout::write_svg(runner.prepare().chip, dir + "/c432_layout.svg");
         std::printf("artifacts written to %s/\n", dir.c_str());
     }
 
@@ -54,17 +63,18 @@ int main(int argc, char** argv) {
                     100 * w / r.raw_total_weight);
 
     std::printf("\n-- coverage at end of test --\n");
-    std::printf("T      = %6.2f%% (stuck-at)\n", 100 * r.final_t());
+    std::printf("T      = %6.2f%% (stuck-at)\n", 100 * r.t_curve.final());
     std::printf("theta  = %6.2f%% (weighted realistic)\n",
-                100 * r.final_theta());
+                100 * r.theta_curve.final());
     std::printf("Gamma  = %6.2f%% (unweighted realistic)\n",
-                100 * r.final_gamma());
+                100 * r.gamma_curve.final());
 
     std::printf("\n-- defect-level projection (Y = %.2f) --\n", r.yield);
-    const double dl = model::weighted_dl(r.yield, r.final_theta());
+    const double dl = model::weighted_dl(r.yield, r.theta_curve.final());
     std::printf("projected DL after full test: %.0f ppm\n", model::to_ppm(dl));
     std::printf("Williams-Brown would claim:   %.0f ppm\n",
-                model::to_ppm(model::williams_brown_dl(r.yield, r.final_t())));
+                model::to_ppm(model::williams_brown_dl(r.yield,
+                                                       r.t_curve.final())));
     std::printf("fitted eq.(11): R = %.2f, theta_max = %.3f, residual floor "
                 "= %.0f ppm\n",
                 r.fit.r, r.fit.theta_max,

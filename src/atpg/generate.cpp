@@ -26,7 +26,7 @@ TestGenResult generate_test_set(const Circuit& circuit,
                                 std::vector<StuckAtFault> faults,
                                 const TestGenOptions& options) {
     TestGenResult result;
-    gatesim::FaultSimulator sim(circuit, std::move(faults));
+    gatesim::FaultSimulator sim(circuit, std::move(faults), options.parallel);
     gatesim::RandomPatternGenerator rng(options.seed);
 
     // Phase 1: random patterns until they stop paying off.

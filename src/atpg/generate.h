@@ -8,6 +8,7 @@
 
 #include "atpg/podem.h"
 #include "gatesim/fault_sim.h"
+#include "parallel/parallel_for.h"
 
 namespace dlp::atpg {
 
@@ -17,6 +18,8 @@ struct TestGenOptions {
     int stale_blocks = 4;      ///< stop random phase after this many barren batches
     std::uint64_t seed = 1;
     int backtrack_limit = 4096;
+    /// Worker count for the embedded PPSFP fault simulation (0 = default).
+    parallel::ParallelOptions parallel;
 };
 
 /// Final status of one fault after test generation.

@@ -5,6 +5,7 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "gatesim/fault_sim.h"
 #include "model/dl_models.h"
@@ -125,101 +126,189 @@ std::vector<size_t> sample_indices(size_t n) {
 
 }  // namespace
 
+ExperimentRunner::ExperimentRunner(netlist::Circuit circuit,
+                                   ExperimentOptions options)
+    : circuit_(std::move(circuit)), options_(std::move(options)) {}
+
+void ExperimentRunner::report(std::string_view stage, std::size_t done,
+                              std::size_t total) {
+    if (progress_) progress_(stage, done, total);
+}
+
+void ExperimentRunner::invalidate_all() {
+    prepared_.reset();
+    extraction_dirty_ = true;
+    invalidate_tests();
+}
+
+void ExperimentRunner::invalidate_extraction() {
+    extraction_dirty_ = true;
+    invalidate_simulation();
+}
+
+void ExperimentRunner::invalidate_tests() {
+    tests_.reset();
+    invalidate_simulation();
+}
+
+void ExperimentRunner::invalidate_simulation() {
+    sim_data_.reset();
+    result_.reset();
+}
+
+const ExperimentRunner::PreparedDesign& ExperimentRunner::prepare() {
+    if (!prepared_) {
+        PreparedDesign p;
+        report("techmap", 0, 1);
+        p.mapped = netlist::techmap(circuit_, options_.techmap);
+        report("techmap", 1, 1);
+        report("layout", 0, 1);
+        p.chip = layout::place_and_route(p.mapped, options_.layout);
+        report("layout", 1, 1);
+        p.swnet = switchsim::build_switch_netlist(p.mapped);
+        prepared_ = std::move(p);
+        extraction_dirty_ = true;
+    }
+    if (extraction_dirty_) {
+        report("extract", 0, 1);
+        PreparedDesign& p = *prepared_;
+        p.extraction =
+            extract_faults(p.chip, options_.defects, options_.extract);
+        p.raw_total_weight = p.extraction.total_weight;
+        p.weight_by_class = p.extraction.weight_by_class;
+        // Yield scaling ("different size, same testability", paper sec. 3).
+        if (options_.target_yield > 0.0) {
+            const double scale = model::yield_scale_factor(
+                p.extraction.total_weight, options_.target_yield);
+            for (auto& f : p.extraction.faults) f.weight *= scale;
+            p.extraction.total_weight *= scale;
+        }
+        p.yield = std::exp(-p.extraction.total_weight);
+        extraction_dirty_ = false;
+        report("extract", 1, 1);
+    }
+    return *prepared_;
+}
+
+const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
+    if (!tests_) {
+        const PreparedDesign& p = prepare();
+        TestSet t;
+        report("atpg", 0, 1);
+        t.stuck = gatesim::collapse_faults(
+            p.mapped, gatesim::full_fault_universe(p.mapped));
+        atpg::TestGenOptions atpg_opts = options_.atpg;
+        atpg_opts.parallel = options_.parallel;
+        t.tests = atpg::generate_test_set(p.mapped, t.stuck, atpg_opts);
+        report("atpg", 1, 1);
+
+        // T(k) over the full sequence, from the ATPG detection table.  Like
+        // the paper, proven-redundant faults are neglected (fault
+        // efficiency).
+        const double testable =
+            static_cast<double>(t.stuck.size() - t.tests.redundant);
+        std::vector<int> hits(t.tests.vectors.size() + 1, 0);
+        for (int at : t.tests.first_detected_at)
+            if (at >= 1) ++hits[static_cast<size_t>(at)];
+        t.t_curve.values.resize(t.tests.vectors.size());
+        double cum = 0;
+        for (size_t k = 1; k <= t.tests.vectors.size(); ++k) {
+            cum += hits[k];
+            t.t_curve.values[k - 1] = testable == 0.0 ? 0.0 : cum / testable;
+        }
+        tests_ = std::move(t);
+    }
+    return *tests_;
+}
+
+const ExperimentRunner::SimulationData& ExperimentRunner::simulate() {
+    if (!sim_data_) {
+        const TestSet& t = generate_tests();
+        const PreparedDesign& p = prepare();
+        SimulationData d;
+        const switchsim::SwitchSim sim(p.swnet, options_.sim);
+        auto swfaults = to_switch_faults(p.extraction, p.chip, p.swnet);
+        if (!options_.weighted)
+            for (auto& f : swfaults) f.weight = 1.0;
+        switchsim::SwitchFaultSimulator swsim(sim, std::move(swfaults),
+                                              options_.parallel);
+        swsim.set_progress(progress_);
+        swsim.apply(t.tests.vectors);
+        d.theta_curve = CoverageCurve(swsim.weighted_coverage_curve());
+        d.gamma_curve = CoverageCurve(swsim.unweighted_coverage_curve());
+        d.theta_iddq_curve =
+            CoverageCurve(swsim.weighted_coverage_curve_with_iddq());
+        d.first_detected_at.assign(swsim.first_detected_at().begin(),
+                                   swsim.first_detected_at().end());
+        d.iddq_detected_at.assign(swsim.iddq_detected_at().begin(),
+                                  swsim.iddq_detected_at().end());
+        sim_data_ = std::move(d);
+    }
+    return *sim_data_;
+}
+
+const ExperimentResult& ExperimentRunner::fit() {
+    if (!result_) {
+        const SimulationData& d = simulate();
+        const TestSet& t = *tests_;
+        const PreparedDesign& p = *prepared_;
+        report("fit", 0, 1);
+
+        ExperimentResult r;
+        r.mapped_gates = p.mapped.logic_gate_count();
+        r.stuck_faults = t.stuck.size();
+        r.realistic_faults = p.extraction.faults.size();
+        r.transistors = p.swnet.transistors.size();
+        r.vector_count = static_cast<int>(t.tests.vectors.size());
+        r.random_vectors = t.tests.random_count;
+        r.yield = p.yield;
+        r.raw_total_weight = p.raw_total_weight;
+        r.die_area = p.chip.area();
+        r.weight_by_class = p.weight_by_class;
+        r.fault_weights = p.extraction.weights();
+        r.t_curve = t.t_curve;
+        r.theta_curve = d.theta_curve;
+        r.gamma_curve = d.gamma_curve;
+        r.theta_iddq_curve = d.theta_iddq_curve;
+
+        // Defect-level points DL(theta(k)) against T(k) and Gamma(k).
+        for (size_t i : sample_indices(r.t_curve.size())) {
+            const double dl = model::weighted_dl(r.yield, r.theta_curve[i]);
+            r.dl_vs_t.push_back({r.t_curve[i], dl});
+            r.dl_vs_gamma.push_back({r.gamma_curve[i], dl});
+        }
+
+        // Fits: eq (11) parameters and the coverage-law susceptibilities.
+        r.fit = model::fit_proposed_model(r.yield, r.dl_vs_t);
+        {
+            std::vector<model::CoveragePoint> t_pts;
+            std::vector<model::CoveragePoint> th_pts;
+            for (size_t i : sample_indices(r.t_curve.size())) {
+                t_pts.push_back({static_cast<double>(i + 1), r.t_curve[i]});
+                th_pts.push_back(
+                    {static_cast<double>(i + 1), r.theta_curve[i]});
+            }
+            try {
+                r.t_law = model::fit_coverage_law(t_pts, false);
+            } catch (const std::exception&) {
+                r.t_law = {};
+            }
+            try {
+                r.theta_law = model::fit_coverage_law(th_pts, true);
+            } catch (const std::exception&) {
+                r.theta_law = {};
+            }
+        }
+        result_ = std::move(r);
+        report("fit", 1, 1);
+    }
+    return *result_;
+}
+
 ExperimentResult run_experiment(const netlist::Circuit& circuit,
                                 const ExperimentOptions& options) {
-    ExperimentResult r;
-
-    // 1. Technology map so every gate has a cell.
-    const netlist::Circuit mapped = netlist::techmap(circuit, options.techmap);
-    r.mapped_gates = mapped.logic_gate_count();
-
-    // 2. Stuck-at test generation (random prefix + PODEM tail).
-    auto stuck = gatesim::collapse_faults(
-        mapped, gatesim::full_fault_universe(mapped));
-    r.stuck_faults = stuck.size();
-    const atpg::TestGenResult tests =
-        atpg::generate_test_set(mapped, stuck, options.atpg);
-    r.vector_count = static_cast<int>(tests.vectors.size());
-    r.random_vectors = tests.random_count;
-
-    // T(k) over the full sequence, from the ATPG detection table.  Like the
-    // paper, proven-redundant faults are neglected (fault efficiency).
-    {
-        const double testable =
-            static_cast<double>(stuck.size() - tests.redundant);
-        std::vector<int> hits(tests.vectors.size() + 1, 0);
-        for (int at : tests.first_detected_at)
-            if (at >= 1) ++hits[static_cast<size_t>(at)];
-        r.t_curve.resize(tests.vectors.size());
-        double cum = 0;
-        for (size_t k = 1; k <= tests.vectors.size(); ++k) {
-            cum += hits[k];
-            r.t_curve[k - 1] = testable == 0.0 ? 0.0 : cum / testable;
-        }
-    }
-
-    // 3. Layout and fault extraction.
-    const layout::ChipLayout chip =
-        layout::place_and_route(mapped, options.layout);
-    r.die_area = chip.area();
-    extract::ExtractionResult extraction =
-        extract_faults(chip, options.defects, options.extract);
-    r.raw_total_weight = extraction.total_weight;
-    r.weight_by_class = extraction.weight_by_class;
-    r.realistic_faults = extraction.faults.size();
-
-    // 4. Yield scaling ("different size, same testability", paper sec. 3).
-    double scale = 1.0;
-    if (options.target_yield > 0.0) {
-        scale = model::yield_scale_factor(extraction.total_weight,
-                                          options.target_yield);
-        for (auto& f : extraction.faults) f.weight *= scale;
-        extraction.total_weight *= scale;
-    }
-    r.yield = std::exp(-extraction.total_weight);
-    r.fault_weights = extraction.weights();
-
-    // 5. Switch-level fault simulation of the same vector sequence.
-    const switchsim::SwitchNetlist swnet = switchsim::build_switch_netlist(mapped);
-    r.transistors = swnet.transistors.size();
-    const switchsim::SwitchSim sim(swnet, options.sim);
-    auto swfaults = to_switch_faults(extraction, chip, swnet);
-    if (!options.weighted)
-        for (auto& f : swfaults) f.weight = 1.0;
-    switchsim::SwitchFaultSimulator swsim(sim, std::move(swfaults));
-    swsim.apply(tests.vectors);
-    r.theta_curve = swsim.weighted_coverage_curve();
-    r.gamma_curve = swsim.unweighted_coverage_curve();
-    r.theta_iddq_curve = swsim.weighted_coverage_curve_with_iddq();
-
-    // 6. Defect-level points DL(theta(k)) against T(k) and Gamma(k).
-    for (size_t i : sample_indices(r.t_curve.size())) {
-        const double dl = model::weighted_dl(r.yield, r.theta_curve[i]);
-        r.dl_vs_t.push_back({r.t_curve[i], dl});
-        r.dl_vs_gamma.push_back({r.gamma_curve[i], dl});
-    }
-
-    // 7. Fits: eq (11) parameters and the coverage-law susceptibilities.
-    r.fit = model::fit_proposed_model(r.yield, r.dl_vs_t);
-    {
-        std::vector<model::CoveragePoint> t_pts;
-        std::vector<model::CoveragePoint> th_pts;
-        for (size_t i : sample_indices(r.t_curve.size())) {
-            t_pts.push_back({static_cast<double>(i + 1), r.t_curve[i]});
-            th_pts.push_back({static_cast<double>(i + 1), r.theta_curve[i]});
-        }
-        try {
-            r.t_law = model::fit_coverage_law(t_pts, false);
-        } catch (const std::exception&) {
-            r.t_law = {};
-        }
-        try {
-            r.theta_law = model::fit_coverage_law(th_pts, true);
-        } catch (const std::exception&) {
-            r.theta_law = {};
-        }
-    }
-    return r;
+    ExperimentRunner runner(circuit, options);
+    return runner.run();
 }
 
 }  // namespace dlp::flow

@@ -1,8 +1,17 @@
-// The paper's end-to-end experiment as one call:
+// The paper's end-to-end experiment:
 //   circuit -> techmap -> {stuck-at ATPG, layout -> fault extraction ->
 //   switch-level fault simulation} -> T(k), theta(k), Gamma(k) ->
 //   DL curves -> model fit (R, theta_max).
+//
+// The pipeline is staged (ExperimentRunner): prepare() builds the physical
+// design, generate_tests() the vector set, simulate() the realistic
+// coverage curves, fit() the models.  Each stage caches its artifact, so a
+// sweep can edit options() and invalidate only the stages downstream of the
+// change instead of re-running the whole flow per point.  run_experiment()
+// remains the one-call wrapper.
 #pragma once
+
+#include <optional>
 
 #include "atpg/generate.h"
 #include "extract/extractor.h"
@@ -10,9 +19,13 @@
 #include "model/coverage_laws.h"
 #include "model/fit.h"
 #include "netlist/techmap.h"
+#include "parallel/parallel_for.h"
+#include "parallel/progress.h"
 #include "switchsim/switch_fault_sim.h"
 
 namespace dlp::flow {
+
+using ProgressFn = parallel::ProgressFn;
 
 struct ExperimentOptions {
     double target_yield = 0.75;  ///< scale weights to this Y (0 = no scaling)
@@ -24,6 +37,24 @@ struct ExperimentOptions {
     netlist::TechmapOptions techmap;
     switchsim::SimParams sim;  ///< switch-level electrical parameters
     bool weighted = true;  ///< false: ablation, all realistic faults equal
+    /// Worker count for both fault simulators (0 = scoped/env default).
+    /// Results are bit-identical for any worker count.
+    parallel::ParallelOptions parallel;
+};
+
+/// A coverage-vs-test-length curve: values[k-1] = coverage after k vectors.
+/// One value type for all four measures (T, theta, Gamma, theta_IDDQ).
+struct CoverageCurve {
+    std::vector<double> values;
+
+    CoverageCurve() = default;
+    explicit CoverageCurve(std::vector<double> v) : values(std::move(v)) {}
+
+    std::size_t size() const { return values.size(); }
+    bool empty() const { return values.empty(); }
+    double operator[](std::size_t i) const { return values[i]; }
+    /// Coverage after the full sequence (0 if no vectors were applied).
+    double final() const { return values.empty() ? 0.0 : values.back(); }
 };
 
 struct ExperimentResult {
@@ -41,12 +72,12 @@ struct ExperimentResult {
     std::vector<double> fault_weights;  ///< per realistic fault (scaled)
 
     // Coverage curves, index k-1 = after k vectors.
-    std::vector<double> t_curve;      ///< stuck-at T(k)
-    std::vector<double> theta_curve;  ///< weighted realistic theta(k)
-    std::vector<double> gamma_curve;  ///< unweighted realistic Gamma(k)
+    CoverageCurve t_curve;      ///< stuck-at T(k)
+    CoverageCurve theta_curve;  ///< weighted realistic theta(k)
+    CoverageCurve gamma_curve;  ///< unweighted realistic Gamma(k)
     /// theta(k) when static voltage testing is complemented by IDDQ
     /// measurements (the paper's zero-defect recommendation).
-    std::vector<double> theta_iddq_curve;
+    CoverageCurve theta_iddq_curve;
 
     // Defect-level points (T(k), DL(theta(k))) and (Gamma(k), DL(theta(k))).
     std::vector<model::FalloutPoint> dl_vs_t;
@@ -56,20 +87,86 @@ struct ExperimentResult {
     model::ProposedFit fit;           ///< (R, theta_max) of eq (11)
     model::CoverageLaw t_law;         ///< fitted stuck-at susceptibility
     model::CoverageLaw theta_law;     ///< fitted realistic susceptibility
-
-    double final_t() const { return t_curve.empty() ? 0.0 : t_curve.back(); }
-    double final_theta() const {
-        return theta_curve.empty() ? 0.0 : theta_curve.back();
-    }
-    double final_gamma() const {
-        return gamma_curve.empty() ? 0.0 : gamma_curve.back();
-    }
-    double final_theta_iddq() const {
-        return theta_iddq_curve.empty() ? 0.0 : theta_iddq_curve.back();
-    }
 };
 
-/// Runs the full experiment on a circuit.  Deterministic in options.
+/// Staged experiment pipeline with per-stage artifact caching.
+///
+/// Stages form a dependency chain; calling a later stage runs the earlier
+/// ones on demand:
+///   prepare()        techmap -> layout -> switch netlist -> extraction
+///   generate_tests() collapsed stuck-at universe -> ATPG vectors -> T(k)
+///   simulate()       switch-level fault simulation -> theta/Gamma curves
+///   fit()            DL points, eq (11) and coverage-law fits -> result
+///
+/// For sweeps, edit options() and invalidate the first stage whose inputs
+/// changed (later stages are dropped automatically); everything upstream is
+/// reused.  E.g. a defect-statistics sweep keeps the layout and the ATPG
+/// test set and re-runs only extraction + simulation + fit per point.
+class ExperimentRunner {
+public:
+    explicit ExperimentRunner(netlist::Circuit circuit,
+                              ExperimentOptions options = {});
+
+    struct PreparedDesign {
+        netlist::Circuit mapped;
+        layout::ChipLayout chip;
+        switchsim::SwitchNetlist swnet;
+        extract::ExtractionResult extraction;  ///< weights yield-scaled
+        double yield = 1.0;
+        double raw_total_weight = 0.0;
+        std::map<std::string, double> weight_by_class;  ///< pre-scaling
+    };
+    struct TestSet {
+        std::vector<gatesim::StuckAtFault> stuck;  ///< collapsed universe
+        atpg::TestGenResult tests;
+        CoverageCurve t_curve;
+    };
+    struct SimulationData {
+        CoverageCurve theta_curve;
+        CoverageCurve gamma_curve;
+        CoverageCurve theta_iddq_curve;
+        std::vector<int> first_detected_at;  ///< per realistic fault
+        std::vector<int> iddq_detected_at;
+    };
+
+    const PreparedDesign& prepare();
+    const TestSet& generate_tests();
+    const SimulationData& simulate();
+    const ExperimentResult& fit();
+    /// All stages; equivalent to fit().
+    const ExperimentResult& run() { return fit(); }
+
+    /// Mutable options for sweeps; pair edits with the matching
+    /// invalidate_*() call.
+    ExperimentOptions& options() { return options_; }
+    const ExperimentOptions& options() const { return options_; }
+
+    /// Drop cached artifacts after an options edit.  Each call also drops
+    /// every stage downstream of the named one.
+    void invalidate_all();         ///< techmap/layout options changed
+    void invalidate_extraction();  ///< defect stats / extract options
+    void invalidate_tests();       ///< ATPG options changed
+    void invalidate_simulation();  ///< sim params / weighted / parallel
+
+    /// Observer for stage transitions and long-run simulation progress.
+    void set_progress(ProgressFn progress) { progress_ = std::move(progress); }
+
+private:
+    void report(std::string_view stage, std::size_t done, std::size_t total);
+
+    netlist::Circuit circuit_;
+    ExperimentOptions options_;
+    ProgressFn progress_;
+
+    std::optional<PreparedDesign> prepared_;
+    bool extraction_dirty_ = true;  ///< prepared_'s extraction needs redo
+    std::optional<TestSet> tests_;
+    std::optional<SimulationData> sim_data_;
+    std::optional<ExperimentResult> result_;
+};
+
+/// Runs the full experiment on a circuit in one call.  Deterministic in
+/// options (including options.parallel.threads).
 ExperimentResult run_experiment(const netlist::Circuit& circuit,
                                 const ExperimentOptions& options = {});
 

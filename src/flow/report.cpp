@@ -52,8 +52,9 @@ std::string summary_text(const ExperimentResult& result) {
         << " random)\n";
     out << "yield=" << result.yield << " (raw total weight "
         << result.raw_total_weight << ")\n";
-    out << "T_end=" << result.final_t() << " theta_end=" << result.final_theta()
-        << " gamma_end=" << result.final_gamma() << "\n";
+    out << "T_end=" << result.t_curve.final()
+        << " theta_end=" << result.theta_curve.final()
+        << " gamma_end=" << result.gamma_curve.final() << "\n";
     out << "fit: R=" << result.fit.r << " theta_max=" << result.fit.theta_max
         << " (log-DL rms " << result.fit.rms_error << ")\n";
     const model::ProposedModel m{result.yield, result.fit.r,

@@ -7,15 +7,22 @@
 namespace dlp::gatesim {
 
 FaultSimulator::FaultSimulator(const Circuit& circuit,
-                               std::vector<StuckAtFault> faults)
-    : circuit_(circuit), faults_(std::move(faults)) {
+                               std::vector<StuckAtFault> faults,
+                               parallel::ParallelOptions parallel)
+    : circuit_(circuit), faults_(std::move(faults)), parallel_(parallel) {
     detected_at_.assign(faults_.size(), -1);
 }
 
 int FaultSimulator::apply(std::span<const Vector> vectors) {
-    int newly_detected = 0;
-    std::vector<std::uint64_t> fwords;
-    std::vector<std::uint64_t> operands;
+    const int before_applied = vectors_applied_;
+    struct Scratch {
+        std::vector<std::uint64_t> fwords;
+        std::vector<std::uint64_t> operands;
+    };
+    const int workers = parallel::resolve_threads(parallel_);
+    std::vector<Scratch> scratch(static_cast<size_t>(workers));
+    const size_t grain = std::max<size_t>(
+        16, faults_.size() / (static_cast<size_t>(workers) * 8));
 
     for (size_t base = 0; base < vectors.size(); base += 64) {
         const size_t take = std::min<size_t>(64, vectors.size() - base);
@@ -25,59 +32,75 @@ int FaultSimulator::apply(std::span<const Vector> vectors) {
         const std::uint64_t lane_mask =
             take == 64 ? ~0ULL : (1ULL << take) - 1;
 
-        for (size_t fi = 0; fi < faults_.size(); ++fi) {
-            if (detected_at_[fi] >= 0) continue;  // fault dropping
-            const StuckAtFault& fault = faults_[fi];
-            const std::uint64_t stuck_word = fault.stuck_value ? ~0ULL : 0ULL;
+        // Fault-partitioned: each worker resimulates its faults' fanout
+        // cones against the shared good-machine words; detected_at_ slots
+        // are disjoint per fault, so detection stays order-independent.
+        parallel::parallel_for(
+            faults_.size(), grain,
+            [&](size_t fb, size_t fe, int w) {
+                auto& [fwords, operands] = scratch[static_cast<size_t>(w)];
+                for (size_t fi = fb; fi < fe; ++fi) {
+                    if (detected_at_[fi] >= 0) continue;  // fault dropping
+                    const StuckAtFault& fault = faults_[fi];
+                    const std::uint64_t stuck_word =
+                        fault.stuck_value ? ~0ULL : 0ULL;
 
-            fwords = good;
-            NetId first_gate;
-            if (fault.is_stem()) {
-                fwords[fault.net] = stuck_word;
-                if (((fwords[fault.net] ^ good[fault.net]) & lane_mask) == 0)
-                    continue;  // fault not excited by any lane
-                first_gate = fault.net + 1;
-            } else {
-                first_gate = fault.reader;
-            }
-
-            // Recompute the fanout cone (NetId order is topological).
-            for (NetId g = first_gate;
-                 g < static_cast<NetId>(circuit_.gate_count()); ++g) {
-                const auto& gate = circuit_.gate(g);
-                if (gate.type == netlist::GateType::Input) continue;
-                bool touched = false;
-                operands.clear();
-                for (int pin = 0; pin < static_cast<int>(gate.fanin.size());
-                     ++pin) {
-                    const NetId f = gate.fanin[static_cast<size_t>(pin)];
-                    std::uint64_t word = fwords[f];
-                    if (!fault.is_stem() && g == fault.reader &&
-                        pin == fault.pin) {
-                        word = stuck_word;
-                        touched = true;
-                    } else if (word != good[f]) {
-                        touched = true;
+                    fwords = good;
+                    NetId first_gate;
+                    if (fault.is_stem()) {
+                        fwords[fault.net] = stuck_word;
+                        if (((fwords[fault.net] ^ good[fault.net]) &
+                             lane_mask) == 0)
+                            continue;  // fault not excited by any lane
+                        first_gate = fault.net + 1;
+                    } else {
+                        first_gate = fault.reader;
                     }
-                    operands.push_back(word);
-                }
-                if (touched) fwords[g] = netlist::eval_gate(gate.type, operands);
-            }
 
-            std::uint64_t diff = 0;
-            for (NetId po : circuit_.outputs())
-                diff |= (fwords[po] ^ good[po]);
-            diff &= lane_mask;
-            if (diff != 0) {
-                const int lane = std::countr_zero(diff);
-                detected_at_[fi] =
-                    vectors_applied_ + static_cast<int>(base) + lane + 1;
-                ++detected_count_;
-                ++newly_detected;
-            }
-        }
+                    // Recompute the fanout cone (NetId order is topological).
+                    for (NetId g = first_gate;
+                         g < static_cast<NetId>(circuit_.gate_count()); ++g) {
+                        const auto& gate = circuit_.gate(g);
+                        if (gate.type == netlist::GateType::Input) continue;
+                        bool touched = false;
+                        operands.clear();
+                        for (int pin = 0;
+                             pin < static_cast<int>(gate.fanin.size());
+                             ++pin) {
+                            const NetId f =
+                                gate.fanin[static_cast<size_t>(pin)];
+                            std::uint64_t word = fwords[f];
+                            if (!fault.is_stem() && g == fault.reader &&
+                                pin == fault.pin) {
+                                word = stuck_word;
+                                touched = true;
+                            } else if (word != good[f]) {
+                                touched = true;
+                            }
+                            operands.push_back(word);
+                        }
+                        if (touched)
+                            fwords[g] = netlist::eval_gate(gate.type, operands);
+                    }
+
+                    std::uint64_t diff = 0;
+                    for (NetId po : circuit_.outputs())
+                        diff |= (fwords[po] ^ good[po]);
+                    diff &= lane_mask;
+                    if (diff != 0) {
+                        const int lane = std::countr_zero(diff);
+                        detected_at_[fi] = before_applied +
+                                           static_cast<int>(base) + lane + 1;
+                    }
+                }
+            },
+            parallel_.threads);
     }
     vectors_applied_ += static_cast<int>(vectors.size());
+    int newly_detected = 0;
+    for (int at : detected_at_)
+        if (at > before_applied) ++newly_detected;
+    detected_count_ += static_cast<std::size_t>(newly_detected);
     return newly_detected;
 }
 

@@ -4,6 +4,13 @@
 // Vectors are applied in sequence; for every fault the simulator records the
 // 1-based index of the first detecting vector, which directly yields the
 // coverage-vs-test-length curve T(k) the paper plots (fig. 4).
+//
+// On top of the 64-wide pattern parallelism, the collapsed fault universe is
+// partitioned across the shared thread pool per pattern block: the good
+// machine is simulated once per block, then workers fan out over faults with
+// per-worker scratch.  Each fault's detection index depends only on the
+// block and its own cone resimulation, so results are bit-identical to the
+// serial path for any worker count.
 #pragma once
 
 #include <span>
@@ -11,12 +18,19 @@
 
 #include "gatesim/faults.h"
 #include "gatesim/logic_sim.h"
+#include "parallel/parallel_for.h"
 
 namespace dlp::gatesim {
 
 class FaultSimulator {
 public:
-    FaultSimulator(const Circuit& circuit, std::vector<StuckAtFault> faults);
+    FaultSimulator(const Circuit& circuit, std::vector<StuckAtFault> faults,
+                   parallel::ParallelOptions parallel = {});
+
+    /// Worker count for subsequent apply() calls (0 = scoped/env default).
+    void set_parallel(parallel::ParallelOptions parallel) {
+        parallel_ = parallel;
+    }
 
     /// Applies vectors (appending to the sequence seen so far); returns the
     /// number of newly detected faults.  Detected faults are dropped from
@@ -47,6 +61,7 @@ private:
     std::vector<int> detected_at_;
     int vectors_applied_ = 0;
     std::size_t detected_count_ = 0;
+    parallel::ParallelOptions parallel_;
 };
 
 /// One-shot convenience: simulate the whole sequence and return the

@@ -1,0 +1,106 @@
+#include "parallel/parallel_for.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "parallel/thread_pool.h"
+
+namespace dlp::parallel {
+
+namespace {
+
+thread_local int tl_scoped_threads = 0;
+
+/// Hard cap: fault-partitioned loops never benefit past this, and it bounds
+/// helper-thread creation on a misconfigured DLPROJ_THREADS.
+constexpr int kMaxThreads = 256;
+
+int env_threads() {
+    static const int cached = [] {
+        const char* e = std::getenv("DLPROJ_THREADS");
+        if (!e) return 0;
+        const int v = std::atoi(e);
+        return v > 0 ? v : 0;
+    }();
+    return cached;
+}
+
+}  // namespace
+
+int resolve_threads(int requested) {
+    int t = requested;
+    if (t <= 0) t = tl_scoped_threads;
+    if (t <= 0) t = env_threads();
+    if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
+    if (t <= 0) t = 1;
+    return std::min(t, kMaxThreads);
+}
+
+ScopedThreads::ScopedThreads(int threads) : prev_(tl_scoped_threads) {
+    tl_scoped_threads = threads > 0 ? threads : 0;
+}
+
+ScopedThreads::~ScopedThreads() { tl_scoped_threads = prev_; }
+
+void parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, int)>& body,
+    int threads) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    const std::size_t chunk_count = (n + grain - 1) / grain;
+    int workers = resolve_threads(threads);
+    if (static_cast<std::size_t>(workers) > chunk_count)
+        workers = static_cast<int>(chunk_count);
+    if (workers <= 1 || ThreadPool::in_parallel_region()) {
+        body(0, n, 0);
+        return;
+    }
+
+    // One shard per worker; `next` is bumped atomically by the owner and by
+    // thieves alike, so a chunk is claimed exactly once no matter who runs
+    // it.  Padded to a cache line to keep claims from false-sharing.
+    struct alignas(64) Shard {
+        std::atomic<std::size_t> next{0};
+        std::size_t end = 0;
+    };
+    std::vector<Shard> shards(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        const auto uw = static_cast<std::size_t>(w);
+        shards[uw].next.store(n * uw / static_cast<std::size_t>(workers),
+                              std::memory_order_relaxed);
+        shards[uw].end = n * (uw + 1) / static_cast<std::size_t>(workers);
+    }
+
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    ThreadPool::global().run(workers, [&](int w) {
+        // Drain the own shard first, then sweep the others stealing chunks.
+        for (int s = 0; s < workers; ++s) {
+            Shard& sh = shards[static_cast<std::size_t>((w + s) % workers)];
+            for (;;) {
+                if (failed.load(std::memory_order_relaxed)) return;
+                const std::size_t i =
+                    sh.next.fetch_add(grain, std::memory_order_relaxed);
+                if (i >= sh.end) break;
+                try {
+                    body(i, std::min(i + grain, sh.end), w);
+                } catch (...) {
+                    failed.store(true, std::memory_order_relaxed);
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!error) error = std::current_exception();
+                    return;
+                }
+            }
+        }
+    });
+
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dlp::parallel

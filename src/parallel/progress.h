@@ -1,0 +1,16 @@
+// Progress observer shared by the staged experiment runner and the
+// long-running simulators: (stage name, work done, work total).  Callbacks
+// are always issued from the coordinating thread, never from pool workers,
+// so the observer needs no synchronization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace dlp::parallel {
+
+using ProgressFn = std::function<void(std::string_view stage,
+                                      std::size_t done, std::size_t total)>;
+
+}  // namespace dlp::parallel

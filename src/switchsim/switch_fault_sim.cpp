@@ -8,13 +8,13 @@
 namespace dlp::switchsim {
 
 SwitchFaultSimulator::SwitchFaultSimulator(const SwitchSim& sim,
-                                           std::vector<WeightedFault> faults)
-    : sim_(&sim), faults_(std::move(faults)) {
+                                           std::vector<WeightedFault> faults,
+                                           parallel::ParallelOptions parallel)
+    : sim_(&sim), faults_(std::move(faults)), parallel_(parallel) {
     const SwitchNetlist& net = sim.netlist();
     detected_at_.assign(faults_.size(), -1);
     iddq_at_.assign(faults_.size(), -1);
     per_fault_.resize(faults_.size());
-    comp_visits_.assign(static_cast<size_t>(sim.component_count()), 0);
     po_mask_.assign(static_cast<size_t>(net.node_count), 0);
     for (NodeId po : net.output_nodes) po_mask_[static_cast<size_t>(po)] = 1;
 
@@ -63,12 +63,12 @@ SwitchFaultSimulator::SwitchFaultSimulator(const SwitchSim& sim,
     }
 
     good_ = sim.initial_state();
-    good_prev_ = good_;
-    cur_ = good_;
-    prev_scratch_ = good_;
 }
 
-void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
+void SwitchFaultSimulator::simulate_fault(std::size_t fi, int vector_index,
+                                          Scratch& scratch,
+                                          const SwitchSim::State& good,
+                                          const SwitchSim::State& good_prev) {
     const SwitchFault& fault = faults_[fi].fault;
     if (fault.kind == SwitchFault::Kind::Gross) {
         detected_at_[fi] = vector_index;  // fails any test immediately
@@ -76,13 +76,15 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
     }
     if (fault.kind == SwitchFault::Kind::None) return;  // pure pad float: X
     PerFault& pf = per_fault_[fi];
+    SwitchSim::State& cur = scratch.cur;
+    SwitchSim::State& prev = scratch.prev;
 
     SwitchSim::FaultView fv;
     fv.fault = &fault;
 
     // Patch the scratch previous-state with this fault's retained charge.
     for (const auto& [node, value] : pf.divergence)
-        prev_scratch_[static_cast<size_t>(node)] = value;
+        prev[static_cast<size_t>(node)] = value;
 
     // Seed the worklist.  A component entering the working set restarts
     // from X, matching the reference simulation's ternary least-fixpoint
@@ -108,8 +110,8 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
                 continue;
             touched.push_back(c);
             for (NodeId v : sim_->component_nodes(c)) {
-                if (cur_[static_cast<size_t>(v)] == SV::X) continue;
-                cur_[static_cast<size_t>(v)] = SV::X;
+                if (cur[static_cast<size_t>(v)] == SV::X) continue;
+                cur[static_cast<size_t>(v)] = SV::X;
                 for (std::int32_t dep : sim_->gate_dependents(v))
                     pending.push_back(dep);
             }
@@ -123,7 +125,7 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
             enqueue(c);
         else {
             // Divergence at a component-less node (bridged PI): reapply.
-            cur_[static_cast<size_t>(node)] = value;
+            cur[static_cast<size_t>(node)] = value;
             fixed_overrides.push_back(node);
         }
         for (std::int32_t dep : sim_->gate_dependents(node)) enqueue(dep);
@@ -136,17 +138,17 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
         pf.seed_comps.empty()) {
         std::vector<NodeId> ends{fault.a, fault.b};
         if (fault.c >= 0) ends.push_back(fault.c);
-        SV want = good_[static_cast<size_t>(ends[0])];
+        SV want = good[static_cast<size_t>(ends[0])];
         bool supply_found = false;
         for (NodeId n : ends)
             if (n == SwitchNetlist::kGnd || n == SwitchNetlist::kVdd) {
-                want = good_[static_cast<size_t>(n)];
+                want = good[static_cast<size_t>(n)];
                 supply_found = true;
                 break;
             }
         if (!supply_found) {
             for (NodeId n : ends) {
-                const SV v = good_[static_cast<size_t>(n)];
+                const SV v = good[static_cast<size_t>(n)];
                 if (v == want) continue;
                 want = (v == SV::X || want == SV::X) ? SV::X : SV::Zero;
             }
@@ -154,8 +156,8 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
         for (const NodeId n : ends) {
             if (n == SwitchNetlist::kGnd || n == SwitchNetlist::kVdd)
                 continue;
-            if (cur_[static_cast<size_t>(n)] != want) {
-                cur_[static_cast<size_t>(n)] = want;
+            if (cur[static_cast<size_t>(n)] != want) {
+                cur[static_cast<size_t>(n)] = want;
                 fixed_overrides.push_back(n);
                 for (std::int32_t dep : sim_->gate_dependents(n))
                     enqueue(dep);
@@ -166,12 +168,12 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
 
     // Process the worklist to a fixpoint.
     const int cap = sim_->params().max_sweeps;
-    static thread_local std::vector<SV> before;
+    std::vector<SV>& before = scratch.before;
     while (!work.empty()) {
         const std::int32_t c = work.front();
         work.pop_front();
-        if (comp_visits_[static_cast<size_t>(c)] >= cap) continue;
-        ++comp_visits_[static_cast<size_t>(c)];
+        if (scratch.comp_visits[static_cast<size_t>(c)] >= cap) continue;
+        ++scratch.comp_visits[static_cast<size_t>(c)];
 
         std::span<const std::int32_t> group(&c, 1);
         if (!pf.merged.empty() &&
@@ -182,12 +184,12 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
         before.clear();
         for (std::int32_t gc : group)
             for (NodeId v : sim_->component_nodes(gc))
-                before.push_back(cur_[static_cast<size_t>(v)]);
-        sim_->solve_component(cur_, prev_scratch_, group, fv);
+                before.push_back(cur[static_cast<size_t>(v)]);
+        sim_->solve_component(cur, prev, group, fv);
         size_t idx = 0;
         for (std::int32_t gc : group)
             for (NodeId v : sim_->component_nodes(gc)) {
-                if (cur_[static_cast<size_t>(v)] != before[idx])
+                if (cur[static_cast<size_t>(v)] != before[idx])
                     for (std::int32_t dep : sim_->gate_dependents(v))
                         enqueue(dep);
                 ++idx;
@@ -204,20 +206,19 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
             ? sim_->netlist().output_nodes[static_cast<size_t>(fault.po_float)]
             : -1;
     const auto scan_node = [&](NodeId v) {
-        const SV fv_val = cur_[static_cast<size_t>(v)];
-        const SV gv = good_[static_cast<size_t>(v)];
+        const SV fv_val = cur[static_cast<size_t>(v)];
+        const SV gv = good[static_cast<size_t>(v)];
         if (fv_val != gv) {
             pf.divergence.push_back({v, fv_val});
             if (po_mask_[static_cast<size_t>(v)] && v != excluded_po &&
                 fv_val != SV::X && gv != SV::X)
                 detected = true;
         }
-        cur_[static_cast<size_t>(v)] = gv;
-        prev_scratch_[static_cast<size_t>(v)] =
-            good_prev_[static_cast<size_t>(v)];
+        cur[static_cast<size_t>(v)] = gv;
+        prev[static_cast<size_t>(v)] = good_prev[static_cast<size_t>(v)];
     };
     for (std::int32_t c : touched) {
-        comp_visits_[static_cast<size_t>(c)] = 0;
+        scratch.comp_visits[static_cast<size_t>(c)] = 0;
         for (NodeId v : sim_->component_nodes(c)) scan_node(v);
     }
     for (NodeId v : fixed_overrides) scan_node(v);
@@ -230,35 +231,85 @@ void SwitchFaultSimulator::simulate_fault(size_t fi, int vector_index) {
 }
 
 int SwitchFaultSimulator::apply(std::span<const Vector> vectors) {
-    int newly = 0;
+    const int before_applied = vectors_applied_;
+    // Vectors are simulated in batches: the fault-free trace of the batch
+    // is computed once up front, then faults fan out across workers, each
+    // replaying its faults over the whole batch against the shared
+    // read-only trace.  kBatch bounds trace memory (kBatch+1 full states).
+    constexpr size_t kBatch = 64;
+    const int workers = parallel::resolve_threads(parallel_);
+    std::vector<Scratch> scratch(static_cast<size_t>(workers));
+    // Stealing quantum: coarse enough that the per-chunk state resync cost
+    // (two full-state copies per vector) stays negligible, fine enough to
+    // balance skewed per-fault cost across workers.
+    const size_t grain = std::max<size_t>(
+        4, faults_.size() / (static_cast<size_t>(workers) * 8));
+
     // std::vector<bool> is bit-packed; unpack into a plain array for the span.
     std::unique_ptr<bool[]> barr;
     size_t barr_size = 0;
-    for (const Vector& v : vectors) {
-        ++vectors_applied_;
-        good_prev_ = good_;
-        if (barr_size < v.size()) {
-            barr = std::make_unique<bool[]>(v.size());
-            barr_size = v.size();
-        }
-        for (size_t i = 0; i < v.size(); ++i) barr[i] = v[i];
-        const std::span<const bool> in(barr.get(), v.size());
+    std::vector<SwitchSim::State> trace;
 
-        sim_->step(good_, in);
-        cur_ = good_;
-        prev_scratch_ = good_prev_;
-
-        for (size_t fi = 0; fi < faults_.size(); ++fi) {
-            if (iddq_at_[fi] < 0) check_iddq(fi, vectors_applied_);
-            if (detected_at_[fi] >= 0) continue;
-            simulate_fault(fi, vectors_applied_);
-            if (detected_at_[fi] >= 0) ++newly;
+    for (size_t base = 0; base < vectors.size(); base += kBatch) {
+        const size_t m = std::min(kBatch, vectors.size() - base);
+        // Fault-free trace: trace[v] is the state before the batch's
+        // vector v, trace[v+1] the state after it.
+        trace.resize(m + 1);
+        trace[0] = good_;
+        for (size_t v = 0; v < m; ++v) {
+            const Vector& in = vectors[base + v];
+            if (barr_size < in.size()) {
+                barr = std::make_unique<bool[]>(in.size());
+                barr_size = in.size();
+            }
+            for (size_t i = 0; i < in.size(); ++i) barr[i] = in[i];
+            sim_->step(good_, std::span<const bool>(barr.get(), in.size()));
+            trace[v + 1] = good_;
         }
+
+        parallel::parallel_for(
+            faults_.size(), grain,
+            [&](size_t fb, size_t fe, int w) {
+                Scratch& ws = scratch[static_cast<size_t>(w)];
+                if (ws.comp_visits.empty())
+                    ws.comp_visits.assign(
+                        static_cast<size_t>(sim_->component_count()), 0);
+                for (size_t v = 0; v < m; ++v) {
+                    const int k =
+                        before_applied + static_cast<int>(base + v) + 1;
+                    const SwitchSim::State& good = trace[v + 1];
+                    const SwitchSim::State& good_prev = trace[v];
+                    bool synced = false;
+                    for (size_t fi = fb; fi < fe; ++fi) {
+                        if (iddq_at_[fi] < 0) check_iddq(fi, k, good);
+                        if (detected_at_[fi] >= 0) continue;
+                        if (!synced) {
+                            // simulate_fault repairs cur/prev back to the
+                            // fault-free pair, so one resync per vector
+                            // serves every fault in the chunk.
+                            ws.cur = good;
+                            ws.prev = good_prev;
+                            synced = true;
+                        }
+                        simulate_fault(fi, k, ws, good, good_prev);
+                    }
+                }
+            },
+            parallel_.threads);
+
+        if (progress_)
+            progress_("switch-sim", base + m, vectors.size());
     }
+
+    vectors_applied_ += static_cast<int>(vectors.size());
+    int newly = 0;
+    for (int at : detected_at_)
+        if (at > before_applied) ++newly;
     return newly;
 }
 
-void SwitchFaultSimulator::check_iddq(size_t fi, int vector_index) {
+void SwitchFaultSimulator::check_iddq(std::size_t fi, int vector_index,
+                                      const SwitchSim::State& good) {
     const SwitchFault& f = faults_[fi].fault;
     if (f.kind == SwitchFault::Kind::Gross) {
         iddq_at_[fi] = vector_index;  // a supply short conducts always
@@ -272,7 +323,7 @@ void SwitchFaultSimulator::check_iddq(size_t fi, int vector_index) {
     bool saw0 = false;
     bool saw1 = false;
     for (NodeId n : ends) {
-        const SV v = good_[static_cast<size_t>(n)];
+        const SV v = good[static_cast<size_t>(n)];
         saw0 |= v == SV::Zero;
         saw1 |= v == SV::One;
     }

@@ -11,10 +11,21 @@
 // retention), tracked as a sparse divergence from the fault-free state so
 // the per-vector cost is proportional to the divergent region, not the
 // whole chip.
+//
+// Fault simulations are independent given the fault-free trace, so apply()
+// fans faults out across the shared thread pool (parallel/parallel_for.h):
+// the good-machine states for a batch of vectors are computed once and
+// shared read-only, each worker owns a scratch state pair, and every result
+// slot (detected_at_, iddq_at_, divergence) is written only by the worker
+// that owns that fault.  Detection indices are per-fault vector positions,
+// never completion order, so all results are bit-identical to the serial
+// path for any worker count.
 #pragma once
 
 #include <string>
 
+#include "parallel/parallel_for.h"
+#include "parallel/progress.h"
 #include "switchsim/switch_sim.h"
 
 namespace dlp::switchsim {
@@ -31,7 +42,18 @@ struct WeightedFault {
 class SwitchFaultSimulator {
 public:
     SwitchFaultSimulator(const SwitchSim& sim,
-                         std::vector<WeightedFault> faults);
+                         std::vector<WeightedFault> faults,
+                         parallel::ParallelOptions parallel = {});
+
+    /// Worker count for subsequent apply() calls (0 = scoped/env default).
+    void set_parallel(parallel::ParallelOptions parallel) {
+        parallel_ = parallel;
+    }
+    /// Observer called after each simulated vector batch (stage
+    /// "switch-sim", done/total in vectors), from the coordinating thread.
+    void set_progress(parallel::ProgressFn progress) {
+        progress_ = std::move(progress);
+    }
 
     /// Applies vectors in sequence (appending); returns newly detected
     /// fault count.  Detected faults are dropped.
@@ -67,9 +89,23 @@ private:
         std::vector<std::int32_t> merged;  ///< bridge-merged comp pair
     };
 
-    void simulate_fault(size_t fi, int vector_index);
+    /// Per-worker scratch: the full-state mirrors the serial simulator kept
+    /// as members, plus the component worklist guard and the solve buffer.
+    /// Between faults, cur == good and prev == good_prev of the vector
+    /// being simulated, and comp_visits is all-zero.
+    struct Scratch {
+        SwitchSim::State cur;
+        SwitchSim::State prev;
+        std::vector<int> comp_visits;
+        std::vector<SV> before;
+    };
 
-    void check_iddq(size_t fi, int vector_index);
+    void simulate_fault(std::size_t fi, int vector_index, Scratch& scratch,
+                        const SwitchSim::State& good,
+                        const SwitchSim::State& good_prev);
+
+    void check_iddq(std::size_t fi, int vector_index,
+                    const SwitchSim::State& good);
 
     const SwitchSim* sim_;
     std::vector<WeightedFault> faults_;
@@ -78,13 +114,11 @@ private:
     std::vector<int> iddq_at_;
     double total_weight_ = 0.0;
 
-    SwitchSim::State good_;
-    SwitchSim::State good_prev_;
-    SwitchSim::State cur_;        ///< scratch, == good_ between faults
-    SwitchSim::State prev_scratch_;  ///< scratch, == good_prev_ between faults
-    std::vector<int> comp_visits_;   ///< per-component worklist guard
+    SwitchSim::State good_;          ///< fault-free state after the sequence
     std::vector<char> po_mask_;      ///< node -> is a PO node
     int vectors_applied_ = 0;
+    parallel::ParallelOptions parallel_;
+    parallel::ProgressFn progress_;
 };
 
 }  // namespace dlp::switchsim

@@ -46,16 +46,16 @@ TEST(Flow, CurvesWellFormed) {
         EXPECT_GE(r.theta_curve[i], r.theta_curve[i - 1]);
         EXPECT_GE(r.gamma_curve[i], r.gamma_curve[i - 1]);
     }
-    EXPECT_GT(r.final_t(), 0.95);
+    EXPECT_GT(r.t_curve.final(), 0.95);
 }
 
 TEST(Flow, PaperOrderingGammaBelowTAtHighK) {
     // Fig. 4: Gamma(k) < T(k) at high k because unweighted opens are hard;
     // theta(k) saturates below 1 (residual undetected weight).
     const auto& r = c432_experiment();
-    EXPECT_LT(r.final_gamma(), r.final_t());
-    EXPECT_LT(r.final_theta(), 1.0);
-    EXPECT_GT(r.final_theta(), 0.5);
+    EXPECT_LT(r.gamma_curve.final(), r.t_curve.final());
+    EXPECT_LT(r.theta_curve.final(), 1.0);
+    EXPECT_GT(r.theta_curve.final(), 0.5);
 }
 
 TEST(Flow, FittedModelMatchesPaperRegime) {
@@ -79,8 +79,9 @@ TEST(Flow, DlDeviatesFromWilliamsBrownWithResidualFloor) {
     // flattens far above the WB prediction, because theta saturates below
     // 1 (static voltage testing cannot cover every realistic fault).
     const auto& r = c432_experiment();
-    const double final_dl = model::weighted_dl(r.yield, r.final_theta());
-    const double final_wb = model::williams_brown_dl(r.yield, r.final_t());
+    const double final_dl = model::weighted_dl(r.yield, r.theta_curve.final());
+    const double final_wb =
+        model::williams_brown_dl(r.yield, r.t_curve.final());
     EXPECT_GT(final_dl, 2.0 * final_wb) << "no residual floor";
     // And the deviation is not a constant offset: relative deviation grows
     // toward full coverage (the curve flattens while WB keeps falling).
@@ -109,8 +110,8 @@ TEST(Flow, SmallCircuitSmokeRun) {
     opt.atpg.max_random = 256;
     const ExperimentResult r =
         run_experiment(netlist::build_ripple_adder(4), opt);
-    EXPECT_GT(r.final_t(), 0.9);
-    EXPECT_GT(r.final_theta(), 0.4);
+    EXPECT_GT(r.t_curve.final(), 0.9);
+    EXPECT_GT(r.theta_curve.final(), 0.4);
     EXPECT_EQ(r.t_curve.size(), static_cast<size_t>(r.vector_count));
 }
 
@@ -124,8 +125,9 @@ TEST(Flow, UnweightedAblationChangesTheta) {
     const ExperimentResult weighted =
         run_experiment(netlist::build_ripple_adder(4), opt);
     // With equal weights theta == Gamma by construction.
-    EXPECT_NEAR(unweighted.final_theta(), unweighted.final_gamma(), 1e-9);
-    EXPECT_NE(weighted.final_theta(), weighted.final_gamma());
+    EXPECT_NEAR(unweighted.theta_curve.final(),
+                unweighted.gamma_curve.final(), 1e-9);
+    EXPECT_NE(weighted.theta_curve.final(), weighted.gamma_curve.final());
 }
 
 TEST(Report, CsvAndSummaryWellFormed) {
@@ -192,6 +194,122 @@ TEST(Wafer, RejectsBadInput) {
     std::vector<double> neg{-0.1};
     const bool one[] = {true};
     EXPECT_THROW(simulate_wafer(neg, one, {}), std::invalid_argument);
+}
+
+TEST(Runner, StagedMatchesMonolithic) {
+    ExperimentOptions opt;
+    opt.atpg.max_random = 256;
+    const netlist::Circuit circuit = netlist::build_ripple_adder(4);
+    const ExperimentResult mono = run_experiment(circuit, opt);
+
+    ExperimentRunner runner(circuit, opt);
+    const auto& prepared = runner.prepare();
+    const auto& tests = runner.generate_tests();
+    const auto& sim = runner.simulate();
+    const ExperimentResult& staged = runner.fit();
+
+    EXPECT_EQ(prepared.mapped.logic_gate_count(), mono.mapped_gates);
+    EXPECT_EQ(tests.stuck.size(), mono.stuck_faults);
+    EXPECT_EQ(staged.mapped_gates, mono.mapped_gates);
+    EXPECT_EQ(staged.vector_count, mono.vector_count);
+    EXPECT_EQ(staged.t_curve.values, mono.t_curve.values);
+    EXPECT_EQ(staged.theta_curve.values, mono.theta_curve.values);
+    EXPECT_EQ(staged.gamma_curve.values, mono.gamma_curve.values);
+    EXPECT_EQ(staged.theta_iddq_curve.values, mono.theta_iddq_curve.values);
+    EXPECT_EQ(sim.theta_curve.values, mono.theta_curve.values);
+    EXPECT_EQ(staged.fit.r, mono.fit.r);
+    EXPECT_EQ(staged.fit.theta_max, mono.fit.theta_max);
+    EXPECT_EQ(staged.yield, mono.yield);
+}
+
+TEST(Runner, ReuseAcrossSimSweep) {
+    ExperimentOptions opt;
+    opt.atpg.max_random = 256;
+    const netlist::Circuit circuit = netlist::build_ripple_adder(4);
+
+    ExperimentRunner runner(circuit, opt);
+    const ExperimentResult weighted = runner.fit();  // copy before mutate
+    const std::vector<double> weighted_theta = weighted.theta_curve.values;
+
+    // Sweep point: simulation-stage option changes; layout and ATPG reused.
+    runner.options().weighted = false;
+    runner.invalidate_simulation();
+    const ExperimentResult& unweighted = runner.fit();
+
+    ExperimentOptions fresh_opt = opt;
+    fresh_opt.weighted = false;
+    const ExperimentResult fresh = run_experiment(circuit, fresh_opt);
+    EXPECT_EQ(unweighted.theta_curve.values, fresh.theta_curve.values);
+    EXPECT_EQ(unweighted.gamma_curve.values, fresh.gamma_curve.values);
+    EXPECT_NE(unweighted.theta_curve.values, weighted_theta);
+
+    // And back: invalidation restores the original results exactly.
+    runner.options().weighted = true;
+    runner.invalidate_simulation();
+    EXPECT_EQ(runner.fit().theta_curve.values, weighted_theta);
+}
+
+TEST(Runner, InvalidateExtractionReextracts) {
+    ExperimentOptions opt;
+    opt.atpg.max_random = 128;
+    ExperimentRunner runner(netlist::build_ripple_adder(3), opt);
+    const double bridge_yield = runner.fit().yield;
+    const auto bridge_weights = runner.fit().weight_by_class;
+
+    runner.options().defects = extract::DefectStatistics::open_dominant();
+    runner.invalidate_extraction();
+    const ExperimentResult& open_r = runner.fit();
+    EXPECT_EQ(open_r.yield, bridge_yield) << "both scaled to target yield";
+    EXPECT_NE(open_r.weight_by_class, bridge_weights)
+        << "weight_by_class should reflect the new statistics";
+
+    ExperimentOptions fresh_opt = opt;
+    fresh_opt.defects = extract::DefectStatistics::open_dominant();
+    const ExperimentResult fresh =
+        run_experiment(netlist::build_ripple_adder(3), fresh_opt);
+    EXPECT_EQ(open_r.realistic_faults, fresh.realistic_faults);
+    EXPECT_EQ(open_r.theta_curve.values, fresh.theta_curve.values);
+}
+
+TEST(Runner, ProgressCallbackFires) {
+    ExperimentOptions opt;
+    opt.atpg.max_random = 128;
+    ExperimentRunner runner(netlist::build_ripple_adder(3), opt);
+    std::vector<std::string> stages;
+    std::size_t sim_batches = 0;
+    runner.set_progress([&](std::string_view stage, std::size_t done,
+                            std::size_t total) {
+        EXPECT_LE(done, total);
+        if (stage == "switch-sim")
+            ++sim_batches;
+        else if (stages.empty() || stages.back() != stage)
+            stages.emplace_back(stage);
+    });
+    runner.run();
+    EXPECT_EQ(stages, (std::vector<std::string>{"techmap", "layout",
+                                                "extract", "atpg", "fit"}));
+    EXPECT_GT(sim_batches, 0u);
+}
+
+TEST(ParallelDeterminism, ExperimentThreadCountInvariant) {
+    ExperimentOptions opt;
+    opt.atpg.max_random = 256;
+    opt.parallel.threads = 1;
+    const netlist::Circuit circuit = netlist::build_ripple_adder(4);
+    const ExperimentResult serial = run_experiment(circuit, opt);
+    for (int threads : {2, 4, 8}) {
+        SCOPED_TRACE(threads);
+        opt.parallel.threads = threads;
+        const ExperimentResult par = run_experiment(circuit, opt);
+        EXPECT_EQ(par.t_curve.values, serial.t_curve.values);
+        EXPECT_EQ(par.theta_curve.values, serial.theta_curve.values);
+        EXPECT_EQ(par.gamma_curve.values, serial.gamma_curve.values);
+        EXPECT_EQ(par.theta_iddq_curve.values,
+                  serial.theta_iddq_curve.values);
+        EXPECT_EQ(par.vector_count, serial.vector_count);
+        EXPECT_EQ(par.fit.r, serial.fit.r) << "fit must be bit-identical";
+        EXPECT_EQ(par.fit.theta_max, serial.fit.theta_max);
+    }
 }
 
 TEST(ToSwitchFaults, MappingShapes) {

@@ -398,6 +398,96 @@ TEST(FaultSimulator, IncrementalMatchesFullResimulation) {
     }
 }
 
+TEST(ParallelDeterminism, ThreadCountInvariant) {
+    // The parallel fan-out must be bit-identical to the serial path: same
+    // detection indices, same IDDQ indices, same coverage curves, for any
+    // worker count (including more workers than a core count or fault
+    // chunk count would suggest).
+    const Circuit c = netlist::techmap(netlist::build_ripple_adder(3));
+    const SwitchNetlist net = build_switch_netlist(c);
+    const SwitchSim sim(net);
+
+    std::vector<WeightedFault> faults;
+    double w = 1.0;
+    for (netlist::NetId n = 0; n + 1 < c.gate_count(); n += 5) {
+        WeightedFault f;
+        f.fault.kind = SwitchFault::Kind::Bridge;
+        f.fault.a = net.node_of_net(n);
+        f.fault.b = net.node_of_net(n + 1);
+        f.weight = (w *= 1.07);
+        f.name = "bridge" + std::to_string(n);
+        faults.push_back(f);
+    }
+    for (int t = 0; t < static_cast<int>(net.transistors.size()); t += 7) {
+        WeightedFault f;
+        f.fault.kind = SwitchFault::Kind::TransistorOpen;
+        f.fault.transistors = {t};
+        f.weight = (w *= 1.03);
+        f.name = "open" + std::to_string(t);
+        faults.push_back(f);
+        WeightedFault g;
+        g.fault.kind = SwitchFault::Kind::GateFloat;
+        g.fault.transistors = {t};
+        g.weight = (w *= 1.05);
+        g.name = "float" + std::to_string(t);
+        faults.push_back(g);
+    }
+
+    gatesim::RandomPatternGenerator rng(13);
+    std::vector<Vector> vv;
+    for (const auto& v : rng.vectors(c, 48)) vv.push_back(unpack(v));
+
+    SwitchFaultSimulator serial(sim, faults, parallel::ParallelOptions{1});
+    serial.apply(vv);
+    const std::vector<int> serial_det(serial.first_detected_at().begin(),
+                                      serial.first_detected_at().end());
+    const std::vector<int> serial_iddq(serial.iddq_detected_at().begin(),
+                                       serial.iddq_detected_at().end());
+
+    for (int threads : {2, 4, 8}) {
+        SCOPED_TRACE(threads);
+        SwitchFaultSimulator par(sim, faults,
+                                 parallel::ParallelOptions{threads});
+        // Split the sequence to also exercise multi-call state carry-over.
+        par.apply(std::span<const Vector>(vv).first(17));
+        par.apply(std::span<const Vector>(vv).subspan(17));
+        EXPECT_EQ(std::vector<int>(par.first_detected_at().begin(),
+                                   par.first_detected_at().end()),
+                  serial_det);
+        EXPECT_EQ(std::vector<int>(par.iddq_detected_at().begin(),
+                                   par.iddq_detected_at().end()),
+                  serial_iddq);
+        EXPECT_EQ(par.weighted_coverage_curve(),
+                  serial.weighted_coverage_curve());
+        EXPECT_EQ(par.unweighted_coverage_curve(),
+                  serial.unweighted_coverage_curve());
+        EXPECT_EQ(par.weighted_coverage_curve_with_iddq(),
+                  serial.weighted_coverage_curve_with_iddq());
+    }
+}
+
+TEST(FaultSimulator, ProgressReportsBatches) {
+    const Circuit c = netlist::techmap(netlist::build_c17());
+    const SwitchNetlist net = build_switch_netlist(c);
+    const SwitchSim sim(net);
+    WeightedFault f;
+    f.fault.kind = SwitchFault::Kind::Gross;
+    SwitchFaultSimulator fs(sim, {f}, parallel::ParallelOptions{2});
+    std::size_t calls = 0;
+    std::size_t last_done = 0;
+    fs.set_progress([&](std::string_view stage, std::size_t done,
+                        std::size_t total) {
+        EXPECT_EQ(stage, "switch-sim");
+        EXPECT_LE(done, total);
+        last_done = done;
+        ++calls;
+    });
+    const std::vector<Vector> vv(100, Vector(5, false));
+    fs.apply(vv);
+    EXPECT_GE(calls, 2u) << "100 vectors span at least two 64-wide batches";
+    EXPECT_EQ(last_done, vv.size());
+}
+
 TEST(FaultSimulator, GrossFailsFirstVector) {
     const Circuit c = netlist::techmap(netlist::build_c17());
     const SwitchNetlist net = build_switch_netlist(c);
