@@ -4,6 +4,7 @@
 // fraction must land on the formula (and on the negative-binomial
 // generalization when defects cluster).
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <vector>
@@ -24,10 +25,18 @@ std::span<const bool> bools(const std::vector<char>& v) {
 #include "model/planning.h"
 #include "model/yield.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dlp;
+    // Optional argument: base seed for the wafer Monte Carlo (each run below
+    // offsets it deterministically).  Default reproduces the paper tables.
+    unsigned seed_base = 11;
+    if (argc > 1) seed_base =
+        static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10));
     const auto& r = bench::c432_experiment();
     bench::header("Validation: eq. (3) vs die-level Monte Carlo, c432");
+    std::printf("wafer RNG seed base: %u%s (override: validation_wafer "
+                "<seed>)\n", seed_base,
+                argc > 1 ? " [from command line]" : "");
 
     // Detection verdicts at a few test-length prefixes.
     std::printf("%8s %10s %16s %16s\n", "k", "theta%", "MC DL(ppm)",
@@ -51,7 +60,7 @@ int main() {
         }
         flow::WaferOptions opt;
         opt.dies = 400000;
-        opt.seed = 11 + static_cast<unsigned>(k);
+        opt.seed = seed_base + static_cast<unsigned>(k);
         const auto mc = flow::simulate_wafer(w, bools(det8), opt);
         std::printf("%8d %10.2f %16.0f %16.0f\n", k, 100 * theta,
                     1e6 * mc.observed_dl(),
@@ -75,7 +84,7 @@ int main() {
     for (double alpha : {0.5, 2.0, 10.0}) {
         flow::WaferOptions opt;
         opt.dies = 400000;
-        opt.seed = 77;
+        opt.seed = seed_base + 66;  // default base 11 keeps the historic 77
         opt.clustering_alpha = alpha;
         const auto mc = flow::simulate_wafer(w, bools(det8), opt);
         std::printf("%8.1f %16.0f %20.0f\n", alpha, 1e6 * mc.observed_dl(),

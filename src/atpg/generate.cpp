@@ -28,8 +28,16 @@ TestGenResult generate_test_set(const Circuit& circuit,
     TestGenResult result;
     gatesim::FaultSimulator sim(circuit, std::move(faults), options.parallel);
     gatesim::RandomPatternGenerator rng(options.seed);
+    const support::RunBudget& budget = options.budget;
+    const int backtrack_limit = budget.atpg_backtracks > 0
+                                    ? budget.atpg_backtracks
+                                    : options.backtrack_limit;
 
-    // Phase 1: random patterns until they stop paying off.
+    // Phase 1: random patterns until they stop paying off.  The budget is
+    // enforced inside the simulator's apply(): only the applied prefix of a
+    // block is recorded, so a stopped run's sequence is a bit-identical
+    // prefix of the unbounded run's (rng.vectors generates per vector, so a
+    // truncated block is the full block's prefix).
     int barren = 0;
     while (result.random_count < options.max_random &&
            barren < options.stale_blocks &&
@@ -37,37 +45,63 @@ TestGenResult generate_test_set(const Circuit& circuit,
         const int take = std::min(options.random_block,
                                   options.max_random - result.random_count);
         const auto block = rng.vectors(circuit, take);
-        const int found = sim.apply(block);
+        const auto ares = sim.apply(std::span<const Vector>(block), budget);
         result.vectors.insert(result.vectors.end(), block.begin(),
-                              block.end());
-        result.random_count += take;
-        barren = found == 0 ? barren + 1 : 0;
+                              block.begin() + ares.vectors_applied);
+        result.random_count += ares.vectors_applied;
+        if (ares.stop != support::StopReason::None) {
+            result.stop = ares.stop;
+            break;
+        }
+        barren = ares.newly_detected == 0 ? barren + 1 : 0;
     }
 
-    // Phase 2: PODEM for each remaining fault, with fault dropping.
+    // Phase 2: PODEM for each remaining fault, with fault dropping.  A
+    // budget stop breaks the whole loop (it must not skip to the next
+    // fault, or the generated sequence would diverge from the unbounded
+    // run's); faults never reached stay Undetected.
     result.status.assign(sim.faults().size(), FaultStatus::Undetected);
-    Podem podem(circuit, compute_testability(circuit));
-    for (std::size_t fi : sim.undetected()) {
-        if (sim.first_detected_at()[fi] >= 0) continue;  // dropped meanwhile
-        const auto res = podem.generate(sim.faults()[fi],
-                                        options.backtrack_limit,
-                                        rng.next_word());
-        switch (res.status) {
-            case PodemResult::Status::TestFound: {
-                const Vector v = res.test;
-                sim.apply(std::span(&v, 1));
-                result.vectors.push_back(v);
-                ++result.deterministic_count;
+    if (result.stop == support::StopReason::None) {
+        Podem podem(circuit, compute_testability(circuit));
+        for (std::size_t fi : sim.undetected()) {
+            if (sim.first_detected_at()[fi] >= 0) continue;  // dropped
+            const support::StopReason stop = budget.check();
+            if (stop != support::StopReason::None) {
+                result.stop = stop;
                 break;
             }
-            case PodemResult::Status::Redundant:
-                result.status[fi] = FaultStatus::Redundant;
-                ++result.redundant;
+            const auto res = podem.generate(sim.faults()[fi], backtrack_limit,
+                                            rng.next_word(), &budget);
+            if (res.stop != support::StopReason::None) {
+                // Interrupted mid-search: the fault's real outcome is
+                // unknown, so it stays untargeted rather than Aborted.
+                result.stop = res.stop;
                 break;
-            case PodemResult::Status::Aborted:
-                result.status[fi] = FaultStatus::Aborted;
-                ++result.aborted;
-                break;
+            }
+            switch (res.status) {
+                case PodemResult::Status::TestFound: {
+                    const Vector v = res.test;
+                    const auto ares = sim.apply(std::span(&v, 1), budget);
+                    if (ares.vectors_applied == 0) {
+                        // Vector cap reached: the test cannot join the
+                        // sequence, so the fault stays untargeted.
+                        result.stop = ares.stop;
+                        break;
+                    }
+                    result.vectors.push_back(v);
+                    ++result.deterministic_count;
+                    break;
+                }
+                case PodemResult::Status::Redundant:
+                    result.status[fi] = FaultStatus::Redundant;
+                    ++result.redundant;
+                    break;
+                case PodemResult::Status::Aborted:
+                    result.status[fi] = FaultStatus::Aborted;
+                    ++result.aborted;
+                    break;
+            }
+            if (result.stop != support::StopReason::None) break;
         }
     }
 
@@ -77,6 +111,8 @@ TestGenResult generate_test_set(const Circuit& circuit,
     for (size_t i = 0; i < result.first_detected_at.size(); ++i)
         if (result.first_detected_at[i] >= 1)
             result.status[i] = FaultStatus::Detected;
+    for (FaultStatus s : result.status)
+        if (s == FaultStatus::Undetected) ++result.untargeted;
     return result;
 }
 

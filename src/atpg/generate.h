@@ -9,6 +9,7 @@
 #include "atpg/podem.h"
 #include "gatesim/fault_sim.h"
 #include "parallel/parallel_for.h"
+#include "support/cancel.h"
 
 namespace dlp::atpg {
 
@@ -20,6 +21,11 @@ struct TestGenOptions {
     int backtrack_limit = 4096;
     /// Worker count for the embedded PPSFP fault simulation (0 = default).
     parallel::ParallelOptions parallel;
+    /// Bounded-execution limits.  The cancel token / deadline are checked
+    /// between random blocks, between target faults, and at every PODEM
+    /// backtrack; `budget.max_vectors` caps the generated sequence and
+    /// `budget.atpg_backtracks` (when > 0) overrides `backtrack_limit`.
+    support::RunBudget budget;
 };
 
 /// Final status of one fault after test generation.
@@ -27,7 +33,7 @@ enum class FaultStatus : std::uint8_t {
     Detected,
     Redundant,   ///< proven untestable by PODEM
     Aborted,     ///< PODEM hit its backtrack limit
-    Undetected,  ///< not targeted (should not occur)
+    Undetected,  ///< never targeted (only when a budget stopped the run)
 };
 
 struct TestGenResult {
@@ -39,6 +45,11 @@ struct TestGenResult {
     std::size_t aborted = 0;         ///< backtrack limit hit
     std::vector<int> first_detected_at;  ///< per fault, 1-based; -1 undetected
     std::vector<FaultStatus> status;     ///< per fault
+    /// Why generation stopped early (None = ran to natural completion).
+    /// On a stop, `vectors` is a bit-identical prefix of the sequence an
+    /// unbounded run would generate, and untargeted faults stay Undetected.
+    support::StopReason stop = support::StopReason::None;
+    std::size_t untargeted = 0;  ///< faults never targeted due to the stop
 
     /// Coverage of testable faults: detected / (total - redundant).
     double coverage() const;

@@ -269,7 +269,8 @@ std::pair<size_t, V3> Podem::backtrace(NetId net, V3 value) const {
 }
 
 PodemResult Podem::generate(const StuckAtFault& fault, int backtrack_limit,
-                            std::uint64_t x_fill) {
+                            std::uint64_t x_fill,
+                            const support::RunBudget* budget) {
     const size_t pi_count = circuit_.inputs().size();
     pi_.assign(pi_count, V3::X);
     imply(fault);
@@ -321,6 +322,16 @@ PodemResult Podem::generate(const StuckAtFault& fault, int backtrack_limit,
         if (result.backtracks > backtrack_limit) {
             result.status = PodemResult::Status::Aborted;
             return result;
+        }
+        // Budget check at the backtrack boundary: the search stops between
+        // decisions, never mid-implication.
+        if (budget) {
+            const support::StopReason stop = budget->check();
+            if (stop != support::StopReason::None) {
+                result.status = PodemResult::Status::Aborted;
+                result.stop = stop;
+                return result;
+            }
         }
         stack.back().tried_both = true;
         pi_[stack.back().pi] = v3_not(stack.back().first);

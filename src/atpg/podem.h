@@ -12,6 +12,7 @@
 
 #include "atpg/scoap.h"
 #include "gatesim/fault_sim.h"
+#include "support/cancel.h"
 
 namespace dlp::atpg {
 
@@ -32,6 +33,9 @@ struct PodemResult {
     Status status = Status::Aborted;
     Vector test;         ///< valid when status == TestFound
     int backtracks = 0;  ///< decisions reverted during the search
+    /// Why an Aborted search stopped: None means the per-fault backtrack
+    /// limit, otherwise the budget's cancel/deadline fired mid-search.
+    support::StopReason stop = support::StopReason::None;
 };
 
 class Podem {
@@ -42,9 +46,12 @@ public:
 
     /// Attempts to generate a test for one fault.  X inputs in the result
     /// are filled with `x_fill` bits (deterministic; callers wanting random
-    /// fill pass their own bits).
+    /// fill pass their own bits).  When a budget is given, its cancel token
+    /// and deadline are checked at every backtrack (the unit of search
+    /// work); a budget stop aborts the search with `stop` set.
     PodemResult generate(const StuckAtFault& fault, int backtrack_limit,
-                         std::uint64_t x_fill = 0);
+                         std::uint64_t x_fill = 0,
+                         const support::RunBudget* budget = nullptr);
 
 private:
     void imply(const StuckAtFault& fault);

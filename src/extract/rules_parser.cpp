@@ -1,7 +1,9 @@
 #include "extract/rules_parser.h"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -60,11 +62,30 @@ DefectStatistics parse_defect_rules(const std::string& text) {
         }
         std::string extra;
         if (ls >> extra) fail(line_no, "trailing token '" + extra + "'");
+        if (!std::isfinite(e.value))
+            fail(line_no, "value must be finite");
         entries.push_back(e);
     }
 
+    // Every directive may appear once: a silently last-winning duplicate is
+    // almost always a typo in a hand-edited rules file.
+    {
+        std::map<std::string, int> first_line;
+        for (const Entry& e : entries) {
+            const std::string key =
+                e.layer.empty() ? e.kind : e.kind + " " + e.layer;
+            const auto [it, inserted] = first_line.emplace(key, e.line);
+            if (!inserted)
+                fail(e.line, "duplicate '" + key + "' (first at line " +
+                             std::to_string(it->second) + ")");
+        }
+    }
+
     for (const Entry& e : entries)
-        if (e.kind == "unit") unit = e.value;
+        if (e.kind == "unit") {
+            if (!(e.value > 0.0)) fail(e.line, "unit must be > 0");
+            unit = e.value;
+        }
     for (const Entry& e : entries) {
         if (e.kind == "unit") continue;
         if (e.kind == "x0") {
@@ -72,7 +93,7 @@ DefectStatistics parse_defect_rules(const std::string& text) {
             stats.x0 = e.value;
             continue;
         }
-        if (e.value < 0.0) fail(e.line, "density must be >= 0");
+        if (!(e.value >= 0.0)) fail(e.line, "density must be >= 0");
         if (e.kind == "pinhole") {
             stats.pinhole_density = e.value * unit;
         } else if (e.kind == "contact_open") {

@@ -114,13 +114,14 @@ namespace {
 /// keep the model fit balanced across the k axis (log-spaced).
 std::vector<size_t> sample_indices(size_t n) {
     std::vector<size_t> idx;
+    if (n == 0) return idx;  // interrupted runs can hand us empty curves
     size_t k = 1;
     while (k <= n) {
         idx.push_back(k - 1);
         const size_t step = std::max<size_t>(1, k / 8);
         k += step;
     }
-    if (idx.empty() || idx.back() != n - 1) idx.push_back(n - 1);
+    if (idx.back() != n - 1) idx.push_back(n - 1);
     return idx;
 }
 
@@ -128,7 +129,14 @@ std::vector<size_t> sample_indices(size_t n) {
 
 ExperimentRunner::ExperimentRunner(netlist::Circuit circuit,
                                    ExperimentOptions options)
-    : circuit_(std::move(circuit)), options_(std::move(options)) {}
+    : circuit_(std::move(circuit)), options_(std::move(options)) {
+    // Process-wide default wall-clock budget for runs that set none.
+    if (!options_.budget.deadline.active()) {
+        const long long ms = support::env_deadline_ms();
+        if (ms > 0)
+            options_.budget.deadline = support::Deadline::after_ms(ms);
+    }
+}
 
 void ExperimentRunner::report(std::string_view stage, std::size_t done,
                               std::size_t total) {
@@ -199,6 +207,7 @@ const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
             p.mapped, gatesim::full_fault_universe(p.mapped));
         atpg::TestGenOptions atpg_opts = options_.atpg;
         atpg_opts.parallel = options_.parallel;
+        atpg_opts.budget = options_.budget;
         t.tests = atpg::generate_test_set(p.mapped, t.stuck, atpg_opts);
         report("atpg", 1, 1);
 
@@ -233,7 +242,12 @@ const ExperimentRunner::SimulationData& ExperimentRunner::simulate() {
         switchsim::SwitchFaultSimulator swsim(sim, std::move(swfaults),
                                               options_.parallel);
         swsim.set_progress(progress_);
-        swsim.apply(t.tests.vectors);
+        const auto ares = swsim.apply(
+            std::span<const switchsim::Vector>(t.tests.vectors),
+            options_.budget);
+        d.stop = ares.stop;
+        d.vectors_done = static_cast<std::size_t>(ares.vectors_applied);
+        d.vectors_total = t.tests.vectors.size();
         d.theta_curve = CoverageCurve(swsim.weighted_coverage_curve());
         d.gamma_curve = CoverageCurve(swsim.unweighted_coverage_curve());
         d.theta_iddq_curve =
@@ -271,19 +285,41 @@ const ExperimentResult& ExperimentRunner::fit() {
         r.gamma_curve = d.gamma_curve;
         r.theta_iddq_curve = d.theta_iddq_curve;
 
-        // Defect-level points DL(theta(k)) against T(k) and Gamma(k).
-        for (size_t i : sample_indices(r.t_curve.size())) {
+        // Record where a budget stopped the run (earliest stage wins; a
+        // sticky stop in ATPG also stops the later stages immediately).
+        if (t.tests.stop != support::StopReason::None) {
+            r.interruption = ExperimentResult::Interruption{
+                "atpg", t.tests.stop, t.stuck.size() - t.tests.untargeted,
+                t.stuck.size()};
+        } else if (d.stop != support::StopReason::None) {
+            r.interruption = ExperimentResult::Interruption{
+                "switch-sim", d.stop, d.vectors_done, d.vectors_total};
+        }
+
+        // Defect-level points DL(theta(k)) against T(k) and Gamma(k), over
+        // the prefix both simulators completed (an interrupted switch-level
+        // pass yields shorter theta/Gamma curves than T).
+        const size_t usable =
+            std::min(r.t_curve.size(),
+                     std::min(r.theta_curve.size(), r.gamma_curve.size()));
+        for (size_t i : sample_indices(usable)) {
             const double dl = model::weighted_dl(r.yield, r.theta_curve[i]);
             r.dl_vs_t.push_back({r.t_curve[i], dl});
             r.dl_vs_gamma.push_back({r.gamma_curve[i], dl});
         }
 
-        // Fits: eq (11) parameters and the coverage-law susceptibilities.
-        r.fit = model::fit_proposed_model(r.yield, r.dl_vs_t);
+        // Fits: eq (11) parameters and the coverage-law susceptibilities,
+        // on whatever prefix is available (fitting needs data; a run
+        // stopped before any vector completed keeps the default fits).
+        try {
+            r.fit = model::fit_proposed_model(r.yield, r.dl_vs_t);
+        } catch (const std::exception&) {
+            r.fit = {};
+        }
         {
             std::vector<model::CoveragePoint> t_pts;
             std::vector<model::CoveragePoint> th_pts;
-            for (size_t i : sample_indices(r.t_curve.size())) {
+            for (size_t i : sample_indices(usable)) {
                 t_pts.push_back({static_cast<double>(i + 1), r.t_curve[i]});
                 th_pts.push_back(
                     {static_cast<double>(i + 1), r.theta_curve[i]});

@@ -21,6 +21,7 @@
 #include "netlist/techmap.h"
 #include "parallel/parallel_for.h"
 #include "parallel/progress.h"
+#include "support/cancel.h"
 #include "switchsim/switch_fault_sim.h"
 
 namespace dlp::flow {
@@ -40,6 +41,15 @@ struct ExperimentOptions {
     /// Worker count for both fault simulators (0 = scoped/env default).
     /// Results are bit-identical for any worker count.
     parallel::ParallelOptions parallel;
+    /// Bounded execution for the whole run: cancel token, wall-clock
+    /// deadline, vector cap, ATPG backtrack override.  Checked at every
+    /// stage boundary and inside the long stages (ATPG, both fault
+    /// simulators).  A stopped run still yields an ExperimentResult whose
+    /// curves are bit-identical prefixes of the unbounded run's;
+    /// ExperimentResult::interruption says which stage stopped and how far
+    /// it got.  When no deadline is set, the DLPROJ_DEADLINE_MS environment
+    /// variable (milliseconds) supplies a process-wide default.
+    support::RunBudget budget;
 };
 
 /// A coverage-vs-test-length curve: values[k-1] = coverage after k vectors.
@@ -58,6 +68,17 @@ struct CoverageCurve {
 };
 
 struct ExperimentResult {
+    /// Record of a budget stop: which stage ran out, why, and how far it
+    /// got (units are stage-specific: target faults for "atpg", vectors
+    /// for "switch-sim").  Everything in the result reflects the completed
+    /// prefix; absent when the run completed naturally.
+    struct Interruption {
+        std::string stage;
+        support::StopReason reason = support::StopReason::None;
+        std::size_t completed = 0;
+        std::size_t total = 0;
+    };
+
     // Workload facts.
     std::size_t mapped_gates = 0;
     std::size_t stuck_faults = 0;       ///< collapsed stuck-at universe
@@ -87,6 +108,10 @@ struct ExperimentResult {
     model::ProposedFit fit;           ///< (R, theta_max) of eq (11)
     model::CoverageLaw t_law;         ///< fitted stuck-at susceptibility
     model::CoverageLaw theta_law;     ///< fitted realistic susceptibility
+
+    /// Set when a budget stopped the run early; fits cover the completed
+    /// prefix of the curves.
+    std::optional<Interruption> interruption;
 };
 
 /// Staged experiment pipeline with per-stage artifact caching.
@@ -127,6 +152,11 @@ public:
         CoverageCurve theta_iddq_curve;
         std::vector<int> first_detected_at;  ///< per realistic fault
         std::vector<int> iddq_detected_at;
+        /// Budget outcome: vectors_done of vectors_total were simulated;
+        /// the curves have vectors_done entries.
+        support::StopReason stop = support::StopReason::None;
+        std::size_t vectors_done = 0;
+        std::size_t vectors_total = 0;
     };
 
     const PreparedDesign& prepare();

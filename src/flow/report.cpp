@@ -15,7 +15,12 @@ std::string curves_csv(const ExperimentResult& result) {
     out << "k,T,theta,gamma,dl_ppm,wb_ppm,fit_ppm\n";
     const model::ProposedModel fit{result.yield, result.fit.r,
                                    result.fit.theta_max};
-    for (size_t i = 0; i < result.t_curve.size(); ++i) {
+    // A budget-stopped run can leave the curves at different lengths (e.g.
+    // vectors generated but never switch-simulated); emit the common prefix.
+    const size_t rows = std::min({result.t_curve.size(),
+                                  result.theta_curve.size(),
+                                  result.gamma_curve.size()});
+    for (size_t i = 0; i < rows; ++i) {
         const double t = result.t_curve[i];
         const double theta = result.theta_curve[i];
         out << (i + 1) << ',' << t << ',' << theta << ','

@@ -7,7 +7,11 @@ namespace dlp::gatesim {
 namespace {
 
 std::uint64_t width_mask(int width) {
-    return width == 64 ? ~0ULL : (1ULL << width) - 1;
+    // Total over any int: member initializers run before the constructor
+    // body can reject an out-of-range width, so the shift must be guarded.
+    if (width <= 0) return 0;
+    if (width >= 64) return ~0ULL;
+    return (1ULL << width) - 1;
 }
 
 }  // namespace

@@ -14,7 +14,22 @@ FaultSimulator::FaultSimulator(const Circuit& circuit,
 }
 
 int FaultSimulator::apply(std::span<const Vector> vectors) {
+    return apply(vectors, support::RunBudget{}).newly_detected;
+}
+
+support::ApplyResult FaultSimulator::apply(std::span<const Vector> vectors,
+                                           const support::RunBudget& budget) {
     const int before_applied = vectors_applied_;
+    support::ApplyResult result;
+    // The vector budget caps the cumulative sequence; a mid-block cut is
+    // fine (detection indices are per lane, so a shorter block is still a
+    // prefix of the full one).
+    const size_t allowed =
+        budget.allowed_vectors(vectors.size(), vectors_applied_);
+    if (allowed < vectors.size()) {
+        vectors = vectors.first(allowed);
+        result.stop = support::StopReason::VectorBudget;
+    }
     struct Scratch {
         std::vector<std::uint64_t> fwords;
         std::vector<std::uint64_t> operands;
@@ -24,7 +39,15 @@ int FaultSimulator::apply(std::span<const Vector> vectors) {
     const size_t grain = std::max<size_t>(
         16, faults_.size() / (static_cast<size_t>(workers) * 8));
 
+    size_t completed = 0;
     for (size_t base = 0; base < vectors.size(); base += 64) {
+        // Cancellation / deadline: checked at block boundaries only, so a
+        // stopped call commits a whole number of blocks.
+        const support::StopReason stop = budget.check();
+        if (stop != support::StopReason::None) {
+            result.stop = stop;
+            break;
+        }
         const size_t take = std::min<size_t>(64, vectors.size() - base);
         const PatternBlock block =
             pack_vectors(circuit_, vectors.subspan(base, take));
@@ -95,13 +118,16 @@ int FaultSimulator::apply(std::span<const Vector> vectors) {
                 }
             },
             parallel_.threads);
+        completed = base + take;
     }
-    vectors_applied_ += static_cast<int>(vectors.size());
+    vectors_applied_ += static_cast<int>(completed);
     int newly_detected = 0;
     for (int at : detected_at_)
         if (at > before_applied) ++newly_detected;
     detected_count_ += static_cast<std::size_t>(newly_detected);
-    return newly_detected;
+    result.newly_detected = newly_detected;
+    result.vectors_applied = static_cast<int>(completed);
+    return result;
 }
 
 double FaultSimulator::coverage() const {

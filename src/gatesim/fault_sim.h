@@ -19,6 +19,7 @@
 #include "gatesim/faults.h"
 #include "gatesim/logic_sim.h"
 #include "parallel/parallel_for.h"
+#include "support/cancel.h"
 
 namespace dlp::gatesim {
 
@@ -36,6 +37,14 @@ public:
     /// number of newly detected faults.  Detected faults are dropped from
     /// subsequent simulation.
     int apply(std::span<const Vector> vectors);
+
+    /// Budget-aware apply: the budget is checked before every 64-vector
+    /// pattern block and `budget.max_vectors` caps the cumulative sequence,
+    /// so a stopped call commits a whole number of blocks and everything
+    /// recorded (detection indices, curves) is a bit-identical prefix of
+    /// the unbounded run.
+    support::ApplyResult apply(std::span<const Vector> vectors,
+                               const support::RunBudget& budget);
 
     const Circuit& circuit() const { return circuit_; }
     std::span<const StuckAtFault> faults() const { return faults_; }

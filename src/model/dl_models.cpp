@@ -1,20 +1,25 @@
 #include "model/dl_models.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dlp::model {
 
 namespace {
 
+// Range checks are written as !(in-range) so NaN inputs fail them too
+// instead of slipping through reversed comparisons.
 void check_yield(double yield) {
-    if (!(yield > 0.0) || yield > 1.0)
+    if (!(yield > 0.0 && yield <= 1.0))
         throw std::domain_error("yield must be in (0,1]");
 }
 
 void check_coverage(double coverage) {
-    if (coverage < 0.0 || coverage > 1.0)
+    if (!(coverage >= 0.0 && coverage <= 1.0))
         throw std::domain_error("coverage must be in [0,1]");
 }
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 
 }  // namespace
 
@@ -28,21 +33,23 @@ double williams_brown_required_coverage(double yield, double dl) {
     check_yield(yield);
     if (yield == 1.0) {
         // A perfect-yield process ships no defects at any coverage.
-        if (dl < 0.0) throw std::domain_error("dl must be >= 0");
+        if (!(dl >= 0.0)) throw std::domain_error("dl must be >= 0");
         return 0.0;
     }
-    if (dl < 0.0 || dl >= 1.0) throw std::domain_error("dl must be in [0,1)");
+    if (!(dl >= 0.0 && dl < 1.0))
+        throw std::domain_error("dl must be in [0,1)");
     const double max_dl = 1.0 - yield;  // DL at T = 0
     if (dl >= max_dl) return 0.0;
-    // 1 - Y^(1-T) = dl  =>  1-T = ln(1-dl)/ln(Y)
+    // 1 - Y^(1-T) = dl  =>  1-T = ln(1-dl)/ln(Y).  Clamped: for Y near 1
+    // ln(Y) -> -0 and the quotient can overshoot [0,1] numerically.
     const double one_minus_t = std::log(1.0 - dl) / std::log(yield);
-    return 1.0 - one_minus_t;
+    return clamp01(1.0 - one_minus_t);
 }
 
 double agrawal_dl(double yield, double coverage, double n_avg) {
     check_yield(yield);
     check_coverage(coverage);
-    if (n_avg < 1.0) throw std::domain_error("n_avg must be >= 1");
+    if (!(n_avg >= 1.0)) throw std::domain_error("n_avg must be >= 1");
     const double esc = (1.0 - coverage) * (1.0 - yield) *
                        std::exp(-(n_avg - 1.0) * coverage);
     return esc / (yield + esc);
@@ -71,17 +78,21 @@ double ProposedModel::residual_dl() const {
 
 double ProposedModel::required_coverage(double dl_target) const {
     check_yield(yield);
+    if (std::isnan(dl_target))
+        throw std::domain_error("dl_target must not be NaN");
     if (yield == 1.0) return 0.0;
     const double floor = residual_dl();
     if (dl_target < floor)
         throw std::domain_error(
             "target DL below the residual defect level of this test method");
+    // Any target at or above the zero-coverage DL (which includes every
+    // dl_target >= 1) needs no testing at all.
     if (dl_target >= williams_brown_dl(yield, 0.0)) return 0.0;
     // Invert eq (11): theta = 1 - ln(1-dl)/ln(Y), then eq (9) for T.
     const double theta = 1.0 - std::log(1.0 - dl_target) / std::log(yield);
     const double inner = 1.0 - theta / theta_max;  // (1-T)^R
     if (inner <= 0.0) return 1.0;
-    return 1.0 - std::pow(inner, 1.0 / r);
+    return clamp01(1.0 - std::pow(inner, 1.0 / r));
 }
 
 }  // namespace dlp::model

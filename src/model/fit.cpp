@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -17,6 +18,13 @@ Vec blend(const Vec& a, const Vec& b, double wa, double wb) {
     Vec out(a.size());
     for (size_t i = 0; i < a.size(); ++i) out[i] = wa * a[i] + wb * b[i];
     return out;
+}
+
+/// Non-finite objective values (overflow, NaN from degenerate data) are
+/// treated as "worse than anything finite": they keep the vertex ordering a
+/// valid strict weak order and push the simplex back toward finite ground.
+double sanitize(double v) {
+    return std::isfinite(v) ? v : std::numeric_limits<double>::infinity();
 }
 
 }  // namespace
@@ -39,7 +47,8 @@ MinimizeResult minimize(
         simplex.push_back(std::move(v));
     }
     std::vector<double> f(simplex.size());
-    for (size_t i = 0; i < simplex.size(); ++i) f[i] = objective(simplex[i]);
+    for (size_t i = 0; i < simplex.size(); ++i)
+        f[i] = sanitize(objective(simplex[i]));
 
     MinimizeResult result;
     for (result.iterations = 0; result.iterations < options.max_iterations;
@@ -68,11 +77,11 @@ MinimizeResult minimize(
 
         // Reflection.
         Vec reflected = blend(centroid, simplex[worst], 2.0, -1.0);
-        const double f_reflected = objective(reflected);
+        const double f_reflected = sanitize(objective(reflected));
         if (f_reflected < f[best]) {
             // Expansion.
             Vec expanded = blend(centroid, simplex[worst], 3.0, -2.0);
-            const double f_expanded = objective(expanded);
+            const double f_expanded = sanitize(objective(expanded));
             if (f_expanded < f_reflected) {
                 simplex[worst] = std::move(expanded);
                 f[worst] = f_expanded;
@@ -89,7 +98,7 @@ MinimizeResult minimize(
         }
         // Contraction.
         Vec contracted = blend(centroid, simplex[worst], 0.5, 0.5);
-        const double f_contracted = objective(contracted);
+        const double f_contracted = sanitize(objective(contracted));
         if (f_contracted < f[worst]) {
             simplex[worst] = std::move(contracted);
             f[worst] = f_contracted;
@@ -99,7 +108,7 @@ MinimizeResult minimize(
         for (size_t i = 0; i < simplex.size(); ++i) {
             if (i == best) continue;
             simplex[i] = blend(simplex[best], simplex[i], 0.5, 0.5);
-            f[i] = objective(simplex[i]);
+            f[i] = sanitize(objective(simplex[i]));
         }
     }
 
@@ -119,8 +128,21 @@ double rms(double sum_sq, size_t count) {
 }  // namespace
 
 ProposedFit fit_proposed_model(double yield,
-                               std::span<const FalloutPoint> points) {
-    if (points.empty()) throw std::invalid_argument("no fallout points");
+                               std::span<const FalloutPoint> raw_points) {
+    if (raw_points.empty()) throw std::invalid_argument("no fallout points");
+    // Drop non-finite points and clamp coverages into [0,1] so degenerate
+    // curves (interrupted runs, saturated coverage) fit to finite
+    // parameters instead of poisoning the search with NaN.
+    std::vector<FalloutPoint> points;
+    points.reserve(raw_points.size());
+    for (const auto& p : raw_points) {
+        if (!std::isfinite(p.coverage) || !std::isfinite(p.defect_level))
+            continue;
+        points.push_back({std::clamp(p.coverage, 0.0, 1.0),
+                          std::max(p.defect_level, 0.0)});
+    }
+    if (points.empty())
+        throw std::invalid_argument("no finite fallout points");
 
     // Parameterize r = 1 + e^u (>=1) and theta_max = 1/(1+e^-v) clipped to
     // (0,1] so the simplex search is unconstrained.

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace dlp::netlist {
 
@@ -50,8 +51,12 @@ GateType type_from_string(const std::string& t, int line) {
 }  // namespace
 
 Circuit parse_bench(const std::string& text, std::string circuit_name) {
-    std::vector<std::string> input_names;
-    std::vector<std::string> output_names;
+    struct Decl {
+        std::string name;
+        int line;
+    };
+    std::vector<Decl> input_names;
+    std::vector<Decl> output_names;
     std::vector<RawGate> raw;
 
     std::istringstream in(text);
@@ -75,9 +80,9 @@ Circuit parse_bench(const std::string& text, std::string circuit_name) {
             const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
             if (arg.empty()) fail(line_no, "empty net name");
             if (kw == "INPUT")
-                input_names.push_back(arg);
+                input_names.push_back({arg, line_no});
             else if (kw == "OUTPUT")
-                output_names.push_back(arg);
+                output_names.push_back({arg, line_no});
             else
                 fail(line_no, "unknown directive '" + kw + "'");
             continue;
@@ -105,11 +110,24 @@ Circuit parse_bench(const std::string& text, std::string circuit_name) {
         raw.push_back(std::move(g));
     }
 
+    // Duplicate drivers are rejected up front so the diagnostic carries the
+    // offending line even when the duplicates also sit on a cycle.
+    std::unordered_map<std::string, int> driver_line;
+    for (const RawGate& g : raw) {
+        const auto [it, inserted] = driver_line.emplace(g.out, g.line);
+        if (!inserted)
+            fail(g.line, "net '" + g.out + "' driven twice (first driver at "
+                         "line " + std::to_string(it->second) + ")");
+    }
+
     // Topological emission (forward references are legal in .bench).
     Circuit circuit(std::move(circuit_name));
     std::unordered_map<std::string, NetId> net_of;
-    for (const std::string& name : input_names) {
-        if (net_of.count(name)) fail(0, "duplicate INPUT " + name);
+    for (const auto& [name, decl_line] : input_names) {
+        if (net_of.count(name)) fail(decl_line, "duplicate INPUT " + name);
+        if (const auto it = driver_line.find(name); it != driver_line.end())
+            fail(it->second, "net '" + name + "' driven twice (INPUT at "
+                             "line " + std::to_string(decl_line) + ")");
         net_of[name] = circuit.add_input(name);
     }
 
@@ -130,29 +148,42 @@ Circuit parse_bench(const std::string& text, std::string circuit_name) {
             std::vector<NetId> fanin;
             fanin.reserve(g.fanin.size());
             for (const std::string& f : g.fanin) fanin.push_back(net_of[f]);
-            if (net_of.count(g.out))
-                fail(g.line, "net '" + g.out + "' driven twice");
-            net_of[g.out] =
-                circuit.add_gate(type_from_string(g.type, g.line), g.out,
-                                 std::move(fanin));
+            // Circuit::add_gate validates arity etc. with invalid_argument;
+            // surface those as line-numbered parse diagnostics.
+            try {
+                net_of[g.out] =
+                    circuit.add_gate(type_from_string(g.type, g.line), g.out,
+                                     std::move(fanin));
+            } catch (const std::invalid_argument& e) {
+                fail(g.line, e.what());
+            }
             emitted[i] = true;
             --remaining;
             progress = true;
         }
         if (!progress) {
+            // Distinguish the two stall causes: a fanin no line defines is
+            // an undefined net; if every fanin has a driver, the unemitted
+            // gates form a combinational cycle.
+            for (size_t i = 0; i < raw.size(); ++i) {
+                if (emitted[i]) continue;
+                for (const std::string& f : raw[i].fanin)
+                    if (!net_of.count(f) && !driver_line.count(f))
+                        fail(raw[i].line, "undefined net '" + f +
+                                          "' in fanin of '" + raw[i].out +
+                                          "'");
+            }
             for (size_t i = 0; i < raw.size(); ++i)
                 if (!emitted[i])
-                    fail(raw[i].line,
-                         "unresolvable fanin (combinational cycle or missing "
-                         "net) for '" + raw[i].out + "'");
+                    fail(raw[i].line, "combinational cycle involving '" +
+                                      raw[i].out + "'");
         }
     }
 
-    for (const std::string& name : output_names) {
+    for (const auto& [name, decl_line] : output_names) {
         auto it = net_of.find(name);
         if (it == net_of.end())
-            throw std::runtime_error("bench: OUTPUT(" + name +
-                                     ") never driven");
+            fail(decl_line, "OUTPUT(" + name + ") never driven");
         circuit.mark_output(it->second);
     }
     return circuit;

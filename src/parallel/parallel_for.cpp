@@ -48,7 +48,7 @@ ScopedThreads::~ScopedThreads() { tl_scoped_threads = prev_; }
 void parallel_for(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t, int)>& body,
-    int threads) {
+    int threads, const support::CancelToken* cancel) {
     if (n == 0) return;
     if (grain == 0) grain = 1;
     const std::size_t chunk_count = (n + grain - 1) / grain;
@@ -56,7 +56,15 @@ void parallel_for(
     if (static_cast<std::size_t>(workers) > chunk_count)
         workers = static_cast<int>(chunk_count);
     if (workers <= 1 || ThreadPool::in_parallel_region()) {
-        body(0, n, 0);
+        if (!cancel) {
+            // Fast path unchanged: one contiguous body call for the range.
+            body(0, n, 0);
+            return;
+        }
+        for (std::size_t i = 0; i < n; i += grain) {
+            if (cancel->cancelled()) return;
+            body(i, std::min(i + grain, n), 0);
+        }
         return;
     }
 
@@ -85,6 +93,7 @@ void parallel_for(
             Shard& sh = shards[static_cast<std::size_t>((w + s) % workers)];
             for (;;) {
                 if (failed.load(std::memory_order_relaxed)) return;
+                if (cancel && cancel->cancelled()) return;
                 const std::size_t i =
                     sh.next.fetch_add(grain, std::memory_order_relaxed);
                 if (i >= sh.end) break;

@@ -16,6 +16,8 @@
 #include <functional>
 #include <vector>
 
+#include "support/cancel.h"
+
 namespace dlp::parallel {
 
 /// Worker-count request for a parallel region.  0 picks the scoped /
@@ -50,12 +52,20 @@ private:
 /// most `grain` items, from `resolve_threads(threads)` workers.  `worker`
 /// indexes per-worker scratch (dense, 0-based, stable within the call).
 /// Exceptions thrown by the body cancel remaining chunks and the first one
-/// is rethrown on the calling thread.
+/// is rethrown on the calling thread; the shared pool stays usable.
+///
+/// `cancel` enables cooperative cancellation: the token is checked before
+/// every chunk claim (including on the serial path, which then runs
+/// chunk-by-chunk), so a cancelled region stops issuing new chunks and
+/// returns normally once in-flight chunks finish.  Which items ran is
+/// unspecified after a cancel — callers needing prefix-consistent partial
+/// results must cancel at their own unit boundaries instead (see the fault
+/// simulators' budget-aware apply()).
 void parallel_for(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t begin, std::size_t end, int worker)>&
         body,
-    int threads = 0);
+    int threads = 0, const support::CancelToken* cancel = nullptr);
 
 /// Deterministic chunked reduction: map(begin, end) is evaluated once per
 /// fixed grain-sized chunk of [0, n) and the partials are combined serially

@@ -1,0 +1,26 @@
+#include "support/cancel.h"
+
+#include <cstdlib>
+
+namespace dlp::support {
+
+std::string_view stop_reason_name(StopReason reason) {
+    switch (reason) {
+        case StopReason::None: return "none";
+        case StopReason::Cancelled: return "cancelled";
+        case StopReason::DeadlineExpired: return "deadline-expired";
+        case StopReason::VectorBudget: return "vector-budget";
+    }
+    return "unknown";
+}
+
+long long env_deadline_ms() {
+    // Read per call (not cached): each ExperimentRunner reads it once at
+    // construction, and tests toggle the variable between runs.
+    const char* e = std::getenv("DLPROJ_DEADLINE_MS");
+    if (!e) return 0;
+    const long long v = std::atoll(e);
+    return v > 0 ? v : 0;
+}
+
+}  // namespace dlp::support

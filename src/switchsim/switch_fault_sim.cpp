@@ -231,7 +231,22 @@ void SwitchFaultSimulator::simulate_fault(std::size_t fi, int vector_index,
 }
 
 int SwitchFaultSimulator::apply(std::span<const Vector> vectors) {
+    return apply(vectors, support::RunBudget{}).newly_detected;
+}
+
+support::ApplyResult SwitchFaultSimulator::apply(
+    std::span<const Vector> vectors, const support::RunBudget& budget) {
     const int before_applied = vectors_applied_;
+    support::ApplyResult result;
+    // The vector budget caps the cumulative sequence; a shorter final batch
+    // is still a prefix (faulty-machine state and detection indices are per
+    // vector, independent of batching).
+    const size_t allowed =
+        budget.allowed_vectors(vectors.size(), vectors_applied_);
+    if (allowed < vectors.size()) {
+        vectors = vectors.first(allowed);
+        result.stop = support::StopReason::VectorBudget;
+    }
     // Vectors are simulated in batches: the fault-free trace of the batch
     // is computed once up front, then faults fan out across workers, each
     // replaying its faults over the whole batch against the shared
@@ -250,7 +265,16 @@ int SwitchFaultSimulator::apply(std::span<const Vector> vectors) {
     size_t barr_size = 0;
     std::vector<SwitchSim::State> trace;
 
+    size_t completed = 0;
     for (size_t base = 0; base < vectors.size(); base += kBatch) {
+        // Cancellation / deadline: checked at batch boundaries, before the
+        // fault-free machine advances, so a stopped call commits a whole
+        // number of batches and good_ matches the committed prefix.
+        const support::StopReason stop = budget.check();
+        if (stop != support::StopReason::None) {
+            result.stop = stop;
+            break;
+        }
         const size_t m = std::min(kBatch, vectors.size() - base);
         // Fault-free trace: trace[v] is the state before the batch's
         // vector v, trace[v+1] the state after it.
@@ -297,15 +321,18 @@ int SwitchFaultSimulator::apply(std::span<const Vector> vectors) {
             },
             parallel_.threads);
 
+        completed = base + m;
         if (progress_)
-            progress_("switch-sim", base + m, vectors.size());
+            progress_("switch-sim", completed, vectors.size());
     }
 
-    vectors_applied_ += static_cast<int>(vectors.size());
+    vectors_applied_ += static_cast<int>(completed);
     int newly = 0;
     for (int at : detected_at_)
         if (at > before_applied) ++newly;
-    return newly;
+    result.newly_detected = newly;
+    result.vectors_applied = static_cast<int>(completed);
+    return result;
 }
 
 void SwitchFaultSimulator::check_iddq(std::size_t fi, int vector_index,

@@ -26,6 +26,7 @@
 
 #include "parallel/parallel_for.h"
 #include "parallel/progress.h"
+#include "support/cancel.h"
 #include "switchsim/switch_sim.h"
 
 namespace dlp::switchsim {
@@ -58,6 +59,14 @@ public:
     /// Applies vectors in sequence (appending); returns newly detected
     /// fault count.  Detected faults are dropped.
     int apply(std::span<const Vector> vectors);
+
+    /// Budget-aware apply: the budget is checked before every vector batch
+    /// and `budget.max_vectors` caps the cumulative sequence.  A stopped
+    /// call commits whole batches only, so all recorded state (detection
+    /// indices, charge-retention divergence, coverage curves) is a
+    /// bit-identical prefix of the unbounded run's.
+    support::ApplyResult apply(std::span<const Vector> vectors,
+                               const support::RunBudget& budget);
 
     std::span<const WeightedFault> faults() const { return faults_; }
     std::span<const int> first_detected_at() const { return detected_at_; }

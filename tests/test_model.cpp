@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "model/coverage_laws.h"
@@ -273,6 +274,88 @@ TEST(Fit, NelderMeadMinimizesQuadratic) {
 TEST(Fit, EmptyInputsThrow) {
     EXPECT_THROW(fit_proposed_model(0.75, {}), std::invalid_argument);
     EXPECT_THROW(fit_agrawal_model(0.75, {}), std::invalid_argument);
+}
+
+TEST(Hardening, NanInputsAreRejectedNotPropagated) {
+    // NaN slips through reversed-range comparisons; every entry point must
+    // throw the documented domain_error instead of returning NaN.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(williams_brown_dl(nan, 0.5), std::domain_error);
+    EXPECT_THROW(williams_brown_dl(0.75, nan), std::domain_error);
+    EXPECT_THROW(williams_brown_required_coverage(0.75, nan),
+                 std::domain_error);
+    EXPECT_THROW(williams_brown_required_coverage(1.0, nan),
+                 std::domain_error);
+    EXPECT_THROW(agrawal_dl(0.75, 0.5, nan), std::domain_error);
+    EXPECT_THROW(weighted_dl(0.75, nan), std::domain_error);
+    const ProposedModel m{0.75, 2.0, 0.96};
+    EXPECT_THROW(m.theta_of_coverage(nan), std::domain_error);
+    EXPECT_THROW(m.dl(nan), std::domain_error);
+    EXPECT_THROW(m.required_coverage(nan), std::domain_error);
+}
+
+TEST(Hardening, RequiredCoverageStaysInUnitInterval) {
+    // Near Y -> 1 the inversion divides by ln(Y) -> -0; the result must
+    // still be a finite coverage in [0,1].
+    for (double y : {1.0 - 1e-12, 1.0 - 1e-9, 0.999999}) {
+        const double max_dl = 1.0 - y;
+        for (double dl : {0.0, max_dl * 0.25, max_dl * 0.75}) {
+            const double t = williams_brown_required_coverage(y, dl);
+            EXPECT_TRUE(std::isfinite(t)) << "y=" << y << " dl=" << dl;
+            EXPECT_GE(t, 0.0);
+            EXPECT_LE(t, 1.0);
+        }
+    }
+}
+
+TEST(Hardening, ProposedRequiredCoverageLargeTargetsAreFinite) {
+    const ProposedModel m{0.75, 2.0, 0.96};
+    // Targets at or above the zero-coverage DL (including DL >= 1) need no
+    // testing; they must not reach the log and go non-finite.
+    EXPECT_DOUBLE_EQ(m.required_coverage(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.required_coverage(1.5), 0.0);
+    EXPECT_DOUBLE_EQ(m.required_coverage(0.3), 0.0);
+    const double t = m.required_coverage(m.residual_dl() * 1.5);
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+}
+
+TEST(Hardening, DegenerateFlatCurveFitsFinite) {
+    // An interrupted or instantly saturated run can hand the fitter a flat
+    // curve; the fit must stay finite and in range rather than NaN.
+    std::vector<FalloutPoint> flat(12, FalloutPoint{0.5, 0.01});
+    const ProposedFit f = fit_proposed_model(0.75, flat);
+    EXPECT_TRUE(std::isfinite(f.r));
+    EXPECT_TRUE(std::isfinite(f.theta_max));
+    EXPECT_TRUE(std::isfinite(f.rms_error));
+    EXPECT_GE(f.r, 1.0);
+    EXPECT_GT(f.theta_max, 0.0);
+    EXPECT_LE(f.theta_max, 1.0);
+
+    std::vector<FalloutPoint> single{{0.9, 1e-4}};
+    const ProposedFit s = fit_proposed_model(0.75, single);
+    EXPECT_TRUE(std::isfinite(s.r));
+    EXPECT_TRUE(std::isfinite(s.theta_max));
+}
+
+TEST(Hardening, NonFinitePointsAreDroppedFromFit) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const ProposedModel truth{0.75, 1.9, 0.96};
+    std::vector<FalloutPoint> pts;
+    for (int i = 1; i <= 40; ++i) {
+        const double t = i / 40.0;
+        pts.push_back({t, truth.dl(t)});
+    }
+    pts.push_back({nan, 0.5});
+    pts.push_back({0.5, inf});
+    const ProposedFit fit = fit_proposed_model(0.75, pts);
+    EXPECT_NEAR(fit.r, 1.9, 0.1);
+    EXPECT_NEAR(fit.theta_max, 0.96, 0.01);
+
+    std::vector<FalloutPoint> bad{{nan, nan}, {inf, 0.1}};
+    EXPECT_THROW(fit_proposed_model(0.75, bad), std::invalid_argument);
 }
 
 TEST(Planning, TestLengthRoundTrips) {

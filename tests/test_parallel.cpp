@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
+#include "support/cancel.h"
 
 namespace dlp::parallel {
 namespace {
@@ -127,6 +130,99 @@ TEST(ParallelFor, NestedRegionRunsInline) {
         4);
     EXPECT_EQ(outer.load(), 8);
     EXPECT_EQ(inner.load(), 80);
+}
+
+TEST(ParallelFor, BodyExceptionRethrownExactlyOnceAndStopsClaims) {
+    // One chunk throws immediately; every other chunk sleeps, so by the
+    // time a handful of slow chunks finish, the failure flag is long set
+    // and the remaining claims must be abandoned.
+    const size_t n = 10000;
+    std::atomic<int> executed{0};
+    int caught = 0;
+    try {
+        parallel_for(
+            n, 1,
+            [&](size_t b, size_t, int) {
+                if (b == 0) throw std::runtime_error("injected");
+                executed.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+            },
+            4);
+    } catch (const std::runtime_error& e) {
+        ++caught;
+        EXPECT_STREQ(e.what(), "injected");
+    }
+    EXPECT_EQ(caught, 1);
+    EXPECT_LT(executed.load(), static_cast<int>(n) / 2)
+        << "chunks kept running after a worker threw";
+    // The pool must still be usable afterwards.
+    std::atomic<int> count{0};
+    parallel_for(
+        100, 8, [&](size_t b, size_t e, int) { count += int(e - b); }, 4);
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, ConcurrentThrowsFromAllWorkersPropagateOne) {
+    for (int round = 0; round < 8; ++round) {
+        EXPECT_THROW(
+            parallel_for(
+                64, 1, [&](size_t, size_t, int) { throw 42; }, 4),
+            int);
+    }
+    std::atomic<int> count{0};
+    parallel_for(
+        100, 8, [&](size_t b, size_t e, int) { count += int(e - b); }, 4);
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForCancel, PreCancelledRunsNothing) {
+    support::CancelToken token;
+    token.request();
+    for (int threads : {1, 4}) {
+        std::atomic<int> executed{0};
+        parallel_for(
+            1000, 8,
+            [&](size_t, size_t, int) {
+                executed.fetch_add(1, std::memory_order_relaxed);
+            },
+            threads, &token);
+        EXPECT_EQ(executed.load(), 0) << threads << " threads";
+    }
+}
+
+TEST(ParallelForCancel, MidRunCancelReturnsNormallyPoolReusable) {
+    for (int threads : {1, 4}) {
+        support::CancelToken token;
+        std::atomic<int> executed{0};
+        parallel_for(
+            100000, 1,
+            [&](size_t, size_t, int) {
+                if (executed.fetch_add(1, std::memory_order_relaxed) == 16)
+                    token.request();
+            },
+            threads, &token);
+        EXPECT_GT(executed.load(), 0);
+        EXPECT_LT(executed.load(), 100000) << threads << " threads";
+        // The token only stops this region; the pool is intact.
+        std::atomic<int> count{0};
+        parallel_for(
+            100, 8, [&](size_t b, size_t e, int) { count += int(e - b); },
+            threads);
+        EXPECT_EQ(count.load(), 100);
+    }
+}
+
+TEST(ParallelForCancel, UncancelledTokenStillCoversEverything) {
+    support::CancelToken token;
+    std::vector<std::atomic<int>> hits(513);
+    parallel_for(
+        hits.size(), 7,
+        [&](size_t b, size_t e, int) {
+            for (size_t i = b; i < e; ++i)
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        4, &token);
+    for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
 }
 
 TEST(ThreadPool, ReportsParallelRegion) {
