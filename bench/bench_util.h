@@ -6,6 +6,7 @@
 
 #include "flow/experiment.h"
 #include "netlist/builders.h"
+#include "obs/telemetry.h"
 
 namespace dlp::bench {
 
@@ -23,6 +24,38 @@ inline const flow::ExperimentResult& c432_experiment() {
 
 inline void header(const std::string& title) {
     std::printf("==== %s ====\n", title.c_str());
+}
+
+/// `"counters": {...}, "gauges": {...}` JSON fields built from the current
+/// telemetry snapshot, for the BENCH_*.json emitters (two-space indent,
+/// no trailing comma — splice as the last fields of the top-level object).
+inline std::string telemetry_json_fields() {
+    std::string out = "  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : obs::counters_snapshot()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": " + std::to_string(value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : obs::gauges_snapshot()) {
+        char num[64];
+        std::snprintf(num, sizeof num, "%.9g", value);
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": " + num;
+    }
+    out += first ? "}" : "\n  }";
+    return out;
+}
+
+inline bool write_file(const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
 }
 
 /// Log-spaced k indices (1-based) up to n.

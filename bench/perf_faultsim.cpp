@@ -1,16 +1,22 @@
 // Throughput benchmarks (google-benchmark): gate-level PPSFP, switch-level
-// solve, PODEM, extraction.
+// solve, PODEM, extraction.  After the registered benchmarks run, a directly
+// timed telemetry-enabled pass of both fault simulators writes
+// BENCH_faultsim.json (throughput, wall time, thread count, counters) to the
+// working directory so the perf trajectory accumulates machine-readably.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 
 #include "atpg/generate.h"
+#include "bench_util.h"
 #include "extract/extractor.h"
 #include "flow/experiment.h"
 #include "gatesim/patterns.h"
 #include "layout/place_route.h"
 #include "netlist/builders.h"
 #include "netlist/techmap.h"
+#include "obs/telemetry.h"
 #include "switchsim/switch_fault_sim.h"
 
 namespace {
@@ -124,6 +130,74 @@ BENCHMARK(BM_SwitchLevelFaultSim)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// One telemetry-enabled pass of each fault simulator, directly timed.
+// The counters land in the JSON alongside throughput, so a regression can
+// be attributed (fewer blocks? more faults remaining?) without a rerun.
+void write_bench_json() {
+    using clock = std::chrono::steady_clock;
+    const auto secs_since = [](clock::time_point t0) {
+        return std::chrono::duration<double>(clock::now() - t0).count();
+    };
+    dlp::obs::set_enabled(true);
+    dlp::obs::reset();
+    const int threads = parallel::resolve_threads(0);
+
+    const auto& c = mapped_c432();
+    const auto faults =
+        gatesim::collapse_faults(c, gatesim::full_fault_universe(c));
+    gatesim::RandomPatternGenerator rng(1);
+    const auto gate_vectors = rng.vectors(c, 256);
+    const auto gate_t0 = clock::now();
+    gatesim::FaultSimulator gsim(c, faults);
+    gsim.apply(gate_vectors);
+    const double gate_secs = secs_since(gate_t0);
+    const double gate_items =
+        256.0 * static_cast<double>(faults.size());
+
+    const auto chip = layout::place_and_route(c);
+    const auto extraction = extract::extract_faults(
+        chip, extract::DefectStatistics::cmos_bridging_dominant());
+    const auto net = switchsim::build_switch_netlist(c);
+    const switchsim::SwitchSim sim(net);
+    auto swfaults = flow::to_switch_faults(extraction, chip, net);
+    std::vector<switchsim::Vector> sw_vectors;
+    for (const auto& v : rng.vectors(c, 16))
+        sw_vectors.emplace_back(v.begin(), v.end());
+    const auto sw_t0 = clock::now();
+    switchsim::SwitchFaultSimulator fsim(sim, std::move(swfaults));
+    fsim.apply(sw_vectors);
+    const double sw_secs = secs_since(sw_t0);
+    const double sw_items =
+        16.0 * static_cast<double>(fsim.faults().size());
+
+    char head[512];
+    std::snprintf(
+        head, sizeof head,
+        "{\n"
+        "  \"bench\": \"faultsim\",\n"
+        "  \"threads\": %d,\n"
+        "  \"gate_level\": {\"vectors\": 256, \"faults\": %zu, "
+        "\"wall_s\": %.6f, \"items_per_s\": %.0f},\n"
+        "  \"switch_level\": {\"vectors\": 16, \"faults\": %zu, "
+        "\"wall_s\": %.6f, \"items_per_s\": %.0f},\n",
+        threads, faults.size(), gate_secs, gate_items / gate_secs,
+        fsim.faults().size(), sw_secs, sw_items / sw_secs);
+    const std::string path = "BENCH_faultsim.json";
+    if (dlp::bench::write_file(
+            path, head + dlp::bench::telemetry_json_fields() + "\n}\n"))
+        std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "[bench] failed to write %s\n", path.c_str());
+    dlp::obs::set_enabled(false);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    write_bench_json();
+    return 0;
+}

@@ -3,6 +3,7 @@
 // diced, defected, tested and shipped, and the observed shipped-defective
 // fraction must land on the formula (and on the negative-binomial
 // generalization when defects cluster).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -24,6 +25,8 @@ std::span<const bool> bools(const std::vector<char>& v) {
 #include "model/dl_models.h"
 #include "model/planning.h"
 #include "model/yield.h"
+#include "obs/telemetry.h"
+#include "parallel/parallel_for.h"
 
 int main(int argc, char** argv) {
     using namespace dlp;
@@ -33,6 +36,11 @@ int main(int argc, char** argv) {
     if (argc > 1) seed_base =
         static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10));
     const auto& r = bench::c432_experiment();
+    // Telemetry on (counters reset) for the Monte-Carlo section only, so
+    // BENCH_wafer.json attributes throughput to the wafer simulator alone.
+    obs::set_enabled(true);
+    obs::reset();
+    const auto mc_t0 = std::chrono::steady_clock::now();
     bench::header("Validation: eq. (3) vs die-level Monte Carlo, c432");
     std::printf("wafer RNG seed base: %u%s (override: validation_wafer "
                 "<seed>)\n", seed_base,
@@ -94,5 +102,30 @@ int main(int argc, char** argv) {
     std::printf("\nShape check: Monte-Carlo dies land on the closed forms "
                 "within sampling error - the DL equations themselves are "
                 "verified, independent of the fault simulation.\n");
+
+    const double mc_secs = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - mc_t0)
+                               .count();
+    long long dies = 0;
+    for (const auto& [name, value] : obs::counters_snapshot())
+        if (name == "wafer.dies") dies = value;
+    char head[384];
+    std::snprintf(head, sizeof head,
+                  "{\n"
+                  "  \"bench\": \"wafer\",\n"
+                  "  \"threads\": %d,\n"
+                  "  \"seed_base\": %u,\n"
+                  "  \"dies\": %lld,\n"
+                  "  \"wall_s\": %.6f,\n"
+                  "  \"dies_per_s\": %.0f,\n",
+                  parallel::resolve_threads(0), seed_base, dies, mc_secs,
+                  static_cast<double>(dies) / mc_secs);
+    const std::string path = "BENCH_wafer.json";
+    if (bench::write_file(path,
+                          head + bench::telemetry_json_fields() + "\n}\n"))
+        std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "[bench] failed to write %s\n", path.c_str());
+    obs::set_enabled(false);
     return 0;
 }

@@ -16,6 +16,7 @@
 #include "layout/svg.h"
 #include "model/dl_models.h"
 #include "netlist/builders.h"
+#include "obs/telemetry.h"
 
 int main(int argc, char** argv) {
     using namespace dlp;
@@ -81,5 +82,10 @@ int main(int argc, char** argv) {
                 model::to_ppm(model::ProposedModel{r.yield, r.fit.r,
                                                    r.fit.theta_max}
                                   .residual_dl()));
+
+    // With DLPROJ_TELEMETRY/DLPROJ_TRACE set, show where the time went
+    // (the trace file itself is written at exit).
+    if (obs::enabled())
+        std::fprintf(stderr, "\n%s", obs::summary_text().c_str());
     return 0;
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Documentation lint, run by the `docs_check` CTest entry and the CI docs
+# job.  Two checks:
+#   1. every relative markdown link in the repo's *.md files points at a
+#      file or directory that exists (external URLs and pure #anchors are
+#      skipped, as are targets that don't look like paths);
+#   2. docs/CONFIGURATION.md mentions every DLPROJ_* identifier that
+#      appears in src/ — new knobs must be documented to land.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative link targets exist -----------------------------------
+while IFS= read -r md; do
+    dir=$(dirname "$md")
+    # Extract the (target) of every [text](target) link in this file.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${target%%#*}          # drop an anchor fragment
+        [ -n "$target" ] || continue
+        # Heuristic: only validate plain path-looking targets.
+        case "$target" in
+            *[!A-Za-z0-9_./-]*) continue ;;
+        esac
+        case "$target" in
+            */*|*.*) ;;               # has a slash or extension: a path
+            *) continue ;;
+        esac
+        if [ ! -e "$dir/$target" ]; then
+            echo "BROKEN LINK: $md -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//')
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*')
+
+# --- 2. every DLPROJ_* knob in src/ is documented ----------------------
+conf=docs/CONFIGURATION.md
+if [ ! -f "$conf" ]; then
+    echo "MISSING: $conf"
+    fail=1
+else
+    while IFS= read -r knob; do
+        if ! grep -q "$knob" "$conf"; then
+            echo "UNDOCUMENTED KNOB: $knob (found in src/, absent from $conf)"
+            fail=1
+        fi
+    done < <(grep -rhoE 'DLPROJ_[A-Z_]*[A-Z]' src | sort -u)
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs check FAILED"
+    exit 1
+fi
+echo "docs check OK"

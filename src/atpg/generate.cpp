@@ -4,6 +4,7 @@
 #include <span>
 
 #include "gatesim/patterns.h"
+#include "obs/telemetry.h"
 
 namespace dlp::atpg {
 
@@ -38,22 +39,29 @@ TestGenResult generate_test_set(const Circuit& circuit,
     // block is recorded, so a stopped run's sequence is a bit-identical
     // prefix of the unbounded run's (rng.vectors generates per vector, so a
     // truncated block is the full block's prefix).
-    int barren = 0;
-    while (result.random_count < options.max_random &&
-           barren < options.stale_blocks &&
-           sim.detected_count() < sim.faults().size()) {
-        const int take = std::min(options.random_block,
-                                  options.max_random - result.random_count);
-        const auto block = rng.vectors(circuit, take);
-        const auto ares = sim.apply(std::span<const Vector>(block), budget);
-        result.vectors.insert(result.vectors.end(), block.begin(),
-                              block.begin() + ares.vectors_applied);
-        result.random_count += ares.vectors_applied;
-        if (ares.stop != support::StopReason::None) {
-            result.stop = ares.stop;
-            break;
+    {
+        DLP_OBS_SPAN(random_span, "atpg.random_phase");
+        int barren = 0;
+        while (result.random_count < options.max_random &&
+               barren < options.stale_blocks &&
+               sim.detected_count() < sim.faults().size()) {
+            const int take =
+                std::min(options.random_block,
+                         options.max_random - result.random_count);
+            const auto block = rng.vectors(circuit, take);
+            const auto ares =
+                sim.apply(std::span<const Vector>(block), budget);
+            result.vectors.insert(result.vectors.end(), block.begin(),
+                                  block.begin() + ares.vectors_applied);
+            result.random_count += ares.vectors_applied;
+            if (ares.stop != support::StopReason::None) {
+                result.stop = ares.stop;
+                break;
+            }
+            barren = ares.newly_detected == 0 ? barren + 1 : 0;
         }
-        barren = ares.newly_detected == 0 ? barren + 1 : 0;
+        DLP_OBS_SPAN_NOTE(random_span, std::to_string(result.random_count) +
+                                           " random vectors");
     }
 
     // Phase 2: PODEM for each remaining fault, with fault dropping.  A
@@ -62,6 +70,14 @@ TestGenResult generate_test_set(const Circuit& circuit,
     // run's); faults never reached stay Undetected.
     result.status.assign(sim.faults().size(), FaultStatus::Undetected);
     if (result.stop == support::StopReason::None) {
+        // Per-target counters: each PODEM search is one deterministic unit
+        // (fixed fault order + x-fill), so totals are thread-count-invariant.
+        DLP_OBS_SPAN(podem_span, "atpg.podem_phase");
+        DLP_OBS_COUNTER(c_targets, "atpg.targets");
+        DLP_OBS_COUNTER(c_backtracks, "atpg.backtracks");
+        DLP_OBS_COUNTER(c_implications, "atpg.implications");
+        DLP_OBS_COUNTER(c_aborts, "atpg.aborts");
+        DLP_OBS_COUNTER(c_redundant, "atpg.redundant");
         Podem podem(circuit, compute_testability(circuit));
         for (std::size_t fi : sim.undetected()) {
             if (sim.first_detected_at()[fi] >= 0) continue;  // dropped
@@ -72,6 +88,14 @@ TestGenResult generate_test_set(const Circuit& circuit,
             }
             const auto res = podem.generate(sim.faults()[fi], backtrack_limit,
                                             rng.next_word(), &budget);
+            DLP_OBS_ADD(c_targets, 1);
+            DLP_OBS_ADD(c_backtracks, res.backtracks);
+            DLP_OBS_ADD(c_implications, res.implications);
+            if (res.status == PodemResult::Status::Aborted &&
+                res.stop == support::StopReason::None)
+                DLP_OBS_ADD(c_aborts, 1);
+            if (res.status == PodemResult::Status::Redundant)
+                DLP_OBS_ADD(c_redundant, 1);
             if (res.stop != support::StopReason::None) {
                 // Interrupted mid-search: the fault's real outcome is
                 // unknown, so it stays untargeted rather than Aborted.

@@ -272,10 +272,10 @@ PodemResult Podem::generate(const StuckAtFault& fault, int backtrack_limit,
                             std::uint64_t x_fill,
                             const support::RunBudget* budget) {
     const size_t pi_count = circuit_.inputs().size();
+    PodemResult result;
     pi_.assign(pi_count, V3::X);
     imply(fault);
-
-    PodemResult result;
+    ++result.implications;
     struct Frame {
         size_t pi;
         V3 first;
@@ -306,6 +306,7 @@ PodemResult Podem::generate(const StuckAtFault& fault, int backtrack_limit,
             stack.push_back({pi, v, false});
             pi_[pi] = v;
             imply(fault);
+            ++result.implications;
             continue;
         }
 
@@ -336,6 +337,7 @@ PodemResult Podem::generate(const StuckAtFault& fault, int backtrack_limit,
         stack.back().tried_both = true;
         pi_[stack.back().pi] = v3_not(stack.back().first);
         imply(fault);
+        ++result.implications;
     }
 }
 

@@ -31,8 +31,9 @@ struct PodemResult {
         Aborted,    ///< backtrack limit hit before a decision
     };
     Status status = Status::Aborted;
-    Vector test;         ///< valid when status == TestFound
-    int backtracks = 0;  ///< decisions reverted during the search
+    Vector test;           ///< valid when status == TestFound
+    int backtracks = 0;    ///< decisions reverted during the search
+    int implications = 0;  ///< imply() passes run (search effort measure)
     /// Why an Aborted search stopped: None means the per-fault backtrack
     /// limit, otherwise the budget's cancel/deadline fired mid-search.
     support::StopReason stop = support::StopReason::None;

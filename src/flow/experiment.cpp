@@ -10,6 +10,7 @@
 #include "gatesim/fault_sim.h"
 #include "model/dl_models.h"
 #include "model/yield.h"
+#include "obs/telemetry.h"
 
 namespace dlp::flow {
 
@@ -165,19 +166,34 @@ void ExperimentRunner::invalidate_simulation() {
 }
 
 const ExperimentRunner::PreparedDesign& ExperimentRunner::prepare() {
+    DLP_OBS_COUNTER(c_hit, "flow.prepare.cache_hit");
+    DLP_OBS_COUNTER(c_miss, "flow.prepare.cache_miss");
+    if (prepared_ && !extraction_dirty_) {
+        DLP_OBS_ADD(c_hit, 1);
+        return *prepared_;
+    }
+    DLP_OBS_ADD(c_miss, 1);
+    DLP_OBS_SPAN(stage_span, "flow.prepare");
     if (!prepared_) {
         PreparedDesign p;
         report("techmap", 0, 1);
-        p.mapped = netlist::techmap(circuit_, options_.techmap);
+        {
+            DLP_OBS_SPAN(s, "techmap");
+            p.mapped = netlist::techmap(circuit_, options_.techmap);
+        }
         report("techmap", 1, 1);
         report("layout", 0, 1);
-        p.chip = layout::place_and_route(p.mapped, options_.layout);
+        {
+            DLP_OBS_SPAN(s, "layout");
+            p.chip = layout::place_and_route(p.mapped, options_.layout);
+        }
         report("layout", 1, 1);
         p.swnet = switchsim::build_switch_netlist(p.mapped);
         prepared_ = std::move(p);
         extraction_dirty_ = true;
     }
     if (extraction_dirty_) {
+        DLP_OBS_SPAN(s, "extract");
         report("extract", 0, 1);
         PreparedDesign& p = *prepared_;
         p.extraction =
@@ -199,8 +215,13 @@ const ExperimentRunner::PreparedDesign& ExperimentRunner::prepare() {
 }
 
 const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
+    DLP_OBS_COUNTER(c_hit, "flow.generate_tests.cache_hit");
+    DLP_OBS_COUNTER(c_miss, "flow.generate_tests.cache_miss");
+    if (tests_) DLP_OBS_ADD(c_hit, 1);
     if (!tests_) {
+        DLP_OBS_ADD(c_miss, 1);
         const PreparedDesign& p = prepare();
+        DLP_OBS_SPAN(stage_span, "flow.generate_tests");
         TestSet t;
         report("atpg", 0, 1);
         t.stuck = gatesim::collapse_faults(
@@ -225,15 +246,25 @@ const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
             cum += hits[k];
             t.t_curve.values[k - 1] = testable == 0.0 ? 0.0 : cum / testable;
         }
+        if (t.tests.stop != support::StopReason::None)
+            DLP_OBS_SPAN_NOTE(
+                stage_span,
+                "interrupted: " +
+                    std::string(support::stop_reason_name(t.tests.stop)));
         tests_ = std::move(t);
     }
     return *tests_;
 }
 
 const ExperimentRunner::SimulationData& ExperimentRunner::simulate() {
+    DLP_OBS_COUNTER(c_hit, "flow.simulate.cache_hit");
+    DLP_OBS_COUNTER(c_miss, "flow.simulate.cache_miss");
+    if (sim_data_) DLP_OBS_ADD(c_hit, 1);
     if (!sim_data_) {
+        DLP_OBS_ADD(c_miss, 1);
         const TestSet& t = generate_tests();
         const PreparedDesign& p = prepare();
+        DLP_OBS_SPAN(stage_span, "flow.simulate");
         SimulationData d;
         const switchsim::SwitchSim sim(p.swnet, options_.sim);
         auto swfaults = to_switch_faults(p.extraction, p.chip, p.swnet);
@@ -256,16 +287,28 @@ const ExperimentRunner::SimulationData& ExperimentRunner::simulate() {
                                    swsim.first_detected_at().end());
         d.iddq_detected_at.assign(swsim.iddq_detected_at().begin(),
                                   swsim.iddq_detected_at().end());
+        if (d.stop != support::StopReason::None)
+            DLP_OBS_SPAN_NOTE(
+                stage_span,
+                "interrupted: " +
+                    std::string(support::stop_reason_name(d.stop)) + " at " +
+                    std::to_string(d.vectors_done) + "/" +
+                    std::to_string(d.vectors_total) + " vectors");
         sim_data_ = std::move(d);
     }
     return *sim_data_;
 }
 
 const ExperimentResult& ExperimentRunner::fit() {
+    DLP_OBS_COUNTER(c_hit, "flow.fit.cache_hit");
+    DLP_OBS_COUNTER(c_miss, "flow.fit.cache_miss");
+    if (result_) DLP_OBS_ADD(c_hit, 1);
     if (!result_) {
+        DLP_OBS_ADD(c_miss, 1);
         const SimulationData& d = simulate();
         const TestSet& t = *tests_;
         const PreparedDesign& p = *prepared_;
+        DLP_OBS_SPAN(stage_span, "flow.fit");
         report("fit", 0, 1);
 
         ExperimentResult r;
@@ -295,6 +338,12 @@ const ExperimentResult& ExperimentRunner::fit() {
             r.interruption = ExperimentResult::Interruption{
                 "switch-sim", d.stop, d.vectors_done, d.vectors_total};
         }
+        if (r.interruption)
+            DLP_OBS_SPAN_NOTE(
+                stage_span,
+                "run interrupted in " + r.interruption->stage + ": " +
+                    std::string(
+                        support::stop_reason_name(r.interruption->reason)));
 
         // Defect-level points DL(theta(k)) against T(k) and Gamma(k), over
         // the prefix both simulators completed (an interrupted switch-level

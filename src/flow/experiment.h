@@ -127,6 +127,23 @@ struct ExperimentResult {
 /// changed (later stages are dropped automatically); everything upstream is
 /// reused.  E.g. a defect-statistics sweep keeps the layout and the ATPG
 /// test set and re-runs only extraction + simulation + fit per point.
+///
+/// Thread-safety: a runner is single-driver — exactly one thread calls the
+/// stage methods / options() / invalidate_*(); the returned references are
+/// invalidated by the matching invalidate_*() call.  The two thread-safe
+/// entry points for *other* threads are options().budget.cancel.request()
+/// (cooperative stop at the next unit boundary) and the progress callback,
+/// which is invoked on the driving thread but may relay to anything.
+///
+/// Determinism: for fixed options (including parallel.threads — see the
+/// prefix contract in support/cancel.h), every artifact is bit-identical
+/// run to run; an interrupted run's artifacts are bit-identical prefixes
+/// of the unbounded run's.
+///
+/// Telemetry: each stage that actually runs records a span
+/// (flow.prepare/generate_tests/simulate/fit, with techmap/layout/extract
+/// children under prepare) and flow.<stage>.cache_hit/cache_miss counters;
+/// budget stops annotate the active stage span (src/obs/telemetry.h).
 class ExperimentRunner {
 public:
     explicit ExperimentRunner(netlist::Circuit circuit,

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/telemetry.h"
+
 namespace dlp::flow {
 
 namespace {
@@ -81,6 +83,9 @@ WaferResult simulate_wafer(std::span<const double> weights,
     Rng rng{options.seed};
     WaferResult result;
     result.dies = options.dies;
+    DLP_OBS_SPAN(wafer_span, "wafer.simulate");
+    DLP_OBS_COUNTER(c_dies, "wafer.dies");
+    DLP_OBS_ADD(c_dies, options.dies);
     for (long die = 0; die < options.dies; ++die) {
         double lambda = total;
         if (options.clustering_alpha > 0.0)

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
+
+#include "obs/telemetry.h"
 
 namespace dlp::gatesim {
 
@@ -38,6 +41,17 @@ support::ApplyResult FaultSimulator::apply(std::span<const Vector> vectors,
     std::vector<Scratch> scratch(static_cast<size_t>(workers));
     const size_t grain = std::max<size_t>(
         16, faults_.size() / (static_cast<size_t>(workers) * 8));
+
+    // Counted at block boundaries, so values are thread-count-invariant.
+    DLP_OBS_SPAN(apply_span, "gatesim.apply");
+    DLP_OBS_COUNTER(c_vectors, "faultsim.gate.vectors");
+    DLP_OBS_COUNTER(c_blocks, "faultsim.gate.blocks");
+    DLP_OBS_COUNTER(c_dropped, "faultsim.gate.dropped");
+    DLP_OBS_GAUGE(g_remaining, "faultsim.gate.remaining");
+    DLP_OBS_GAUGE(g_rate, "faultsim.gate.blocks_per_sec");
+#if DLPROJ_OBS_ENABLED
+    const std::int64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+#endif
 
     size_t completed = 0;
     for (size_t base = 0; base < vectors.size(); base += 64) {
@@ -119,6 +133,8 @@ support::ApplyResult FaultSimulator::apply(std::span<const Vector> vectors,
             },
             parallel_.threads);
         completed = base + take;
+        DLP_OBS_ADD(c_vectors, static_cast<long long>(take));
+        DLP_OBS_ADD(c_blocks, 1);
     }
     vectors_applied_ += static_cast<int>(completed);
     int newly_detected = 0;
@@ -127,6 +143,21 @@ support::ApplyResult FaultSimulator::apply(std::span<const Vector> vectors,
     detected_count_ += static_cast<std::size_t>(newly_detected);
     result.newly_detected = newly_detected;
     result.vectors_applied = static_cast<int>(completed);
+    DLP_OBS_ADD(c_dropped, newly_detected);
+    DLP_OBS_SET(g_remaining, static_cast<double>(faults_.size()) -
+                                 static_cast<double>(detected_count_));
+#if DLPROJ_OBS_ENABLED
+    if (t0 != 0) {
+        const double secs =
+            static_cast<double>(obs::now_ns() - t0) / 1e9;
+        if (secs > 0)
+            DLP_OBS_SET(g_rate, std::ceil(static_cast<double>(completed) /
+                                          64.0) / secs);
+    }
+    if (result.stop != support::StopReason::None)
+        DLP_OBS_ANNOTATE("stopped: " +
+                         std::string(support::stop_reason_name(result.stop)));
+#endif
     return result;
 }
 

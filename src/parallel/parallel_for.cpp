@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
 
 namespace dlp::parallel {
@@ -87,7 +88,17 @@ void parallel_for(
     std::exception_ptr error;
     std::mutex error_mu;
 
+    // parallel.chunks/steals are engine diagnostics: chunk claims race, so
+    // their split (not their sum) varies run to run and across thread
+    // counts — excluded from the determinism contract.
+    DLP_OBS_SPAN(region_span, "parallel_for");
+    DLP_OBS_COUNTER(c_regions, "parallel.regions");
+    DLP_OBS_ADD(c_regions, 1);
+    DLP_OBS_COUNTER(c_chunks, "parallel.chunks");
+    DLP_OBS_COUNTER(c_steals, "parallel.steals");
+
     ThreadPool::global().run(workers, [&](int w) {
+        DLP_OBS_SPAN(task_span, "pool.task");
         // Drain the own shard first, then sweep the others stealing chunks.
         for (int s = 0; s < workers; ++s) {
             Shard& sh = shards[static_cast<std::size_t>((w + s) % workers)];
@@ -97,6 +108,8 @@ void parallel_for(
                 const std::size_t i =
                     sh.next.fetch_add(grain, std::memory_order_relaxed);
                 if (i >= sh.end) break;
+                DLP_OBS_ADD(c_chunks, 1);
+                if (s > 0) DLP_OBS_ADD(c_steals, 1);
                 try {
                     body(i, std::min(i + grain, sh.end), w);
                 } catch (...) {

@@ -9,6 +9,17 @@
 // parallel_reduce fixes the chunk partition up front and combines partial
 // results serially in chunk order, so floating-point reductions are
 // bit-identical for any worker count.
+//
+// Concurrency model: the shared pool hosts ONE top-level region at a time.
+// Regions opened while another is running on the same thread execute
+// serially inline (correct, just not nested-parallel); opening top-level
+// regions from two unrelated threads concurrently is not supported.
+//
+// Telemetry: a region that actually goes parallel records a
+// "parallel_for" span plus parallel.regions/chunks/steals and pool.*
+// counters (see src/obs/telemetry.h).  The chunk/steal split races by
+// design and is excluded from the determinism contract; everything the
+// body computes is covered by it.
 #pragma once
 
 #include <algorithm>
@@ -53,6 +64,12 @@ private:
 /// indexes per-worker scratch (dense, 0-based, stable within the call).
 /// Exceptions thrown by the body cancel remaining chunks and the first one
 /// is rethrown on the calling thread; the shared pool stays usable.
+///
+/// Preconditions: `body` must tolerate any chunk-to-worker assignment
+/// (write only to per-item slots or worker-indexed scratch, no order
+/// dependence between chunks) — that is what makes results independent of
+/// the worker count.  `body` outlives the call (it blocks until every
+/// chunk finished or was abandoned).
 ///
 /// `cancel` enables cooperative cancellation: the token is checked before
 /// every chunk claim (including on the serial path, which then runs

@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.h"
 
+#include "obs/telemetry.h"
+
 namespace dlp::parallel {
 
 namespace {
@@ -53,19 +55,31 @@ void ThreadPool::run(int participants, const std::function<void(int)>& job) {
 }
 
 void ThreadPool::helper_loop(int worker_id) {
+    obs::set_thread_name("pool-" + std::to_string(worker_id));
     std::uint64_t seen = 0;
     for (;;) {
         const std::function<void(int)>* job = nullptr;
+#if DLPROJ_OBS_ENABLED
+        // Idle = time parked on cv_start_ between jobs; clock reads only
+        // happen while collection is on.
+        DLP_OBS_COUNTER(c_idle, "pool.idle_ns");
+        const std::int64_t idle_t0 = obs::enabled() ? obs::now_ns() : 0;
+#endif
         {
             std::unique_lock<std::mutex> lock(mu_);
             cv_start_.wait(lock, [&] {
                 return shutdown_ || generation_ != seen;
             });
+#if DLPROJ_OBS_ENABLED
+            if (idle_t0 != 0) DLP_OBS_ADD(c_idle, obs::now_ns() - idle_t0);
+#endif
             if (shutdown_) return;
             seen = generation_;
             if (worker_id <= active_helpers_) job = job_;
         }
         if (!job) continue;  // spawned for a wider region than this one
+        DLP_OBS_COUNTER(c_tasks, "pool.tasks");
+        DLP_OBS_ADD(c_tasks, 1);
         tl_in_region = true;
         (*job)(worker_id);
         tl_in_region = false;

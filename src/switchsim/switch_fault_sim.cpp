@@ -1,9 +1,12 @@
 #include "switchsim/switch_fault_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <memory>
 #include <stdexcept>
+
+#include "obs/telemetry.h"
 
 namespace dlp::switchsim {
 
@@ -265,6 +268,17 @@ support::ApplyResult SwitchFaultSimulator::apply(
     size_t barr_size = 0;
     std::vector<SwitchSim::State> trace;
 
+    // Counted at batch boundaries, so values are thread-count-invariant.
+    DLP_OBS_SPAN(apply_span, "switchsim.apply");
+    DLP_OBS_COUNTER(c_vectors, "faultsim.switch.vectors");
+    DLP_OBS_COUNTER(c_batches, "faultsim.switch.batches");
+    DLP_OBS_COUNTER(c_dropped, "faultsim.switch.dropped");
+    DLP_OBS_GAUGE(g_remaining, "faultsim.switch.remaining");
+    DLP_OBS_GAUGE(g_rate, "faultsim.switch.batches_per_sec");
+#if DLPROJ_OBS_ENABLED
+    const std::int64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+#endif
+
     size_t completed = 0;
     for (size_t base = 0; base < vectors.size(); base += kBatch) {
         // Cancellation / deadline: checked at batch boundaries, before the
@@ -322,16 +336,36 @@ support::ApplyResult SwitchFaultSimulator::apply(
             parallel_.threads);
 
         completed = base + m;
+        DLP_OBS_ADD(c_vectors, static_cast<long long>(m));
+        DLP_OBS_ADD(c_batches, 1);
         if (progress_)
             progress_("switch-sim", completed, vectors.size());
     }
 
     vectors_applied_ += static_cast<int>(completed);
     int newly = 0;
-    for (int at : detected_at_)
+    long long detected_total = 0;
+    for (int at : detected_at_) {
         if (at > before_applied) ++newly;
+        if (at >= 0) ++detected_total;
+    }
     result.newly_detected = newly;
     result.vectors_applied = static_cast<int>(completed);
+    DLP_OBS_ADD(c_dropped, newly);
+    DLP_OBS_SET(g_remaining, static_cast<double>(faults_.size()) -
+                                 static_cast<double>(detected_total));
+#if DLPROJ_OBS_ENABLED
+    if (t0 != 0) {
+        const double secs = static_cast<double>(obs::now_ns() - t0) / 1e9;
+        if (secs > 0)
+            DLP_OBS_SET(g_rate,
+                        std::ceil(static_cast<double>(completed) / 64.0) /
+                            secs);
+    }
+    if (result.stop != support::StopReason::None)
+        DLP_OBS_ANNOTATE("stopped: " +
+                         std::string(support::stop_reason_name(result.stop)));
+#endif
     return result;
 }
 
