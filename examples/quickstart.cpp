@@ -6,7 +6,9 @@
 // process's susceptibility ratio R and test-method ceiling theta_max.
 #include <cstdio>
 
+#include "flow/experiment.h"
 #include "model/dl_models.h"
+#include "netlist/builders.h"
 
 int main() {
     using namespace dlp::model;
@@ -42,5 +44,16 @@ int main() {
         std::printf("%8.1f %14.1f %14.1f\n", 100 * t,
                     to_ppm(williams_brown_dl(yield, t)),
                     to_ppm(model.dl(t)));
+
+    // The experiment pipeline statically checks its inputs before doing
+    // any physical-design work (src/lint); prepare() throws
+    // lint::LintError when the netlist or rule deck has errors.  On a
+    // clean design the report just carries the counts.
+    dlp::flow::ExperimentRunner runner(dlp::netlist::build_c17());
+    runner.prepare();
+    const dlp::lint::LintReport lint = runner.lint_report();
+    std::printf("\nlint (c17 + default rule deck): %zu errors, "
+                "%zu warnings, %zu infos, %zu suppressed\n",
+                lint.errors, lint.warnings, lint.infos, lint.suppressed);
     return 0;
 }

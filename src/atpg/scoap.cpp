@@ -8,7 +8,7 @@ namespace dlp::atpg {
 
 namespace {
 
-constexpr int kInf = std::numeric_limits<int>::max() / 4;
+constexpr int kInf = kScoapInfinite;
 
 int capped_sum(int a, int b) { return std::min(a + b, kInf); }
 

@@ -2,6 +2,7 @@
 // to pick the cheapest primary-input assignment for an objective.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "netlist/circuit.h"
@@ -10,6 +11,12 @@ namespace dlp::atpg {
 
 using netlist::Circuit;
 using netlist::NetId;
+
+/// Cost value meaning "impossible".  Observability stays at this value for
+/// nets with no structural path to a primary output (dead cones); the lint
+/// layer keys off `co >= kScoapInfinite` to flag structurally untestable
+/// faults.  Sums are capped here, so finite costs never reach it.
+constexpr int kScoapInfinite = std::numeric_limits<int>::max() / 4;
 
 /// Combinational controllabilities/observability per net.  Values are the
 /// classic SCOAP counts: a primary input has CC0 = CC1 = 1; a primary

@@ -12,12 +12,30 @@
 // photoresist CMOS lines: metal bridging defects dominate.
 #pragma once
 
+#include <vector>
+
 #include "cell/geom.h"
 
 namespace dlp::extract {
 
 struct DefectStatistics {
     double x0 = 2.0;  ///< minimum spot diameter (lambda)
+
+    /// Optional measured refinement of the closed-form size density: one
+    /// probability-mass bin per diameter band [lo, hi) in lambda.  Decks
+    /// without bins use p(x) = 2*x0^2/x^3 everywhere.  Bins are validated
+    /// by the lint layer (src/lint/checks.h): overlapping bins double-count
+    /// a diameter band (`rules-overlapping-bins`) and a mass that does not
+    /// sum to 1 is flagged (`rules-density-unnormalized`) — nothing here
+    /// renormalizes.  `line` is the 1-based rules-file line for
+    /// diagnostics (0 for in-memory decks).
+    struct SizeBin {
+        double lo = 0.0;
+        double hi = 0.0;
+        double prob = 0.0;
+        int line = 0;
+    };
+    std::vector<SizeBin> size_bins;
 
     /// Extra-material (short) density per conducting layer.
     double short_density[cell::kLayerCount] = {};

@@ -50,6 +50,27 @@ DefectStatistics parse_defect_rules(const std::string& text) {
         std::string kind;
         if (!(ls >> kind)) continue;  // blank
         Entry e{line_no, kind, "", 0.0};
+        if (kind == "sizebin") {
+            // `sizebin <lo> <hi> <prob>`: repeatable, so it bypasses the
+            // duplicate-directive check below.  Interval/overlap semantics
+            // are the lint layer's job; the parser only rejects values no
+            // deck could mean.
+            DefectStatistics::SizeBin bin;
+            if (!(ls >> bin.lo >> bin.hi >> bin.prob))
+                fail(line_no, "expected 'sizebin <lo> <hi> <prob>'");
+            std::string extra;
+            if (ls >> extra) fail(line_no, "trailing token '" + extra + "'");
+            if (!std::isfinite(bin.lo) || !std::isfinite(bin.hi) ||
+                !std::isfinite(bin.prob))
+                fail(line_no, "sizebin values must be finite");
+            if (bin.hi <= bin.lo)
+                fail(line_no, "sizebin needs lo < hi");
+            if (bin.prob < 0.0)
+                fail(line_no, "sizebin probability must be >= 0");
+            bin.line = line_no;
+            stats.size_bins.push_back(bin);
+            continue;
+        }
         if (kind == "short" || kind == "open") {
             if (!(ls >> e.layer >> e.value))
                 fail(line_no, "expected '" + kind + " <layer> <density>'");
@@ -138,6 +159,9 @@ std::string to_rules(const DefectStatistics& stats) {
         out << "contact_open " << stats.contact_open_density << "\n";
     if (stats.pinhole_density > 0.0)
         out << "pinhole " << stats.pinhole_density << "\n";
+    for (const auto& bin : stats.size_bins)
+        out << "sizebin " << bin.lo << " " << bin.hi << " " << bin.prob
+            << "\n";
     return out.str();
 }
 

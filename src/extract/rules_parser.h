@@ -10,8 +10,11 @@
 //   open     metal1 1.0    # missing-material density, in units
 //   contact_open 0.5
 //   pinhole  0.4
+//   sizebin  2 4 0.6      # optional measured size histogram: lo hi prob
 //
 // Layer names follow cell::layer_name: ndiff pdiff poly metal1 metal2.
+// `sizebin` is repeatable (one line per diameter band); bin overlap and
+// normalization are validated by the lint layer, not here.
 #pragma once
 
 #include <string>

@@ -137,6 +137,69 @@ ExperimentRunner::ExperimentRunner(netlist::Circuit circuit,
         if (ms > 0)
             options_.budget.deadline = support::Deadline::after_ms(ms);
     }
+    // DLPROJ_LINT=0/off turns the static-analysis gate off process-wide;
+    // an explicit lint_enabled=false in the options always wins.
+    if (options_.lint_enabled)
+        options_.lint_enabled = lint::lint_enabled_from_env();
+}
+
+lint::LintReport ExperimentRunner::lint_report() const {
+    lint::LintReport merged;
+    for (const auto* part : {&circuit_lint_, &rules_lint_, &faults_lint_}) {
+        if (!part->has_value()) continue;
+        const lint::LintReport& r = **part;
+        merged.diagnostics.insert(merged.diagnostics.end(),
+                                  r.diagnostics.begin(),
+                                  r.diagnostics.end());
+        merged.errors += r.errors;
+        merged.warnings += r.warnings;
+        merged.infos += r.infos;
+        merged.suppressed += r.suppressed;
+    }
+    return merged;
+}
+
+void ExperimentRunner::fail_lint() {
+    // Cache a diagnostics-only result so fit()/run() after the throw
+    // still hand back an ExperimentResult carrying the findings.
+    ExperimentResult r;
+    r.lint = lint_report();
+    r.interruption = ExperimentResult::Interruption{
+        "lint", support::StopReason::LintFailed, 0, 0};
+    result_ = std::move(r);
+    DLP_OBS_ANNOTATE("lint failed: " +
+                     std::to_string(result_->lint.errors) + " error(s)");
+    throw lint::LintError(
+        "static analysis rejected the experiment inputs:\n" +
+            lint::render_text(result_->lint.diagnostics),
+        result_->lint);
+}
+
+void ExperimentRunner::run_lint_gate(bool circuit_sweep) {
+    DLP_OBS_SPAN(lint_span, "flow.lint");
+    DLP_OBS_COUNTER(c_err, "lint.errors");
+    DLP_OBS_COUNTER(c_warn, "lint.warnings");
+    DLP_OBS_COUNTER(c_info, "lint.infos");
+    const lint::SuppressionSet suppress{options_.lint.suppress};
+    if (circuit_sweep) {
+        lint::DiagnosticEngine engine{suppress};
+        lint::lint_circuit(circuit_, engine, options_.lint);
+        DLP_OBS_ADD(c_err, static_cast<long long>(engine.errors()));
+        DLP_OBS_ADD(c_warn, static_cast<long long>(engine.warnings()));
+        DLP_OBS_ADD(c_info, static_cast<long long>(engine.infos()));
+        circuit_lint_ = lint::make_report(engine);
+    }
+    {
+        lint::DiagnosticEngine engine{suppress};
+        lint::lint_rules(options_.defects, engine);
+        DLP_OBS_ADD(c_err, static_cast<long long>(engine.errors()));
+        DLP_OBS_ADD(c_warn, static_cast<long long>(engine.warnings()));
+        DLP_OBS_ADD(c_info, static_cast<long long>(engine.infos()));
+        rules_lint_ = lint::make_report(engine);
+    }
+    if ((circuit_lint_ && !circuit_lint_->ok()) ||
+        (rules_lint_ && !rules_lint_->ok()))
+        fail_lint();
 }
 
 void ExperimentRunner::report(std::string_view stage, std::size_t done,
@@ -147,16 +210,19 @@ void ExperimentRunner::report(std::string_view stage, std::size_t done,
 void ExperimentRunner::invalidate_all() {
     prepared_.reset();
     extraction_dirty_ = true;
+    circuit_lint_.reset();
     invalidate_tests();
 }
 
 void ExperimentRunner::invalidate_extraction() {
     extraction_dirty_ = true;
+    rules_lint_.reset();
     invalidate_simulation();
 }
 
 void ExperimentRunner::invalidate_tests() {
     tests_.reset();
+    faults_lint_.reset();
     invalidate_simulation();
 }
 
@@ -174,6 +240,10 @@ const ExperimentRunner::PreparedDesign& ExperimentRunner::prepare() {
     }
     DLP_OBS_ADD(c_miss, 1);
     DLP_OBS_SPAN(stage_span, "flow.prepare");
+    // Static analysis first: reject bad inputs before the expensive
+    // physical-design work.  The circuit sweep runs once; the rules sweep
+    // re-runs whenever the extraction inputs changed.
+    if (options_.lint_enabled) run_lint_gate(/*circuit_sweep=*/!prepared_);
     if (!prepared_) {
         PreparedDesign p;
         report("techmap", 0, 1);
@@ -226,6 +296,23 @@ const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
         report("atpg", 0, 1);
         t.stuck = gatesim::collapse_faults(
             p.mapped, gatesim::full_fault_universe(p.mapped));
+        // Cross-validate the collapse before spending ATPG time on it: a
+        // lost or duplicated equivalence class would skew every weighted
+        // coverage ratio downstream.
+        if (options_.lint_enabled) {
+            DLP_OBS_SPAN(lint_span, "flow.lint");
+            DLP_OBS_COUNTER(c_err, "lint.errors");
+            DLP_OBS_COUNTER(c_warn, "lint.warnings");
+            DLP_OBS_COUNTER(c_info, "lint.infos");
+            lint::DiagnosticEngine engine{
+                lint::SuppressionSet(options_.lint.suppress)};
+            lint::lint_faults(p.mapped, t.stuck, engine);
+            DLP_OBS_ADD(c_err, static_cast<long long>(engine.errors()));
+            DLP_OBS_ADD(c_warn, static_cast<long long>(engine.warnings()));
+            DLP_OBS_ADD(c_info, static_cast<long long>(engine.infos()));
+            faults_lint_ = lint::make_report(engine);
+            if (!engine.ok()) fail_lint();
+        }
         atpg::TestGenOptions atpg_opts = options_.atpg;
         atpg_opts.parallel = options_.parallel;
         atpg_opts.budget = options_.budget;
@@ -327,6 +414,7 @@ const ExperimentResult& ExperimentRunner::fit() {
         r.theta_curve = d.theta_curve;
         r.gamma_curve = d.gamma_curve;
         r.theta_iddq_curve = d.theta_iddq_curve;
+        r.lint = lint_report();
 
         // Record where a budget stopped the run (earliest stage wins; a
         // sticky stop in ATPG also stops the later stages immediately).

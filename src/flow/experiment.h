@@ -16,6 +16,7 @@
 #include "atpg/generate.h"
 #include "extract/extractor.h"
 #include "layout/place_route.h"
+#include "lint/checks.h"
 #include "model/coverage_laws.h"
 #include "model/fit.h"
 #include "netlist/techmap.h"
@@ -50,6 +51,16 @@ struct ExperimentOptions {
     /// it got.  When no deadline is set, the DLPROJ_DEADLINE_MS environment
     /// variable (milliseconds) supplies a process-wide default.
     support::RunBudget budget;
+    /// Static-analysis gate (src/lint): prepare() lints the circuit and
+    /// the defect rule deck, generate_tests() cross-validates the
+    /// collapsed fault list — all before any expensive work.  Errors throw
+    /// lint::LintError and cache a diagnostics-carrying ExperimentResult
+    /// (fit()/run() return it); warnings are recorded on
+    /// ExperimentResult::lint and counted through src/obs (lint.errors /
+    /// lint.warnings / lint.infos).  DLPROJ_LINT=0/off disables the gate
+    /// process-wide when this flag is left true.
+    bool lint_enabled = true;
+    lint::LintOptions lint;  ///< suppression string + check thresholds
 };
 
 /// A coverage-vs-test-length curve: values[k-1] = coverage after k vectors.
@@ -70,8 +81,10 @@ struct CoverageCurve {
 struct ExperimentResult {
     /// Record of a budget stop: which stage ran out, why, and how far it
     /// got (units are stage-specific: target faults for "atpg", vectors
-    /// for "switch-sim").  Everything in the result reflects the completed
-    /// prefix; absent when the run completed naturally.
+    /// for "switch-sim"; stage "lint" with reason LintFailed means static
+    /// analysis rejected the inputs before anything ran).  Everything in
+    /// the result reflects the completed prefix; absent when the run
+    /// completed naturally.
     struct Interruption {
         std::string stage;
         support::StopReason reason = support::StopReason::None;
@@ -108,6 +121,12 @@ struct ExperimentResult {
     model::ProposedFit fit;           ///< (R, theta_max) of eq (11)
     model::CoverageLaw t_law;         ///< fitted stuck-at susceptibility
     model::CoverageLaw theta_law;     ///< fitted realistic susceptibility
+
+    /// Static-analysis findings for the inputs this result was computed
+    /// from (empty when the lint gate is disabled).  A lint failure leaves
+    /// everything else in the result empty and sets interruption to stage
+    /// "lint".
+    lint::LintReport lint;
 
     /// Set when a budget stopped the run early; fits cover the completed
     /// prefix of the curves.
@@ -198,8 +217,20 @@ public:
     /// Observer for stage transitions and long-run simulation progress.
     void set_progress(ProgressFn progress) { progress_ = std::move(progress); }
 
+    /// Merged static-analysis findings gathered so far (circuit + rules
+    /// sweeps from prepare(), fault sweep from generate_tests()).  Valid
+    /// after the corresponding stage ran — including after it threw
+    /// lint::LintError.
+    lint::LintReport lint_report() const;
+
 private:
     void report(std::string_view stage, std::size_t done, std::size_t total);
+    /// Runs the prepare-stage lint sweeps (circuit when `circuit_sweep`,
+    /// rules always); throws lint::LintError on error findings after
+    /// caching a diagnostics-only result_.
+    void run_lint_gate(bool circuit_sweep);
+    /// Caches the diagnostics-carrying failure result and throws.
+    [[noreturn]] void fail_lint();
 
     netlist::Circuit circuit_;
     ExperimentOptions options_;
@@ -210,6 +241,11 @@ private:
     std::optional<TestSet> tests_;
     std::optional<SimulationData> sim_data_;
     std::optional<ExperimentResult> result_;
+
+    // Per-artifact lint findings; reset by the matching invalidate_*().
+    std::optional<lint::LintReport> circuit_lint_;
+    std::optional<lint::LintReport> rules_lint_;
+    std::optional<lint::LintReport> faults_lint_;
 };
 
 /// Runs the full experiment on a circuit in one call.  Deterministic in

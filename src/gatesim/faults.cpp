@@ -58,8 +58,8 @@ FaultKey key_of(const StuckAtFault& f) {
 
 }  // namespace
 
-std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,
-                                          std::vector<StuckAtFault> faults) {
+std::vector<std::size_t> equivalence_classes(
+    const Circuit& circuit, std::span<const StuckAtFault> faults) {
     std::map<FaultKey, size_t> index;
     for (size_t i = 0; i < faults.size(); ++i) index[key_of(faults[i])] = i;
     const auto fanouts = circuit.fanouts();
@@ -124,8 +124,26 @@ std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,
         }
     }
 
+    // Dense class ids, numbered in first-occurrence order.
+    std::vector<std::size_t> cls(faults.size());
+    std::map<size_t, size_t> id_of_root;
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const size_t root = uf.find(i);
+        const auto [it, inserted] = id_of_root.emplace(root, id_of_root.size());
+        cls[i] = it->second;
+    }
+    return cls;
+}
+
+std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,
+                                          std::vector<StuckAtFault> faults) {
+    const auto cls = equivalence_classes(circuit, faults);
+    const size_t nclasses =
+        cls.empty() ? 0 : *std::max_element(cls.begin(), cls.end()) + 1;
+
     // Keep one representative per class, preferring stems, then low net ids.
-    std::vector<size_t> best_of_class(faults.size(), static_cast<size_t>(-1));
+    constexpr size_t kNone = static_cast<size_t>(-1);
+    std::vector<size_t> best_of_class(nclasses, kNone);
     const auto better = [&](size_t a, size_t b) {
         const bool stem_a = faults[a].is_stem();
         const bool stem_b = faults[b].is_stem();
@@ -134,14 +152,13 @@ std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,
                std::tie(faults[b].net, faults[b].reader, faults[b].pin);
     };
     for (size_t i = 0; i < faults.size(); ++i) {
-        const size_t root = uf.find(i);
-        if (best_of_class[root] == static_cast<size_t>(-1) ||
-            better(i, best_of_class[root]))
-            best_of_class[root] = i;
+        if (best_of_class[cls[i]] == kNone ||
+            better(i, best_of_class[cls[i]]))
+            best_of_class[cls[i]] = i;
     }
     std::vector<StuckAtFault> collapsed;
     for (size_t i = 0; i < faults.size(); ++i)
-        if (best_of_class[uf.find(i)] == i) collapsed.push_back(faults[i]);
+        if (best_of_class[cls[i]] == i) collapsed.push_back(faults[i]);
     return collapsed;
 }
 

@@ -7,6 +7,8 @@
 // corresponding output faults).
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,14 @@ std::string fault_name(const Circuit& circuit, const StuckAtFault& fault);
 /// 2 faults per stem + 2 per gate input pin of nets with fanout > 1
 /// (single-fanout branch faults are structurally identical to the stem).
 std::vector<StuckAtFault> full_fault_universe(const Circuit& circuit);
+
+/// Partition of `faults` into structural-equivalence classes under the
+/// classic rules: result[i] is a dense class id in [0, class count),
+/// assigned in first-occurrence order; equal ids = equivalent faults.
+/// collapse_faults() keeps one representative per class, and the lint
+/// layer cross-validates a collapsed list against this partition.
+std::vector<std::size_t> equivalence_classes(
+    const Circuit& circuit, std::span<const StuckAtFault> faults);
 
 /// Equivalence-collapsed fault list (a representative per class).
 std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,

@@ -1,0 +1,469 @@
+#include "lint/checks.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "atpg/scoap.h"
+
+namespace dlp::lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    size_t a = 0;
+    size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+    return s.substr(a, b - a);
+}
+
+std::string upper(std::string s) {
+    for (char& c : s)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool known_gate_type(const std::string& u) {
+    return u == "BUF" || u == "BUFF" || u == "NOT" || u == "INV" ||
+           u == "AND" || u == "NAND" || u == "OR" || u == "NOR" ||
+           u == "XOR" || u == "XNOR";
+}
+
+std::string fmt_double(double v) {
+    std::ostringstream out;
+    out.precision(6);
+    out << v;
+    return out.str();
+}
+
+}  // namespace
+
+void lint_bench_text(const std::string& text, const std::string& file,
+                     DiagnosticEngine& engine) {
+    struct RawGate {
+        std::string out;
+        std::vector<std::string> fanin;
+        int line = 0;
+    };
+    std::vector<std::pair<std::string, int>> inputs;
+    std::vector<std::pair<std::string, int>> outputs;
+    std::vector<RawGate> gates;
+
+    const auto syntax = [&](int line, const std::string& what) {
+        engine.report(Severity::Error, "bench-syntax", what, {file, line});
+    };
+
+    // Lenient line scan: a malformed line is reported and skipped, so one
+    // bad line does not hide findings further down (unlike the strict
+    // parser, which throws at the first).
+    std::istringstream in(text);
+    std::string line_text;
+    int line_no = 0;
+    while (std::getline(in, line_text)) {
+        ++line_no;
+        const size_t hash = line_text.find('#');
+        if (hash != std::string::npos) line_text.erase(hash);
+        const std::string line = trim(line_text);
+        if (line.empty()) continue;
+
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            const size_t lp = line.find('(');
+            const size_t rp = line.rfind(')');
+            if (lp == std::string::npos || rp == std::string::npos ||
+                rp < lp) {
+                syntax(line_no, "expected INPUT(...) or OUTPUT(...)");
+                continue;
+            }
+            const std::string kw = upper(trim(line.substr(0, lp)));
+            const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
+            if (arg.empty()) {
+                syntax(line_no, "empty net name");
+                continue;
+            }
+            if (kw == "INPUT")
+                inputs.emplace_back(arg, line_no);
+            else if (kw == "OUTPUT")
+                outputs.emplace_back(arg, line_no);
+            else
+                syntax(line_no, "unknown directive '" + kw + "'");
+            continue;
+        }
+
+        RawGate g;
+        g.line = line_no;
+        g.out = trim(line.substr(0, eq));
+        const std::string rhs = trim(line.substr(eq + 1));
+        const size_t lp = rhs.find('(');
+        const size_t rp = rhs.rfind(')');
+        if (g.out.empty() || lp == std::string::npos ||
+            rp == std::string::npos || rp < lp) {
+            syntax(line_no, "expected '<net> = TYPE(a, b, ...)'");
+            continue;
+        }
+        const std::string type = upper(trim(rhs.substr(0, lp)));
+        if (!known_gate_type(type)) {
+            syntax(line_no, "unknown gate type '" + trim(rhs.substr(0, lp)) +
+                            "'");
+            continue;
+        }
+        std::string args = rhs.substr(lp + 1, rp - lp - 1);
+        std::string token;
+        std::istringstream as(args);
+        bool bad = false;
+        while (std::getline(as, token, ',')) {
+            token = trim(token);
+            if (token.empty()) {
+                syntax(line_no, "empty fanin name");
+                bad = true;
+                break;
+            }
+            g.fanin.push_back(token);
+        }
+        if (bad) continue;
+        if (g.fanin.empty()) {
+            syntax(line_no, "gate with no fanin");
+            continue;
+        }
+        gates.push_back(std::move(g));
+    }
+
+    // Drivers: every INPUT declaration and every gate output.  A second
+    // driver of either kind is a conflict.
+    std::unordered_map<std::string, int> driver_line;
+    for (const auto& [name, line] : inputs) {
+        const auto [it, inserted] = driver_line.emplace(name, line);
+        if (!inserted)
+            engine.report(Severity::Error, "net-multi-driven",
+                          "net '" + name + "' declared INPUT twice (first at "
+                          "line " + std::to_string(it->second) + ")",
+                          {file, line}, name);
+    }
+    for (const RawGate& g : gates) {
+        const auto [it, inserted] = driver_line.emplace(g.out, g.line);
+        if (!inserted)
+            engine.report(Severity::Error, "net-multi-driven",
+                          "net '" + g.out + "' driven more than once (first "
+                          "driver at line " + std::to_string(it->second) +
+                          ")",
+                          {file, g.line}, g.out);
+    }
+
+    // OUTPUT declarations: duplicates and INPUT/OUTPUT feedthroughs.
+    {
+        std::unordered_map<std::string, int> input_line(inputs.begin(),
+                                                        inputs.end());
+        std::unordered_map<std::string, int> out_line;
+        for (const auto& [name, line] : outputs) {
+            const auto [it, inserted] = out_line.emplace(name, line);
+            if (!inserted) {
+                engine.report(Severity::Error, "output-conflict",
+                              "duplicate OUTPUT(" + name + ") (first at "
+                              "line " + std::to_string(it->second) + ")",
+                              {file, line}, name);
+                continue;
+            }
+            if (const auto in_it = input_line.find(name);
+                in_it != input_line.end())
+                engine.report(Severity::Error, "output-conflict",
+                              "net '" + name + "' declared both INPUT (line " +
+                              std::to_string(in_it->second) +
+                              ") and OUTPUT; feedthrough outputs carry no "
+                              "logic and break the physical flow",
+                              {file, line}, name);
+        }
+    }
+
+    // Undriven references (one finding per net name).
+    std::unordered_set<std::string> reported_undriven;
+    for (const RawGate& g : gates)
+        for (const std::string& f : g.fanin)
+            if (!driver_line.count(f) && reported_undriven.insert(f).second)
+                engine.report(Severity::Error, "net-undriven",
+                              "net '" + f + "' read by '" + g.out +
+                              "' has no driver (not a gate output or INPUT)",
+                              {file, g.line}, f);
+    for (const auto& [name, line] : outputs)
+        if (!driver_line.count(name) &&
+            reported_undriven.insert(name).second)
+            engine.report(Severity::Error, "net-undriven",
+                          "OUTPUT(" + name + ") has no driver",
+                          {file, line}, name);
+
+    // Combinational cycles: iterative DFS over the gate dependency graph
+    // (edge gate -> fanin gate).  Each back edge reports one cycle with its
+    // full path; cross/forward edges into finished nodes are skipped.
+    std::unordered_map<std::string, size_t> gate_index;
+    for (size_t i = 0; i < gates.size(); ++i)
+        gate_index.emplace(gates[i].out, i);
+    enum : std::uint8_t { kWhite, kGray, kBlack };
+    std::vector<std::uint8_t> color(gates.size(), kWhite);
+    struct Frame {
+        size_t gate;
+        size_t next_fanin;
+    };
+    for (size_t root = 0; root < gates.size(); ++root) {
+        if (color[root] != kWhite) continue;
+        std::vector<Frame> stack{{root, 0}};
+        std::vector<size_t> path{root};
+        color[root] = kGray;
+        while (!stack.empty()) {
+            Frame& top = stack.back();
+            if (top.next_fanin >= gates[top.gate].fanin.size()) {
+                color[top.gate] = kBlack;
+                stack.pop_back();
+                path.pop_back();
+                continue;
+            }
+            const std::string& fname = gates[top.gate].fanin[top.next_fanin++];
+            const auto it = gate_index.find(fname);
+            if (it == gate_index.end()) continue;  // INPUT or undriven
+            const size_t next = it->second;
+            if (color[next] == kWhite) {
+                color[next] = kGray;
+                stack.push_back({next, 0});
+                path.push_back(next);
+            } else if (color[next] == kGray) {
+                // Back edge: the cycle is the path suffix starting at next.
+                const auto start =
+                    std::find(path.begin(), path.end(), next);
+                std::string cyc;
+                for (auto p = start; p != path.end(); ++p) {
+                    if (!cyc.empty()) cyc += " -> ";
+                    cyc += gates[*p].out;
+                }
+                cyc += " -> " + gates[next].out;
+                engine.report(Severity::Error, "comb-cycle",
+                              "combinational cycle: " + cyc,
+                              {file, gates[top.gate].line},
+                              gates[next].out);
+            }
+        }
+    }
+}
+
+void lint_circuit(const netlist::Circuit& circuit, DiagnosticEngine& engine,
+                  const LintOptions& options) {
+    using netlist::GateType;
+    using netlist::NetId;
+    const auto fanouts = circuit.fanouts();
+    // SCOAP reuse: a net with infinite observability has no structural
+    // path to a primary output, so every fault in its cone is statically
+    // undetectable — dead logic that still contributes critical area (and
+    // therefore weight) to the yield model.
+    const atpg::Testability t = atpg::compute_testability(circuit);
+    for (NetId n = 0; n < circuit.gate_count(); ++n) {
+        const netlist::Gate& g = circuit.gate(n);
+        if (fanouts[n].empty() && !circuit.is_output(n)) {
+            engine.report(Severity::Error, "output-dangling",
+                          "net '" + g.name + "' (" +
+                          netlist::gate_type_name(g.type) +
+                          ") drives nothing and is not a primary output; "
+                          "its faults are undetectable but its critical "
+                          "area still counts toward Y",
+                          {}, g.name);
+        } else if (t.co[n] >= atpg::kScoapInfinite) {
+            engine.report(Severity::Warning, "gate-unreachable",
+                          "no primary output is reachable from net '" +
+                          g.name + "'; its logic cone is dead and bounds "
+                          "the attainable coverage",
+                          {}, g.name);
+        }
+        if (g.type != GateType::Input &&
+            static_cast<int>(g.fanin.size()) > options.max_fanin)
+            engine.report(Severity::Warning, "fanin-excessive",
+                          "gate '" + g.name + "' has " +
+                          std::to_string(g.fanin.size()) + " fanin pins "
+                          "(limit " + std::to_string(options.max_fanin) +
+                          "); run techmap to lower the arity before "
+                          "layout",
+                          {}, g.name);
+    }
+}
+
+void lint_rules(const extract::DefectStatistics& stats,
+                DiagnosticEngine& engine, const std::string& file) {
+    const auto invalid = [](double v) {
+        return !std::isfinite(v) || v < 0.0;
+    };
+    // Value sanity: in-memory decks bypass the rules parser's checks.
+    if (!std::isfinite(stats.x0) || stats.x0 <= 0.0)
+        engine.report(Severity::Error, "rules-density-unnormalized",
+                      "x0 (minimum spot diameter) must be positive and "
+                      "finite, got " + fmt_double(stats.x0),
+                      {file, 0}, "x0");
+    for (int li = 0; li < cell::kLayerCount; ++li) {
+        const auto layer = static_cast<cell::Layer>(li);
+        const std::string name = cell::layer_name(layer);
+        if (invalid(stats.short_density[li]))
+            engine.report(Severity::Error, "rules-density-unnormalized",
+                          "short density for layer '" + name +
+                          "' is negative or non-finite",
+                          {file, 0}, "short " + name);
+        if (invalid(stats.open_density[li]))
+            engine.report(Severity::Error, "rules-density-unnormalized",
+                          "open density for layer '" + name +
+                          "' is negative or non-finite",
+                          {file, 0}, "open " + name);
+    }
+    if (invalid(stats.contact_open_density))
+        engine.report(Severity::Error, "rules-density-unnormalized",
+                      "contact_open density is negative or non-finite",
+                      {file, 0}, "contact_open");
+    if (invalid(stats.pinhole_density))
+        engine.report(Severity::Error, "rules-density-unnormalized",
+                      "pinhole density is negative or non-finite",
+                      {file, 0}, "pinhole");
+
+    // Size bins: a measured histogram refining the closed-form p(x)
+    // density.  Bins must be valid intervals, must not overlap, and their
+    // probability mass should be normalized — an overlap double-counts a
+    // diameter band, which skews every weight downstream.
+    using Bin = extract::DefectStatistics::SizeBin;
+    std::vector<const Bin*> bins;
+    bins.reserve(stats.size_bins.size());
+    for (const Bin& b : stats.size_bins) {
+        if (!std::isfinite(b.lo) || !std::isfinite(b.hi) ||
+            !std::isfinite(b.prob) || b.hi <= b.lo || b.prob < 0.0) {
+            engine.report(Severity::Error, "rules-density-unnormalized",
+                          "sizebin [" + fmt_double(b.lo) + ", " +
+                          fmt_double(b.hi) + ") with probability " +
+                          fmt_double(b.prob) + " is not a valid bin",
+                          {file, b.line}, "sizebin");
+            continue;
+        }
+        bins.push_back(&b);
+    }
+    std::sort(bins.begin(), bins.end(),
+              [](const Bin* a, const Bin* b) { return a->lo < b->lo; });
+    for (size_t i = 1; i < bins.size(); ++i)
+        if (bins[i]->lo < bins[i - 1]->hi)
+            engine.report(Severity::Error, "rules-overlapping-bins",
+                          "sizebin [" + fmt_double(bins[i]->lo) + ", " +
+                          fmt_double(bins[i]->hi) + ") overlaps [" +
+                          fmt_double(bins[i - 1]->lo) + ", " +
+                          fmt_double(bins[i - 1]->hi) +
+                          ") — the shared diameter band is double-counted",
+                          {file, bins[i]->line}, "sizebin");
+    if (!stats.size_bins.empty()) {
+        double sum = 0.0;
+        for (const Bin& b : stats.size_bins) sum += b.prob;
+        if (std::isfinite(sum) && std::fabs(sum - 1.0) > 1e-6)
+            engine.report(Severity::Warning, "rules-density-unnormalized",
+                          "size-bin probability mass sums to " +
+                          fmt_double(sum) +
+                          ", expected 1; the extractor does not "
+                          "renormalize",
+                          {file, 0}, "sizebin");
+    }
+}
+
+void lint_faults(const netlist::Circuit& circuit,
+                 std::span<const gatesim::StuckAtFault> collapsed,
+                 DiagnosticEngine& engine) {
+    using gatesim::StuckAtFault;
+    using netlist::NetId;
+    const auto universe = gatesim::full_fault_universe(circuit);
+    const auto cls = gatesim::equivalence_classes(circuit, universe);
+    const size_t nclasses =
+        cls.empty() ? 0 : *std::max_element(cls.begin(), cls.end()) + 1;
+
+    using Key = std::tuple<NetId, NetId, int, bool>;
+    const auto key = [](const StuckAtFault& f) {
+        return Key{f.net, f.reader, f.pin, f.stuck_value};
+    };
+    std::map<Key, size_t> index;
+    for (size_t i = 0; i < universe.size(); ++i) index[key(universe[i])] = i;
+
+    constexpr size_t kNone = static_cast<size_t>(-1);
+    std::vector<size_t> first_member(nclasses, kNone);
+    for (size_t i = 0; i < universe.size(); ++i)
+        if (first_member[cls[i]] == kNone) first_member[cls[i]] = i;
+
+    // Class preservation: the collapsed list must hold exactly one
+    // representative per equivalence class.  A lost class silently drops
+    // its weight from every coverage ratio; a duplicated one counts it
+    // twice.  Both skew theta(k) and the fitted R/theta_max.
+    std::vector<int> count(nclasses, 0);
+    for (const StuckAtFault& f : collapsed) {
+        const auto it = index.find(key(f));
+        if (it == index.end()) {
+            engine.report(Severity::Error, "fault-equivalence-violation",
+                          "fault " + gatesim::fault_name(circuit, f) +
+                          " is not in the structural fault universe",
+                          {}, gatesim::fault_name(circuit, f));
+            continue;
+        }
+        ++count[cls[it->second]];
+    }
+    for (size_t c = 0; c < nclasses; ++c) {
+        if (count[c] == 1) continue;
+        const std::string repr =
+            gatesim::fault_name(circuit, universe[first_member[c]]);
+        if (count[c] == 0)
+            engine.report(Severity::Error, "fault-equivalence-violation",
+                          "equivalence class of " + repr +
+                          " has no representative in the collapsed list "
+                          "(class weight lost)",
+                          {}, repr);
+        else
+            engine.report(Severity::Error, "fault-equivalence-violation",
+                          "equivalence class of " + repr + " has " +
+                          std::to_string(count[c]) +
+                          " representatives (class weight double-counted)",
+                          {}, repr);
+    }
+
+    // Structural testability: a fault whose site cannot be observed at any
+    // primary output is undetectable by any vector set, so it bounds
+    // theta_max before a single vector is simulated.
+    const atpg::Testability t = atpg::compute_testability(circuit);
+    size_t untestable = 0;
+    for (const StuckAtFault& f : collapsed) {
+        const NetId site = f.is_stem() ? f.net : f.reader;
+        if (site >= t.co.size() || t.co[site] < atpg::kScoapInfinite)
+            continue;
+        ++untestable;
+        engine.report(Severity::Warning, "fault-structurally-untestable",
+                      "fault " + gatesim::fault_name(circuit, f) +
+                      " is statically undetectable (site unobservable at "
+                      "every primary output)",
+                      {}, gatesim::fault_name(circuit, f));
+    }
+    if (untestable > 0 && !collapsed.empty()) {
+        const double bound =
+            1.0 - static_cast<double>(untestable) /
+                      static_cast<double>(collapsed.size());
+        engine.report(Severity::Info, "fault-structurally-untestable",
+                      std::to_string(untestable) + " of " +
+                      std::to_string(collapsed.size()) +
+                      " collapsed faults are structurally untestable; "
+                      "attainable coverage is bounded at " +
+                      fmt_double(100.0 * bound) + "%");
+    }
+}
+
+LintReport make_report(const DiagnosticEngine& engine) {
+    return {engine.diagnostics(), engine.errors(), engine.warnings(),
+            engine.infos(), engine.suppressed()};
+}
+
+bool lint_enabled_from_env() {
+    const char* v = std::getenv("DLPROJ_LINT");
+    if (v == nullptr) return true;
+    std::string s(v);
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return !(s == "0" || s == "off" || s == "false");
+}
+
+}  // namespace dlp::lint

@@ -1,0 +1,119 @@
+// Diagnostic engine for the static-analysis subsystem (`dlproj-lint`).
+//
+// A Diagnostic is one finding of one check: a stable check id
+// ("net-undriven", "rules-overlapping-bins", ...), a severity, a free-form
+// message, the object it concerns (a net, fault or rules directive) and a
+// source location when the artifact came from a file.  The engine collects
+// findings, applies per-check suppression, and keeps severity counts; the
+// renderers turn a finding list into human-readable text
+// ("file:line: error: [check] message") or a machine-readable JSON
+// document.
+//
+// Check ids are part of the public interface: tests, suppression strings
+// and CI greps rely on them, so they never change once shipped.  The full
+// catalogue lives in docs/LINT.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlp::lint {
+
+enum class Severity : std::uint8_t {
+    Info = 0,
+    Warning = 1,
+    Error = 2,
+};
+
+/// "info", "warning", "error".
+std::string_view severity_name(Severity severity);
+
+/// Where a finding points.  line 0 means "no line information" (in-memory
+/// artifacts); an empty file means the artifact was not loaded from disk.
+struct SourceLoc {
+    std::string file;
+    int line = 0;
+
+    bool has_line() const { return line > 0; }
+};
+
+/// One finding.
+struct Diagnostic {
+    Severity severity = Severity::Warning;
+    std::string check;    ///< stable check id (docs/LINT.md)
+    std::string object;   ///< net / fault / directive the finding concerns
+    std::string message;
+    SourceLoc loc;
+};
+
+/// Per-check suppression, parsed from a config string: check ids separated
+/// by commas, semicolons or whitespace; a trailing '*' suppresses every
+/// check sharing the prefix ("rules-*").  A leading '-' on a token is
+/// accepted and ignored ("-fanin-excessive" == "fanin-excessive").
+class SuppressionSet {
+public:
+    SuppressionSet() = default;
+    explicit SuppressionSet(std::string_view config);
+
+    bool suppresses(std::string_view check) const;
+    bool empty() const { return exact_.empty() && prefixes_.empty(); }
+
+private:
+    std::vector<std::string> exact_;
+    std::vector<std::string> prefixes_;  ///< without the trailing '*'
+};
+
+/// Collects diagnostics from the check sweeps (src/lint/checks.h).
+/// Suppressed checks are dropped at report() time (they do not count);
+/// everything else accumulates in report order.
+class DiagnosticEngine {
+public:
+    DiagnosticEngine() = default;
+    explicit DiagnosticEngine(SuppressionSet suppress)
+        : suppress_(std::move(suppress)) {}
+
+    /// Records a finding unless its check is suppressed.
+    void report(Severity severity, std::string_view check,
+                std::string message, SourceLoc loc = {},
+                std::string object = {});
+
+    const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+    std::size_t count(Severity severity) const {
+        return counts_[static_cast<std::size_t>(severity)];
+    }
+    std::size_t errors() const { return count(Severity::Error); }
+    std::size_t warnings() const { return count(Severity::Warning); }
+    std::size_t infos() const { return count(Severity::Info); }
+    /// Findings dropped by the suppression set.
+    std::size_t suppressed() const { return suppressed_; }
+
+    /// True when no error-severity finding was recorded.
+    bool ok() const { return errors() == 0; }
+
+private:
+    SuppressionSet suppress_;
+    std::vector<Diagnostic> diags_;
+    std::size_t counts_[3] = {0, 0, 0};
+    std::size_t suppressed_ = 0;
+};
+
+/// Compiler-style text, one line per finding:
+///   "bad.bench:4: error: [net-undriven] net 'b' ..." (location parts
+/// omitted when absent).  Ends with a trailing newline unless empty.
+std::string render_text(std::span<const Diagnostic> diagnostics);
+
+/// Machine-readable JSON document:
+///   {"diagnostics": [{"check": ..., "severity": ..., "object": ...,
+///     "message": ..., "file": ..., "line": ...}, ...],
+///    "counts": {"error": E, "warning": W, "info": I}}
+/// Strings are escaped per RFC 8259; the document always parses.
+std::string render_json(std::span<const Diagnostic> diagnostics);
+
+/// "2 errors, 1 warning, 0 info" — for CLI/example summaries.
+std::string summary_line(const DiagnosticEngine& engine);
+
+}  // namespace dlp::lint

@@ -180,7 +180,17 @@ Circuit parse_bench(const std::string& text, std::string circuit_name) {
         }
     }
 
+    std::unordered_map<std::string, int> output_line;
+    std::unordered_map<std::string, int> input_line;
+    for (const auto& [name, decl_line] : input_names) input_line[name] = decl_line;
     for (const auto& [name, decl_line] : output_names) {
+        const auto [prev, inserted] = output_line.emplace(name, decl_line);
+        if (!inserted)
+            fail(decl_line, "duplicate OUTPUT " + name + " (first declared "
+                            "at line " + std::to_string(prev->second) + ")");
+        if (const auto in_it = input_line.find(name); in_it != input_line.end())
+            fail(decl_line, "net '" + name + "' declared both INPUT (line " +
+                            std::to_string(in_it->second) + ") and OUTPUT");
         auto it = net_of.find(name);
         if (it == net_of.end())
             fail(decl_line, "OUTPUT(" + name + ") never driven");

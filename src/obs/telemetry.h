@@ -211,6 +211,9 @@ void reset();
 #define DLPROJ_OBS_ENABLED 1
 #endif
 
+// `var` is deliberately a bare declarator name in these macros
+// (a parenthesized declarator would change the declaration).
+// NOLINTBEGIN(bugprone-macro-parentheses)
 #if DLPROJ_OBS_ENABLED
 #define DLP_OBS_SPAN(var, name) ::dlp::obs::Span var{name}
 #define DLP_OBS_SPAN_NOTE(var, text) (var).annotate(text)
@@ -235,3 +238,4 @@ struct NoopSpan {
 #define DLP_OBS_SET(var, v) ((void)(var))
 #define DLP_OBS_ANNOTATE(text) ((void)0)
 #endif
+// NOLINTEND(bugprone-macro-parentheses)

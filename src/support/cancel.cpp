@@ -10,6 +10,7 @@ std::string_view stop_reason_name(StopReason reason) {
         case StopReason::Cancelled: return "cancelled";
         case StopReason::DeadlineExpired: return "deadline-expired";
         case StopReason::VectorBudget: return "vector-budget";
+        case StopReason::LintFailed: return "lint-failed";
     }
     return "unknown";
 }

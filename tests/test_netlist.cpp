@@ -117,6 +117,36 @@ TEST(Bench, Errors) {
                  std::runtime_error);
 }
 
+TEST(Bench, RejectsDuplicateOutputDeclaration) {
+    const char* text = "INPUT(a)\ny = NOT(a)\nOUTPUT(y)\nOUTPUT(y)\n";
+    try {
+        parse_bench(text, "x");
+        FAIL() << "duplicate OUTPUT accepted";
+    } catch (const std::runtime_error& e) {
+        // Diagnostic carries the duplicate's line and points at the first.
+        EXPECT_NE(std::string(e.what()).find("bench:4"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("duplicate OUTPUT"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Bench, RejectsNetDeclaredInputAndOutput) {
+    const char* text = "INPUT(a)\nOUTPUT(a)\ny = NOT(a)\nOUTPUT(y)\n";
+    try {
+        parse_bench(text, "x");
+        FAIL() << "INPUT+OUTPUT conflict accepted";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("bench:2"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("both INPUT"), std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(Builders, C17MatchesKnownStructure) {
     const Circuit c = build_c17();
     EXPECT_EQ(c.inputs().size(), 5u);
@@ -267,8 +297,9 @@ TEST(Builders, AluComputesAllOpsExhaustively) {
                 ASSERT_EQ(r, expect) << a << " op" << op << " " << b;
                 // Z flag.
                 EXPECT_EQ(net[c.find("Z")], expect == 0);
-                if (op == 0)
+                if (op == 0) {
                     EXPECT_EQ(net[c.find("COUT")], (a + b) > 15);
+                }
             }
 }
 
