@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Measures the artifact-cache speedup on data/demo.campaign: one cold run
+# (empty cache) and one warm run (same cache), both wall-clocked by the
+# CLI itself, written to BENCH_campaign.json in the current directory.
+# The acceptance bar for the cache is warm >= 5x faster than cold.
+#
+# Usage: scripts/bench_campaign.sh [path/to/dlproj_campaign [spec]]
+set -eu
+root=$(cd "$(dirname "$0")/.." && pwd)
+
+BIN=${1:-$root/build/tools/dlproj_campaign}
+SPEC=${2:-$root/data/demo.campaign}
+[ -x "$BIN" ] || { echo "bench_campaign: $BIN not built" >&2; exit 1; }
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+wall_of() { sed -n 's/^  "wall_ms": \([0-9]*\),*$/\1/p' "$1"; }
+
+"$BIN" --quiet --cache-dir="$work/cache" --json=/dev/null \
+    --stats="$work/cold.stats" "$SPEC"
+"$BIN" --quiet --cache-dir="$work/cache" --json=/dev/null \
+    --stats="$work/warm.stats" "$SPEC"
+
+cold=$(wall_of "$work/cold.stats")
+warm=$(wall_of "$work/warm.stats")
+cells=$(sed -n 's/^  "cells_selected": \([0-9]*\),*$/\1/p' "$work/cold.stats")
+hits=$(sed -n 's/^  "cell_hits": \([0-9]*\),*$/\1/p' "$work/warm.stats")
+[ "$warm" -gt 0 ] || warm=1   # sub-millisecond warm runs round to 0
+speedup=$((cold / warm))
+
+cat > BENCH_campaign.json <<EOF
+{
+  "bench": "campaign_cache",
+  "spec": "data/demo.campaign",
+  "cells": $cells,
+  "cold_wall_ms": $cold,
+  "warm_wall_ms": $warm,
+  "warm_cell_hits": $hits,
+  "speedup_x": $speedup
+}
+EOF
+cat BENCH_campaign.json
+
+[ "$hits" -eq "$cells" ] || {
+    echo "bench_campaign: warm run not fully cached" >&2; exit 1; }
+[ "$speedup" -ge 5 ] || {
+    echo "bench_campaign: cache speedup ${speedup}x < 5x" >&2; exit 1; }
+echo "bench_campaign OK (${speedup}x)"

@@ -1,0 +1,325 @@
+#include "campaign/artifacts.h"
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/store.h"
+
+namespace dlp::campaign {
+
+std::string double_hex(double v) {
+    return hex64(std::bit_cast<std::uint64_t>(v));
+}
+
+double parse_double_hex(const std::string& hex) {
+    if (hex.size() != 16)
+        throw std::runtime_error("campaign artifact: bad double '" + hex +
+                                 "'");
+    std::uint64_t bits = 0;
+    for (const char c : hex) {
+        bits <<= 4;
+        if (c >= '0' && c <= '9')
+            bits |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            throw std::runtime_error("campaign artifact: bad double '" + hex +
+                                     "'");
+    }
+    return std::bit_cast<double>(bits);
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+    throw std::runtime_error("campaign artifact: " + what);
+}
+
+/// Keyword-checked token reader over a serialized artifact.
+class Reader {
+public:
+    explicit Reader(const std::string& text) : in_(text) {}
+
+    void magic(const char* expected) {
+        std::string line;
+        if (!std::getline(in_, line) || line != expected)
+            bad(std::string("expected magic '") + expected + "'");
+    }
+    /// Reads "<key> <integer>".
+    long long field(const char* key) {
+        expect_key(key);
+        long long v = 0;
+        if (!(in_ >> v)) bad(std::string("bad integer for ") + key);
+        return v;
+    }
+    /// Reads "<key> <hex double>".
+    double dfield(const char* key) {
+        expect_key(key);
+        std::string tok;
+        if (!(in_ >> tok)) bad(std::string("missing value for ") + key);
+        return parse_double_hex(tok);
+    }
+    /// Reads "<key> <rest of line>" (value may contain spaces).
+    std::string sfield(const char* key) {
+        expect_key(key);
+        std::string rest;
+        std::getline(in_, rest);
+        if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+        return rest;
+    }
+    /// Reads "<key> <count>" then `count` whitespace-separated ints.
+    std::vector<int> ints(const char* key) {
+        const long long n = field(key);
+        if (n < 0) bad(std::string("negative count for ") + key);
+        std::vector<int> out(static_cast<std::size_t>(n));
+        for (int& v : out)
+            if (!(in_ >> v)) bad(std::string("truncated ") + key);
+        return out;
+    }
+    /// Reads "<key> <count>" then `count` hex doubles.
+    flow::CoverageCurve curve(const char* key) {
+        const long long n = field(key);
+        if (n < 0) bad(std::string("negative count for ") + key);
+        std::vector<double> out(static_cast<std::size_t>(n));
+        std::string tok;
+        for (double& v : out) {
+            if (!(in_ >> tok)) bad(std::string("truncated ") + key);
+            v = parse_double_hex(tok);
+        }
+        return flow::CoverageCurve(std::move(out));
+    }
+    std::istringstream& stream() { return in_; }
+
+private:
+    void expect_key(const char* key) {
+        std::string word;
+        if (!(in_ >> word) || word != key)
+            bad("expected field '" + std::string(key) + "', got '" + word +
+                "'");
+    }
+    std::istringstream in_;
+};
+
+void put_curve(std::ostream& out, const char* key,
+               const flow::CoverageCurve& c) {
+    out << key << " " << c.size();
+    for (const double v : c.values) out << " " << double_hex(v);
+    out << "\n";
+}
+
+void put_ints(std::ostream& out, const char* key,
+              const std::vector<int>& v) {
+    out << key << " " << v.size();
+    for (const int x : v) out << " " << x;
+    out << "\n";
+}
+
+support::StopReason stop_from_int(long long v) {
+    if (v < 0 || v > static_cast<long long>(support::StopReason::LintFailed))
+        bad("bad stop reason");
+    return static_cast<support::StopReason>(v);
+}
+
+}  // namespace
+
+std::string serialize_faults(const std::vector<gatesim::StuckAtFault>& f) {
+    std::ostringstream out;
+    out << "dlproj-faults 1\n";
+    out << "count " << f.size() << "\n";
+    for (const auto& s : f) {
+        const long long reader =
+            s.is_stem() ? -1 : static_cast<long long>(s.reader);
+        out << s.net << " " << reader << " " << s.pin << " "
+            << (s.stuck_value ? 1 : 0) << "\n";
+    }
+    return out.str();
+}
+
+std::vector<gatesim::StuckAtFault> parse_faults(const std::string& text) {
+    Reader r(text);
+    r.magic("dlproj-faults 1");
+    const long long n = r.field("count");
+    std::vector<gatesim::StuckAtFault> out(static_cast<std::size_t>(n));
+    for (auto& f : out) {
+        long long net = 0, reader = 0, pin = 0, sv = 0;
+        if (!(r.stream() >> net >> reader >> pin >> sv))
+            bad("truncated fault list");
+        f.net = static_cast<netlist::NetId>(net);
+        f.reader = reader < 0 ? netlist::kNoNet
+                              : static_cast<netlist::NetId>(reader);
+        f.pin = static_cast<int>(pin);
+        f.stuck_value = sv != 0;
+    }
+    return out;
+}
+
+std::string serialize_tests(const flow::ExperimentRunner::TestSet& t) {
+    std::ostringstream out;
+    out << "dlproj-tests 1\n";
+    out << "stuck " << t.stuck.size() << "\n";
+    for (const auto& s : t.stuck) {
+        const long long reader =
+            s.is_stem() ? -1 : static_cast<long long>(s.reader);
+        out << s.net << " " << reader << " " << s.pin << " "
+            << (s.stuck_value ? 1 : 0) << "\n";
+    }
+    out << "random_count " << t.tests.random_count << "\n";
+    out << "deterministic_count " << t.tests.deterministic_count << "\n";
+    out << "detected " << t.tests.detected << "\n";
+    out << "redundant " << t.tests.redundant << "\n";
+    out << "aborted " << t.tests.aborted << "\n";
+    out << "untargeted " << t.tests.untargeted << "\n";
+    out << "stop " << static_cast<int>(t.tests.stop) << "\n";
+    const std::size_t width =
+        t.tests.vectors.empty() ? 0 : t.tests.vectors.front().size();
+    out << "width " << width << "\n";
+    out << "vectors " << t.tests.vectors.size() << "\n";
+    for (const auto& v : t.tests.vectors) {
+        std::string bits(v.size(), '0');
+        for (std::size_t i = 0; i < v.size(); ++i)
+            if (v[i]) bits[i] = '1';
+        out << bits << "\n";
+    }
+    put_ints(out, "first_detected_at", t.tests.first_detected_at);
+    out << "status " << t.tests.status.size();
+    for (const auto s : t.tests.status) out << " " << static_cast<int>(s);
+    out << "\n";
+    put_curve(out, "t_curve", t.t_curve);
+    return out.str();
+}
+
+flow::ExperimentRunner::TestSet parse_tests(const std::string& text) {
+    Reader r(text);
+    r.magic("dlproj-tests 1");
+    flow::ExperimentRunner::TestSet t;
+    const long long nstuck = r.field("stuck");
+    t.stuck.resize(static_cast<std::size_t>(nstuck));
+    for (auto& f : t.stuck) {
+        long long net = 0, reader = 0, pin = 0, sv = 0;
+        if (!(r.stream() >> net >> reader >> pin >> sv))
+            bad("truncated fault list");
+        f.net = static_cast<netlist::NetId>(net);
+        f.reader = reader < 0 ? netlist::kNoNet
+                              : static_cast<netlist::NetId>(reader);
+        f.pin = static_cast<int>(pin);
+        f.stuck_value = sv != 0;
+    }
+    t.tests.random_count = static_cast<int>(r.field("random_count"));
+    t.tests.deterministic_count =
+        static_cast<int>(r.field("deterministic_count"));
+    t.tests.detected = static_cast<std::size_t>(r.field("detected"));
+    t.tests.redundant = static_cast<std::size_t>(r.field("redundant"));
+    t.tests.aborted = static_cast<std::size_t>(r.field("aborted"));
+    t.tests.untargeted = static_cast<std::size_t>(r.field("untargeted"));
+    t.tests.stop = stop_from_int(r.field("stop"));
+    const long long width = r.field("width");
+    const long long nvec = r.field("vectors");
+    t.tests.vectors.resize(static_cast<std::size_t>(nvec));
+    std::string bits;
+    for (auto& v : t.tests.vectors) {
+        if (!(r.stream() >> bits) ||
+            bits.size() != static_cast<std::size_t>(width))
+            bad("truncated vector set");
+        v.resize(bits.size());
+        for (std::size_t i = 0; i < bits.size(); ++i) v[i] = bits[i] == '1';
+    }
+    t.tests.first_detected_at = r.ints("first_detected_at");
+    const std::vector<int> status = r.ints("status");
+    t.tests.status.reserve(status.size());
+    for (const int s : status) {
+        if (s < 0 || s > static_cast<int>(atpg::FaultStatus::Undetected))
+            bad("bad fault status");
+        t.tests.status.push_back(static_cast<atpg::FaultStatus>(s));
+    }
+    t.t_curve = r.curve("t_curve");
+    return t;
+}
+
+std::string serialize_simulation(
+    const flow::ExperimentRunner::SimulationData& d) {
+    std::ostringstream out;
+    out << "dlproj-sim 1\n";
+    out << "stop " << static_cast<int>(d.stop) << "\n";
+    out << "vectors_done " << d.vectors_done << "\n";
+    out << "vectors_total " << d.vectors_total << "\n";
+    put_curve(out, "theta_curve", d.theta_curve);
+    put_curve(out, "gamma_curve", d.gamma_curve);
+    put_curve(out, "theta_iddq_curve", d.theta_iddq_curve);
+    put_ints(out, "first_detected_at", d.first_detected_at);
+    put_ints(out, "iddq_detected_at", d.iddq_detected_at);
+    return out.str();
+}
+
+flow::ExperimentRunner::SimulationData parse_simulation(
+    const std::string& text) {
+    Reader r(text);
+    r.magic("dlproj-sim 1");
+    flow::ExperimentRunner::SimulationData d;
+    d.stop = stop_from_int(r.field("stop"));
+    d.vectors_done = static_cast<std::size_t>(r.field("vectors_done"));
+    d.vectors_total = static_cast<std::size_t>(r.field("vectors_total"));
+    d.theta_curve = r.curve("theta_curve");
+    d.gamma_curve = r.curve("gamma_curve");
+    d.theta_iddq_curve = r.curve("theta_iddq_curve");
+    d.first_detected_at = r.ints("first_detected_at");
+    d.iddq_detected_at = r.ints("iddq_detected_at");
+    return d;
+}
+
+std::string serialize_cell(const CellResult& c) {
+    std::ostringstream out;
+    out << "dlproj-cell 1\n";
+    out << "circuit " << c.circuit << "\n";
+    out << "rules " << c.rules << "\n";
+    out << "atpg " << c.atpg << "\n";
+    out << "seed " << c.seed << "\n";
+    out << "mapped_gates " << c.mapped_gates << "\n";
+    out << "stuck_faults " << c.stuck_faults << "\n";
+    out << "realistic_faults " << c.realistic_faults << "\n";
+    out << "transistors " << c.transistors << "\n";
+    out << "vector_count " << c.vector_count << "\n";
+    out << "random_vectors " << c.random_vectors << "\n";
+    out << "yield " << double_hex(c.yield) << "\n";
+    out << "fit_r " << double_hex(c.fit_r) << "\n";
+    out << "fit_theta_max " << double_hex(c.fit_theta_max) << "\n";
+    out << "fit_rms " << double_hex(c.fit_rms) << "\n";
+    out << "interruption " << (c.interruption.empty() ? "-" : c.interruption)
+        << "\n";
+    put_curve(out, "t_curve", c.t_curve);
+    put_curve(out, "theta_curve", c.theta_curve);
+    put_curve(out, "gamma_curve", c.gamma_curve);
+    put_curve(out, "theta_iddq_curve", c.theta_iddq_curve);
+    return out.str();
+}
+
+CellResult parse_cell(const std::string& text) {
+    Reader r(text);
+    r.magic("dlproj-cell 1");
+    CellResult c;
+    c.circuit = r.sfield("circuit");
+    c.rules = r.sfield("rules");
+    c.atpg = r.sfield("atpg");
+    c.seed = static_cast<std::uint64_t>(r.field("seed"));
+    c.mapped_gates = static_cast<std::size_t>(r.field("mapped_gates"));
+    c.stuck_faults = static_cast<std::size_t>(r.field("stuck_faults"));
+    c.realistic_faults =
+        static_cast<std::size_t>(r.field("realistic_faults"));
+    c.transistors = static_cast<std::size_t>(r.field("transistors"));
+    c.vector_count = static_cast<int>(r.field("vector_count"));
+    c.random_vectors = static_cast<int>(r.field("random_vectors"));
+    c.yield = r.dfield("yield");
+    c.fit_r = r.dfield("fit_r");
+    c.fit_theta_max = r.dfield("fit_theta_max");
+    c.fit_rms = r.dfield("fit_rms");
+    c.interruption = r.sfield("interruption");
+    if (c.interruption == "-") c.interruption.clear();
+    c.t_curve = r.curve("t_curve");
+    c.theta_curve = r.curve("theta_curve");
+    c.gamma_curve = r.curve("gamma_curve");
+    c.theta_iddq_curve = r.curve("theta_iddq_curve");
+    return c;
+}
+
+}  // namespace dlp::campaign

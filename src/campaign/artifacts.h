@@ -1,0 +1,73 @@
+// Bit-exact serialization of the stage artifacts a campaign caches:
+// the collapsed stuck-at fault list, the generated test set (vectors +
+// T(k)), the switch-level simulation data (theta/Gamma curves + detection
+// tables), and the fitted per-cell result.
+//
+// Formats are line-oriented text with doubles encoded as the hex of their
+// IEEE-754 bit pattern, so a deserialized artifact is bit-identical to the
+// one that was stored — the resume-from-cache guarantee ("a resumed
+// campaign reproduces the uninterrupted report byte for byte") rests on
+// this.  Every document carries a versioned magic line; parse_* throw
+// std::runtime_error on any mismatch, which the campaign runner treats as
+// a cache miss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/experiment.h"
+#include "gatesim/faults.h"
+
+namespace dlp::campaign {
+
+/// One completed grid cell: identity, workload facts, coverage curves and
+/// the eq (11) fit.  This is both the "fitted model" cache artifact and
+/// one row of the aggregated campaign report.
+struct CellResult {
+    std::size_t index = 0;  ///< row-major grid index (not serialized)
+    std::string circuit;
+    std::string rules;
+    std::string atpg;
+    std::uint64_t seed = 1;
+
+    std::size_t mapped_gates = 0;
+    std::size_t stuck_faults = 0;
+    std::size_t realistic_faults = 0;
+    std::size_t transistors = 0;
+    int vector_count = 0;
+    int random_vectors = 0;
+    double yield = 1.0;
+
+    double fit_r = 1.0;
+    double fit_theta_max = 1.0;
+    double fit_rms = 0.0;
+
+    /// "" for a complete run, else "<stage>:<reason>" (e.g. a per-cell
+    /// vector budget: "switch-sim:VectorBudget").
+    std::string interruption;
+
+    flow::CoverageCurve t_curve;
+    flow::CoverageCurve theta_curve;
+    flow::CoverageCurve gamma_curve;
+    flow::CoverageCurve theta_iddq_curve;
+};
+
+/// Bit-pattern hex encoding used for doubles ("3fe8000000000000"-style).
+std::string double_hex(double v);
+double parse_double_hex(const std::string& hex);
+
+std::string serialize_faults(const std::vector<gatesim::StuckAtFault>& f);
+std::vector<gatesim::StuckAtFault> parse_faults(const std::string& text);
+
+std::string serialize_tests(const flow::ExperimentRunner::TestSet& t);
+flow::ExperimentRunner::TestSet parse_tests(const std::string& text);
+
+std::string serialize_simulation(
+    const flow::ExperimentRunner::SimulationData& d);
+flow::ExperimentRunner::SimulationData parse_simulation(
+    const std::string& text);
+
+std::string serialize_cell(const CellResult& c);
+CellResult parse_cell(const std::string& text);
+
+}  // namespace dlp::campaign

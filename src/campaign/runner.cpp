@@ -1,0 +1,277 @@
+#include "campaign/runner.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "extract/rules_parser.h"
+#include "lint/checks.h"
+#include "netlist/bench_parser.h"
+#include "obs/telemetry.h"
+
+namespace dlp::campaign {
+
+namespace {
+
+/// A stop that must abort the campaign (vs. a vector budget, which is a
+/// deterministic part of the cell's configuration and commits normally).
+bool is_campaign_stop(support::StopReason reason) {
+    return reason == support::StopReason::Cancelled ||
+           reason == support::StopReason::DeadlineExpired;
+}
+
+/// Canonical key texts.  Each embeds a format version so incompatible
+/// pipeline changes can invalidate old caches by bumping it; doubles are
+/// encoded by bit pattern so a key never aliases across distinct values.
+struct CellKeys {
+    std::string faults;  ///< collapsed fault universe
+    std::string tests;   ///< + ATPG config, seed, vector budget
+    std::string sim;     ///< + rule deck, yield scaling, weighting
+    std::string cell;    ///< fitted-cell result (same inputs as sim)
+};
+
+CellKeys make_keys(const CampaignSpec& spec, const Cell& cell,
+                   const std::string& bench_hash,
+                   const std::string& rules_hash,
+                   const atpg::TestGenOptions& atpg) {
+    CellKeys k;
+    {
+        std::ostringstream o;
+        o << "dlproj-key faults 1\n" << "bench " << bench_hash << "\n";
+        k.faults = o.str();
+    }
+    {
+        std::ostringstream o;
+        o << "dlproj-key tests 1\n"
+          << "bench " << bench_hash << "\n"
+          << "seed " << cell.seed << "\n"
+          << "random_block " << atpg.random_block << "\n"
+          << "max_random " << atpg.max_random << "\n"
+          << "stale_blocks " << atpg.stale_blocks << "\n"
+          << "backtrack_limit " << atpg.backtrack_limit << "\n"
+          << "max_vectors " << spec.max_vectors << "\n";
+        k.tests = o.str();
+    }
+    {
+        std::ostringstream o;
+        o << "dlproj-key sim 1\n"
+          << "tests " << hex64(fnv1a64(k.tests)) << "\n"
+          << "rules " << rules_hash << "\n"
+          << "target_yield " << double_hex(spec.target_yield) << "\n"
+          << "weighted " << (spec.weighted ? 1 : 0) << "\n";
+        k.sim = o.str();
+    }
+    k.cell = "dlproj-key cell 1\n" + k.sim;
+    return k;
+}
+
+CellResult make_cell_result(const Cell& cell,
+                            const flow::ExperimentResult& r) {
+    CellResult c;
+    c.index = cell.index;
+    c.circuit = cell.circuit;
+    c.rules = cell.rules;
+    c.atpg = cell.atpg;
+    c.seed = cell.seed;
+    c.mapped_gates = r.mapped_gates;
+    c.stuck_faults = r.stuck_faults;
+    c.realistic_faults = r.realistic_faults;
+    c.transistors = r.transistors;
+    c.vector_count = r.vector_count;
+    c.random_vectors = r.random_vectors;
+    c.yield = r.yield;
+    c.fit_r = r.fit.r;
+    c.fit_theta_max = r.fit.theta_max;
+    c.fit_rms = r.fit.rms_error;
+    if (r.interruption)
+        c.interruption =
+            r.interruption->stage + ":" +
+            std::string(support::stop_reason_name(r.interruption->reason));
+    c.t_curve = r.t_curve;
+    c.theta_curve = r.theta_curve;
+    c.gamma_curve = r.gamma_curve;
+    c.theta_iddq_curve = r.theta_iddq_curve;
+    return c;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, CampaignOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+void CampaignRunner::report_progress(std::string_view stage, std::size_t done,
+                                     std::size_t total) {
+    if (options_.progress) options_.progress(stage, done, total);
+}
+
+CampaignReport CampaignRunner::run() {
+    DLP_OBS_SPAN(span, "campaign.run");
+    CampaignReport rep;
+    rep.name = spec_.name;
+    rep.stats.cells_total = spec_.cell_count();
+    const std::vector<std::size_t> cells =
+        shard_cells(rep.stats.cells_total, options_.shard);
+    rep.stats.cells_selected = cells.size();
+    ArtifactStore store(options_.use_cache ? options_.cache_dir
+                                           : std::string());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        report_progress("cell", i, cells.size());
+        if (const auto stop = options_.budget.check();
+            stop != support::StopReason::None) {
+            rep.stats.stop = stop;
+            break;
+        }
+        if (!run_cell(cells[i], rep, store)) break;
+        ++rep.stats.cells_completed;
+        report_progress("campaign", i + 1, cells.size());
+    }
+    rep.stats.store_corrupt = store.corrupt();
+    if (rep.stats.stop != support::StopReason::None)
+        DLP_OBS_SPAN_NOTE(
+            span, "campaign stopped: " + std::string(support::stop_reason_name(
+                                             rep.stats.stop)));
+    return rep;
+}
+
+bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
+                              ArtifactStore& store) {
+    DLP_OBS_SPAN(span, "campaign.cell");
+    DLP_OBS_COUNTER(c_hit, "campaign.cell.cache_hit");
+    DLP_OBS_COUNTER(c_miss, "campaign.cell.cache_miss");
+    const Cell cell = cell_at(spec_, index);
+    const auto cell_id = [&] {
+        return "cell #" + std::to_string(index) + " (" + cell.circuit + ", " +
+               cell.rules + ", seed " + std::to_string(cell.seed) + ", atpg " +
+               cell.atpg + ")";
+    };
+
+    // Resolve the grid names to concrete inputs and canonicalize them by
+    // content, so two names for the same circuit (a builder and a .bench
+    // dump of it) address the same artifacts.
+    netlist::Circuit circuit("unresolved");
+    extract::DefectStatistics defects;
+    try {
+        circuit = resolve_circuit(cell.circuit);
+        defects = resolve_rules(cell.rules);
+    } catch (const std::exception& e) {
+        throw std::runtime_error("campaign " + cell_id() + ": " + e.what());
+    }
+    const AtpgVariant& variant = atpg_variant(spec_, cell.atpg);
+    atpg::TestGenOptions atpg_opts = variant.options;
+    atpg_opts.seed = cell.seed;
+    const std::string bench_hash = hex64(fnv1a64(netlist::to_bench(circuit)));
+    const std::string rules_hash = hex64(fnv1a64(extract::to_rules(defects)));
+    const CellKeys keys =
+        make_keys(spec_, cell, bench_hash, rules_hash, atpg_opts);
+
+    // Whole-cell hit: skip everything.
+    if (auto hit = store.get("cell", keys.cell)) {
+        try {
+            CellResult r = parse_cell(*hit);
+            r.index = index;
+            rep.cells.push_back(std::move(r));
+            ++rep.stats.cell_hits;
+            DLP_OBS_ADD(c_hit, 1);
+            return true;
+        } catch (const std::exception&) {
+            // Format drift: fall through and recompute.
+        }
+    }
+    // A disabled store never hits and should not report misses either:
+    // "no cache configured" must stay distinguishable from "cold cache".
+    if (store.enabled()) {
+        ++rep.stats.cell_misses;
+        DLP_OBS_ADD(c_miss, 1);
+    }
+
+    flow::ExperimentOptions opt;
+    opt.target_yield = spec_.target_yield;
+    opt.weighted = spec_.weighted;
+    opt.defects = defects;
+    opt.atpg = atpg_opts;
+    opt.parallel = options_.parallel;
+    opt.budget = options_.budget;
+    opt.budget.max_vectors = spec_.max_vectors;
+    opt.lint_enabled = spec_.lint;
+    flow::ExperimentRunner runner(std::move(circuit), std::move(opt));
+    runner.set_progress(options_.progress);
+
+    // Seed the runner with any cached stage artifacts.
+    bool tests_injected = false;
+    if (auto hit = store.get("tests", keys.tests)) {
+        try {
+            runner.inject_tests(parse_tests(*hit));
+            tests_injected = true;
+            ++rep.stats.tests_hits;
+        } catch (const std::exception&) {
+        }
+    }
+    if (!tests_injected) {
+        if (store.enabled()) ++rep.stats.tests_misses;
+        bool faults_injected = false;
+        if (auto hit = store.get("faults", keys.faults)) {
+            try {
+                runner.inject_collapsed_faults(parse_faults(*hit));
+                faults_injected = true;
+                ++rep.stats.faults_hits;
+            } catch (const std::exception&) {
+            }
+        }
+        if (!faults_injected && store.enabled()) ++rep.stats.faults_misses;
+    }
+    bool sim_injected = false;
+    if (tests_injected) {
+        if (auto hit = store.get("sim", keys.sim)) {
+            try {
+                runner.inject_simulation(parse_simulation(*hit));
+                sim_injected = true;
+                ++rep.stats.sim_hits;
+            } catch (const std::exception&) {
+            }
+        }
+    }
+    if (!sim_injected && store.enabled()) ++rep.stats.sim_misses;
+
+    try {
+        // Stage by stage, committing each freshly computed artifact as
+        // soon as its stage completes: an interrupted campaign resumes
+        // from the last committed artifact.
+        const flow::ExperimentRunner::TestSet& t = runner.generate_tests();
+        if (is_campaign_stop(t.tests.stop)) {
+            rep.stats.stop = t.tests.stop;
+            return false;
+        }
+        if (!tests_injected) {
+            store.put("faults", keys.faults, serialize_faults(t.stuck));
+            store.put("tests", keys.tests, serialize_tests(t));
+        }
+        const flow::ExperimentRunner::SimulationData& d = runner.simulate();
+        if (is_campaign_stop(d.stop)) {
+            rep.stats.stop = d.stop;
+            return false;
+        }
+        if (!sim_injected)
+            store.put("sim", keys.sim, serialize_simulation(d));
+        const flow::ExperimentResult& res = runner.fit();
+        if (res.interruption && is_campaign_stop(res.interruption->reason)) {
+            rep.stats.stop = res.interruption->reason;
+            return false;
+        }
+        CellResult r = make_cell_result(cell, res);
+        store.put("cell", keys.cell, serialize_cell(r));
+        rep.cells.push_back(std::move(r));
+        return true;
+    } catch (const lint::LintError& e) {
+        throw std::runtime_error("campaign " + cell_id() +
+                                 ": static analysis rejected the inputs:\n" +
+                                 lint::render_text(e.report().diagnostics));
+    }
+}
+
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+    CampaignRunner runner(spec, options);
+    return runner.run();
+}
+
+}  // namespace dlp::campaign

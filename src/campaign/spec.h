@@ -1,0 +1,110 @@
+// Declarative experiment campaigns: a grid of experiment cells
+// (circuits × rule decks × seeds × ATPG configs) described by a small
+// INI/TOML-style spec file.
+//
+//   # 12-cell comparison grid
+//   [campaign]
+//   name = demo
+//   target_yield = 0.75
+//   max_vectors = 0            # 0 = unlimited
+//
+//   [grid]
+//   circuits = c17, adder3, parity4
+//   rules = bridging, uniform
+//   seeds = 1, 2
+//   atpg = quick
+//
+//   [atpg.quick]               # one section per named ATPG variant
+//   max_random = 256
+//   backtrack_limit = 1024
+//
+// Grid axes are names: circuits resolve to the programmatic builders in
+// netlist/builders.h (c17, c432, adder<N>, parity<N>, mux<N>, decoder<N>,
+// alu<N>, hamming<N>) or to a .bench file path; rule decks resolve to the
+// DefectStatistics presets (bridging, open, uniform) or to a .rules file
+// path.  Cells enumerate in row-major grid order — circuit outermost, then
+// rules, seeds, ATPG variant — which is also the shard-partitioning and
+// report order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atpg/generate.h"
+#include "extract/defect_stats.h"
+#include "netlist/circuit.h"
+
+namespace dlp::campaign {
+
+/// A named ATPG configuration; the grid seed overrides `options.seed`.
+struct AtpgVariant {
+    std::string name = "default";
+    atpg::TestGenOptions options;
+};
+
+struct CampaignSpec {
+    std::string name = "campaign";
+    double target_yield = 0.75;  ///< flow::ExperimentOptions::target_yield
+    bool weighted = true;        ///< false: unweighted ablation grid
+    long long max_vectors = 0;   ///< per-cell vector budget (0 = unlimited)
+    bool lint = true;            ///< per-cell static-analysis gate
+
+    // Grid axes (each must be non-empty; seeds/atpg default to one entry).
+    std::vector<std::string> circuits;
+    std::vector<std::string> rules;
+    std::vector<std::uint64_t> seeds{1};
+    std::vector<AtpgVariant> atpg{AtpgVariant{}};
+
+    std::size_t cell_count() const {
+        return circuits.size() * rules.size() * seeds.size() * atpg.size();
+    }
+};
+
+/// One grid point, identified by its row-major index.
+struct Cell {
+    std::size_t index = 0;
+    std::string circuit;
+    std::string rules;
+    std::uint64_t seed = 1;
+    std::string atpg;  ///< variant name
+};
+
+/// The cell at row-major grid `index` (< spec.cell_count()).
+Cell cell_at(const CampaignSpec& spec, std::size_t index);
+
+/// The ATPG variant named by `cell.atpg`; throws if absent.
+const AtpgVariant& atpg_variant(const CampaignSpec& spec,
+                                const std::string& name);
+
+/// Parses a spec document; throws std::runtime_error with a line-numbered
+/// message on malformed input, unknown keys, or an empty grid axis.
+CampaignSpec parse_campaign_spec(const std::string& text);
+
+/// Loads a spec file from disk.
+CampaignSpec load_campaign_spec(const std::string& path);
+
+/// Resolves a grid circuit name: a builders.h name (see file comment) or a
+/// path ending in ".bench".  Throws std::runtime_error on unknown names.
+netlist::Circuit resolve_circuit(const std::string& name);
+
+/// Resolves a rule-deck name: bridging (alias cmos_bridging_dominant),
+/// open (open_dominant), uniform, or a path ending in ".rules".
+extract::DefectStatistics resolve_rules(const std::string& name);
+
+/// Deterministic shard partition `index/count` for CI fan-out.
+struct Shard {
+    int index = 0;
+    int count = 1;
+};
+
+/// Parses "i/n" (0 <= i < n); throws std::runtime_error otherwise.
+Shard parse_shard(const std::string& text);
+
+/// The cell indices shard `shard` owns out of `total` cells, ascending.
+/// Cells are dealt round-robin (cell c goes to shard c mod count), so for
+/// every count the shards are disjoint, cover the grid, and stay balanced
+/// to within one cell.
+std::vector<std::size_t> shard_cells(std::size_t total, const Shard& shard);
+
+}  // namespace dlp::campaign

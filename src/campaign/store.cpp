@@ -1,0 +1,173 @@
+#include "campaign/store.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/telemetry.h"
+
+namespace dlp::campaign {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a64(std::string_view data) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string hex64(std::uint64_t v) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+std::string env_cache_dir() {
+    const char* v = std::getenv("DLPROJ_CACHE");
+    return v ? std::string(v) : std::string();
+}
+
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {}
+
+std::string ArtifactStore::object_path(std::string_view kind,
+                                       std::string_view key) const {
+    const std::string h = hex64(fnv1a64(key));
+    return root_ + "/objects/" + h.substr(0, 2) + "/" + h + "-" +
+           std::string(kind);
+}
+
+namespace {
+
+// Object format (header line-oriented, then raw bytes):
+//   dlproj-artifact 1
+//   kind <slug>
+//   key-bytes <n>
+//   payload-bytes <n>
+//   payload-hash <hex16>
+//   --
+//   <key bytes><payload bytes>
+constexpr char kMagic[] = "dlproj-artifact 1";
+
+std::string render_object(std::string_view kind, std::string_view key,
+                          std::string_view payload) {
+    std::ostringstream out;
+    out << kMagic << "\n"
+        << "kind " << kind << "\n"
+        << "key-bytes " << key.size() << "\n"
+        << "payload-bytes " << payload.size() << "\n"
+        << "payload-hash " << hex64(fnv1a64(payload)) << "\n"
+        << "--\n"
+        << key << payload;
+    return out.str();
+}
+
+/// Parses and verifies an object; returns the payload or nullopt when the
+/// object is malformed, of another kind/key, or fails its payload hash.
+std::optional<std::string> parse_object(const std::string& bytes,
+                                        std::string_view kind,
+                                        std::string_view key,
+                                        bool& corrupt) {
+    corrupt = true;  // every early-out below is a corruption/foreignness
+    std::istringstream in(bytes);
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+    std::string word, k;
+    std::size_t key_bytes = 0, payload_bytes = 0;
+    std::string payload_hash;
+    if (!(in >> word >> k) || word != "kind") return std::nullopt;
+    if (!(in >> word >> key_bytes) || word != "key-bytes") return std::nullopt;
+    if (!(in >> word >> payload_bytes) || word != "payload-bytes")
+        return std::nullopt;
+    if (!(in >> word >> payload_hash) || word != "payload-hash")
+        return std::nullopt;
+    if (!std::getline(in, line)) return std::nullopt;  // eat newline
+    if (!std::getline(in, line) || line != "--") return std::nullopt;
+    const std::streampos pos = in.tellg();
+    if (pos < 0) return std::nullopt;
+    const auto body = static_cast<std::size_t>(pos);
+    if (bytes.size() - body != key_bytes + payload_bytes) return std::nullopt;
+    const std::string_view stored_key(bytes.data() + body, key_bytes);
+    if (k != kind || stored_key != key) {
+        // A different key with the same hash: not corruption, just a miss.
+        corrupt = false;
+        return std::nullopt;
+    }
+    std::string payload = bytes.substr(body + key_bytes, payload_bytes);
+    if (hex64(fnv1a64(payload)) != payload_hash) return std::nullopt;
+    corrupt = false;
+    return payload;
+}
+
+}  // namespace
+
+std::optional<std::string> ArtifactStore::get(std::string_view kind,
+                                              std::string_view key) {
+    DLP_OBS_COUNTER(c_hit, "campaign.store.hit");
+    DLP_OBS_COUNTER(c_miss, "campaign.store.miss");
+    DLP_OBS_COUNTER(c_corrupt, "campaign.store.corrupt");
+    if (!enabled()) {
+        ++misses_;
+        DLP_OBS_ADD(c_miss, 1);
+        return std::nullopt;
+    }
+    std::ifstream in(object_path(kind, key), std::ios::binary);
+    if (!in) {
+        ++misses_;
+        DLP_OBS_ADD(c_miss, 1);
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bool corrupt = false;
+    auto payload = parse_object(buf.str(), kind, key, corrupt);
+    if (payload) {
+        ++hits_;
+        DLP_OBS_ADD(c_hit, 1);
+        return payload;
+    }
+    if (corrupt) {
+        ++corrupt_;
+        DLP_OBS_ADD(c_corrupt, 1);
+    }
+    ++misses_;
+    DLP_OBS_ADD(c_miss, 1);
+    return std::nullopt;
+}
+
+void ArtifactStore::put(std::string_view kind, std::string_view key,
+                        std::string_view payload) {
+    if (!enabled()) return;
+    const std::string path = object_path(kind, key);
+    const fs::path target(path);
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+    if (ec)
+        throw std::runtime_error("cannot create cache directory " +
+                                 target.parent_path().string() + ": " +
+                                 ec.message());
+    // Temp-then-rename keeps commits atomic on POSIX filesystems.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot open " + tmp);
+        out << render_object(kind, key, payload);
+        if (!out) throw std::runtime_error("write failed: " + tmp);
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) throw std::runtime_error("cannot commit " + path + ": " +
+                                     ec.message());
+    ++writes_;
+    DLP_OBS_COUNTER(c_write, "campaign.store.write");
+    DLP_OBS_ADD(c_write, 1);
+}
+
+}  // namespace dlp::campaign

@@ -1,0 +1,81 @@
+// Content-addressed on-disk artifact cache for campaign runs.
+//
+// Every artifact is addressed by the full canonical *key text* describing
+// the inputs it was computed from (circuit bench text hash, rule-deck hash,
+// every option that can change the result).  The key is hashed (FNV-1a 64)
+// into the object path, but the complete key is stored in the object header
+// and compared verbatim on lookup, so a hash collision degrades to a miss,
+// never to a wrong artifact.  The payload travels with its own hash; a
+// mismatch (bit rot, a torn write from a crashed process, manual tampering)
+// is detected on read, counted, and treated as a miss so the artifact is
+// recomputed and rewritten.
+//
+// Commits are atomic: objects are written to a temp file in the same
+// directory and renamed into place, so a campaign killed mid-write never
+// leaves a half-committed object behind, and an interrupted campaign
+// resumes from the last committed artifact.
+//
+// Object layout: <root>/objects/<hh>/<hash16>-<kind>  where <hh> is the
+// first hex byte of the key hash (fan-out), <hash16> the full 64-bit key
+// hash, and <kind> the artifact kind slug ("cell", "tests", ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dlp::campaign {
+
+/// FNV-1a 64-bit hash (stable across platforms and runs; not
+/// cryptographic — collisions are handled by full-key comparison).
+std::uint64_t fnv1a64(std::string_view data);
+
+/// 16-char lowercase hex of a 64-bit value.
+std::string hex64(std::uint64_t v);
+
+/// The DLPROJ_CACHE environment override: default artifact-cache root for
+/// tools that are not given --cache-dir.  Empty when unset.
+std::string env_cache_dir();
+
+class ArtifactStore {
+public:
+    /// `root` = cache directory (created lazily on first put).  An empty
+    /// root disables the store: every get() misses, every put() is a no-op.
+    explicit ArtifactStore(std::string root);
+
+    bool enabled() const { return !root_.empty(); }
+    const std::string& root() const { return root_; }
+
+    /// Looks up the artifact of `kind` for the canonical `key`.  Returns
+    /// the payload on a verified hit; std::nullopt on a miss or on a
+    /// corrupted/foreign object (counted separately).
+    std::optional<std::string> get(std::string_view kind,
+                                   std::string_view key);
+
+    /// Atomically commits the payload for (kind, key), overwriting any
+    /// previous object.  Throws std::runtime_error on I/O failure.
+    void put(std::string_view kind, std::string_view key,
+             std::string_view payload);
+
+    /// On-disk object path for (kind, key) — exposed so tests can corrupt
+    /// an entry deliberately.
+    std::string object_path(std::string_view kind,
+                            std::string_view key) const;
+
+    // Accounting for this store instance (campaign stats + obs counters
+    // mirror these).
+    std::size_t hits() const { return hits_; }
+    std::size_t misses() const { return misses_; }
+    std::size_t corrupt() const { return corrupt_; }
+    std::size_t writes() const { return writes_; }
+
+private:
+    std::string root_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t corrupt_ = 0;
+    std::size_t writes_ = 0;
+};
+
+}  // namespace dlp::campaign

@@ -211,7 +211,25 @@ void ExperimentRunner::invalidate_all() {
     prepared_.reset();
     extraction_dirty_ = true;
     circuit_lint_.reset();
+    injected_stuck_.reset();
     invalidate_tests();
+}
+
+void ExperimentRunner::inject_collapsed_faults(
+    std::vector<gatesim::StuckAtFault> stuck) {
+    injected_stuck_ = std::move(stuck);
+    invalidate_tests();
+}
+
+void ExperimentRunner::inject_tests(TestSet tests) {
+    tests_ = std::move(tests);
+    faults_lint_.reset();
+    invalidate_simulation();
+}
+
+void ExperimentRunner::inject_simulation(SimulationData sim) {
+    sim_data_ = std::move(sim);
+    result_.reset();
 }
 
 void ExperimentRunner::invalidate_extraction() {
@@ -294,8 +312,10 @@ const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
         DLP_OBS_SPAN(stage_span, "flow.generate_tests");
         TestSet t;
         report("atpg", 0, 1);
-        t.stuck = gatesim::collapse_faults(
-            p.mapped, gatesim::full_fault_universe(p.mapped));
+        t.stuck = injected_stuck_
+                      ? *injected_stuck_
+                      : gatesim::collapse_faults(
+                            p.mapped, gatesim::full_fault_universe(p.mapped));
         // Cross-validate the collapse before spending ATPG time on it: a
         // lost or duplicated equivalence class would skew every weighted
         // coverage ratio downstream.
@@ -393,8 +413,10 @@ const ExperimentResult& ExperimentRunner::fit() {
     if (!result_) {
         DLP_OBS_ADD(c_miss, 1);
         const SimulationData& d = simulate();
-        const TestSet& t = *tests_;
-        const PreparedDesign& p = *prepared_;
+        // Via stage accessors, not the raw optionals: with an injected
+        // simulation artifact the upstream stages may not have run yet.
+        const TestSet& t = generate_tests();
+        const PreparedDesign& p = prepare();
         DLP_OBS_SPAN(stage_span, "flow.fit");
         report("fit", 0, 1);
 

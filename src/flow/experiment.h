@@ -202,6 +202,25 @@ public:
     /// All stages; equivalent to fit().
     const ExperimentResult& run() { return fit(); }
 
+    // External-cache seeding (src/campaign): hand this runner a stage
+    // artifact computed by an identical configuration in an earlier
+    // process, so the corresponding stage is skipped.  The runner trusts
+    // the caller to match artifact and configuration — the campaign store
+    // guarantees it by content-addressing artifacts with a hash of every
+    // input — and the artifact counts as a cache hit for the stage's
+    // flow.*.cache_hit counter.  Each call drops all downstream artifacts.
+    /// Seeds the collapsed stuck-at universe; generate_tests() will skip
+    /// the collapse but still run ATPG (and, when the lint gate is on,
+    /// still cross-validate the injected list against the circuit).
+    void inject_collapsed_faults(std::vector<gatesim::StuckAtFault> stuck);
+    /// Seeds the whole test-generation artifact (fault list, vectors,
+    /// T(k)).  The faults lint sweep is not re-run: the artifact was
+    /// linted when first computed from the same inputs.
+    void inject_tests(TestSet tests);
+    /// Seeds the switch-level simulation artifact (theta/Gamma curves and
+    /// detection tables).
+    void inject_simulation(SimulationData sim);
+
     /// Mutable options for sweeps; pair edits with the matching
     /// invalidate_*() call.
     ExperimentOptions& options() { return options_; }
@@ -236,6 +255,9 @@ private:
     ExperimentOptions options_;
     ProgressFn progress_;
 
+    /// Cache-injected collapsed fault universe (inject_collapsed_faults);
+    /// used by generate_tests() in place of the collapse.
+    std::optional<std::vector<gatesim::StuckAtFault>> injected_stuck_;
     std::optional<PreparedDesign> prepared_;
     bool extraction_dirty_ = true;  ///< prepared_'s extraction needs redo
     std::optional<TestSet> tests_;

@@ -231,4 +231,11 @@ std::string to_bench(const Circuit& circuit) {
     return out.str();
 }
 
+void write_bench(const Circuit& circuit, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    f << to_bench(circuit);
+    if (!f) throw std::runtime_error("write failed: " + path);
+}
+
 }  // namespace dlp::netlist

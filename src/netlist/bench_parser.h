@@ -24,4 +24,8 @@ Circuit load_bench_file(const std::string& path);
 /// Serializes a circuit back to .bench text (round-trips with parse_bench).
 std::string to_bench(const Circuit& circuit);
 
+/// Writes to_bench(circuit) to a file (e.g. the golden data/c432.bench
+/// fixture).  Throws std::runtime_error on I/O failure.
+void write_bench(const Circuit& circuit, const std::string& path);
+
 }  // namespace dlp::netlist

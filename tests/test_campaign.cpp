@@ -1,0 +1,395 @@
+// Tests for the campaign subsystem: spec parsing, the grid/shard algebra,
+// the content-addressed artifact store, and the end-to-end cache
+// guarantees (hit/miss accounting, cross-cell artifact reuse,
+// cancel-then-resume byte-identity, corruption recovery).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/report.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+#include "campaign/store.h"
+
+namespace dlp::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test scratch directory under the gtest temp dir.
+std::string scratch_dir(const std::string& tag) {
+    const std::string path = testing::TempDir() + "dlproj_campaign_" + tag;
+    fs::remove_all(path);
+    return path;
+}
+
+const char* kSmallSpec =
+    "[campaign]\n"
+    "name = unit\n"
+    "target_yield = 0.8\n"
+    "[grid]\n"
+    "circuits = c17, parity4\n"
+    "rules = bridging, uniform\n"
+    "seeds = 1\n";
+
+// --- spec parsing -------------------------------------------------------
+
+TEST(CampaignSpec, ParsesSectionsAndGrid) {
+    const CampaignSpec s = parse_campaign_spec(
+        "# comment\n"
+        "[campaign]\n"
+        "name = demo\n"
+        "target_yield = 0.6\n"
+        "max_vectors = 32\n"
+        "weighted = off\n"
+        "lint = false\n"
+        "[grid]\n"
+        "circuits = c17, adder3\n"
+        "rules = bridging, uniform, open\n"
+        "seeds = 1, 2, 3\n");
+    EXPECT_EQ(s.name, "demo");
+    EXPECT_DOUBLE_EQ(s.target_yield, 0.6);
+    EXPECT_EQ(s.max_vectors, 32);
+    EXPECT_FALSE(s.weighted);
+    EXPECT_FALSE(s.lint);
+    EXPECT_EQ(s.cell_count(), 2u * 3u * 3u);
+    // Row-major: circuit outermost, then rules, then seeds.
+    EXPECT_EQ(cell_at(s, 0).circuit, "c17");
+    EXPECT_EQ(cell_at(s, 0).rules, "bridging");
+    EXPECT_EQ(cell_at(s, 0).seed, 1u);
+    EXPECT_EQ(cell_at(s, 2).seed, 3u);
+    EXPECT_EQ(cell_at(s, 3).rules, "uniform");
+    EXPECT_EQ(cell_at(s, 9).circuit, "adder3");
+    EXPECT_EQ(cell_at(s, 17).atpg, "default");
+}
+
+TEST(CampaignSpec, AtpgVariantsSelectableFromGrid) {
+    const CampaignSpec s = parse_campaign_spec(
+        "[grid]\n"
+        "circuits = c17\n"
+        "rules = uniform\n"
+        "atpg = default, fast\n"
+        "[atpg.fast]\n"
+        "random_block = 8\n"
+        "max_random = 64\n");
+    ASSERT_EQ(s.atpg.size(), 2u);
+    EXPECT_EQ(s.atpg[0].name, "default");
+    EXPECT_EQ(s.atpg[1].name, "fast");
+    EXPECT_EQ(atpg_variant(s, "fast").options.random_block, 8);
+    EXPECT_EQ(atpg_variant(s, "fast").options.max_random, 64);
+    EXPECT_EQ(s.cell_count(), 2u);
+    EXPECT_EQ(cell_at(s, 1).atpg, "fast");
+}
+
+TEST(CampaignSpec, RejectsMalformedInput) {
+    EXPECT_THROW(parse_campaign_spec("[nope]\n"), std::runtime_error);
+    EXPECT_THROW(parse_campaign_spec("[grid]\ncircuits = c17\n"),
+                 std::runtime_error);  // no rules
+    EXPECT_THROW(parse_campaign_spec("[campaign]\nbogus = 1\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse_campaign_spec("key = outside\n"), std::runtime_error);
+    EXPECT_THROW(parse_campaign_spec("[campaign]\nno equals sign\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse_campaign_spec("[grid]\nseeds = x\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        parse_campaign_spec("[grid]\ncircuits=c17\nrules=uniform\n"
+                            "atpg = undefined_variant\n"),
+        std::runtime_error);
+}
+
+TEST(CampaignSpec, ResolvesCircuitsAndRules) {
+    EXPECT_GT(resolve_circuit("c17").gate_count(), 0u);
+    EXPECT_GT(resolve_circuit("adder3").gate_count(), 0u);
+    EXPECT_GT(resolve_circuit("parity4").gate_count(), 0u);
+    EXPECT_THROW(resolve_circuit("frobnicator9"), std::runtime_error);
+    (void)resolve_rules("bridging");
+    (void)resolve_rules("open");
+    (void)resolve_rules("uniform");
+    EXPECT_THROW(resolve_rules("nonsense"), std::runtime_error);
+}
+
+// --- shard algebra ------------------------------------------------------
+
+TEST(CampaignShard, ParseAcceptsAndRejects) {
+    EXPECT_EQ(parse_shard("0/2").index, 0);
+    EXPECT_EQ(parse_shard("0/2").count, 2);
+    EXPECT_EQ(parse_shard("3/4").index, 3);
+    EXPECT_THROW(parse_shard("2"), std::runtime_error);
+    EXPECT_THROW(parse_shard("2/2"), std::runtime_error);   // out of range
+    EXPECT_THROW(parse_shard("-1/2"), std::runtime_error);
+    EXPECT_THROW(parse_shard("0/0"), std::runtime_error);
+    EXPECT_THROW(parse_shard("x/y"), std::runtime_error);
+}
+
+TEST(CampaignShard, PartitionIsDisjointCoveringAndBalanced) {
+    // For every grid size and every shard count, the shards partition
+    // [0, total) exactly, with sizes differing by at most one.
+    for (std::size_t total : {0u, 1u, 2u, 5u, 12u, 13u, 30u})
+        for (int n = 1; n <= 8; ++n) {
+            std::set<std::size_t> seen;
+            std::size_t min_size = total + 1, max_size = 0;
+            for (int i = 0; i < n; ++i) {
+                const auto cells = shard_cells(total, Shard{i, n});
+                min_size = std::min(min_size, cells.size());
+                max_size = std::max(max_size, cells.size());
+                for (const std::size_t c : cells) {
+                    EXPECT_LT(c, total);
+                    EXPECT_TRUE(seen.insert(c).second)
+                        << "cell " << c << " in two shards (n=" << n << ")";
+                }
+            }
+            EXPECT_EQ(seen.size(), total) << "n=" << n;
+            if (total > 0) EXPECT_LE(max_size - min_size, 1u) << "n=" << n;
+        }
+}
+
+// --- artifact store -----------------------------------------------------
+
+TEST(ArtifactStore, PutGetRoundTrip) {
+    ArtifactStore store(scratch_dir("store_rt"));
+    EXPECT_TRUE(store.enabled());
+    EXPECT_FALSE(store.get("tests", "key-a").has_value());
+    EXPECT_EQ(store.misses(), 1u);
+    store.put("tests", "key-a", "payload-a");
+    const auto back = store.get("tests", "key-a");
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, "payload-a");
+    EXPECT_EQ(store.hits(), 1u);
+    // Overwrite is allowed and atomic.
+    store.put("tests", "key-a", "payload-b");
+    EXPECT_EQ(store.get("tests", "key-a").value(), "payload-b");
+    // Same key, different kind = a different object.
+    EXPECT_FALSE(store.get("sim", "key-a").has_value());
+}
+
+TEST(ArtifactStore, DisabledStoreNeverHits) {
+    ArtifactStore store("");
+    EXPECT_FALSE(store.enabled());
+    store.put("tests", "k", "v");  // no-op, must not throw
+    EXPECT_FALSE(store.get("tests", "k").has_value());
+    EXPECT_EQ(store.writes(), 0u);
+}
+
+TEST(ArtifactStore, CorruptObjectIsDetectedNotServed) {
+    ArtifactStore store(scratch_dir("store_corrupt"));
+    store.put("cell", "the-key", "precious payload bytes");
+    const std::string path = store.object_path("cell", "the-key");
+    // Flip the last payload byte on disk.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary | std::ios::ate);
+        ASSERT_TRUE(f.is_open());
+        const auto size = static_cast<long long>(f.tellg());
+        f.seekp(size - 1);
+        f.put('X');
+    }
+    EXPECT_FALSE(store.get("cell", "the-key").has_value());
+    EXPECT_EQ(store.corrupt(), 1u);
+    // A rewrite repairs the entry.
+    store.put("cell", "the-key", "precious payload bytes");
+    EXPECT_EQ(store.get("cell", "the-key").value(),
+              "precious payload bytes");
+}
+
+TEST(ArtifactStore, TruncatedObjectIsAMiss) {
+    ArtifactStore store(scratch_dir("store_trunc"));
+    store.put("cell", "k", "0123456789");
+    fs::resize_file(store.object_path("cell", "k"), 5);
+    EXPECT_FALSE(store.get("cell", "k").has_value());
+}
+
+// --- end-to-end campaign cache guarantees -------------------------------
+
+CampaignOptions cached_options(const std::string& cache_dir) {
+    CampaignOptions opt;
+    opt.cache_dir = cache_dir;
+    return opt;
+}
+
+TEST(CampaignCache, ColdThenWarmAccounting) {
+    const CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    const std::string cache = scratch_dir("accounting");
+
+    const CampaignReport cold = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(cold.stats.cells_total, 4u);
+    EXPECT_EQ(cold.stats.cells_completed, 4u);
+    EXPECT_EQ(cold.stats.cell_hits, 0u);
+    EXPECT_EQ(cold.stats.cell_misses, 4u);
+    ASSERT_EQ(cold.cells.size(), 4u);
+    for (const CellResult& c : cold.cells) {
+        EXPECT_GT(c.stuck_faults, 0u);
+        EXPECT_GT(c.vector_count, 0u);
+        EXPECT_GT(c.t_curve.final(), 0.0);
+        EXPECT_TRUE(c.interruption.empty());
+    }
+
+    const CampaignReport warm = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(warm.stats.cell_hits, 4u);
+    EXPECT_EQ(warm.stats.cell_misses, 0u);
+    EXPECT_EQ(warm.stats.store_corrupt, 0u);
+    // The science reports are byte-identical; only accounting differs.
+    EXPECT_EQ(report_json(warm), report_json(cold));
+    EXPECT_EQ(report_csv(warm), report_csv(cold));
+}
+
+TEST(CampaignCache, TestsArtifactSharedAcrossRuleDecks) {
+    // Two cells differ only in the rule deck: the collapsed faults and the
+    // ATPG test set depend on (circuit, seed, atpg) but not on the rules,
+    // so the second cell's cold run reuses the first cell's artifacts.
+    const CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    const CampaignReport cold =
+        run_campaign(spec, cached_options(scratch_dir("xcell")));
+    EXPECT_EQ(cold.stats.cell_misses, 4u);
+    // 2 circuits x 2 rule decks: one tests miss + one tests hit each.
+    EXPECT_EQ(cold.stats.tests_misses, 2u);
+    EXPECT_EQ(cold.stats.tests_hits, 2u);
+    EXPECT_EQ(cold.stats.sim_hits, 0u);  // sim depends on the rules
+}
+
+TEST(CampaignCache, UncachedRunsMatchCachedContent) {
+    const CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    CampaignOptions uncached;  // no cache_dir at all
+    const CampaignReport a = run_campaign(spec, uncached);
+    const CampaignReport b =
+        run_campaign(spec, cached_options(scratch_dir("nocache_cmp")));
+    EXPECT_EQ(a.stats.cell_hits + a.stats.cell_misses, 0u);
+    EXPECT_EQ(report_json(a), report_json(b));
+}
+
+TEST(CampaignCache, ShardedRunsMergeToUnshardedReport) {
+    const CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    const std::string cache = scratch_dir("shardmerge");
+    const CampaignReport full = run_campaign(spec, cached_options(cache));
+
+    std::vector<CellResult> merged;
+    const std::string cache2 = scratch_dir("shardmerge2");
+    for (int i = 0; i < 2; ++i) {
+        CampaignOptions opt = cached_options(cache2);
+        opt.shard = Shard{i, 2};
+        const CampaignReport part = run_campaign(spec, opt);
+        EXPECT_EQ(part.stats.cells_selected, 2u);
+        merged.insert(merged.end(), part.cells.begin(), part.cells.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const CellResult& a, const CellResult& b) {
+                  return a.index < b.index;
+              });
+    CampaignReport assembled;
+    assembled.name = full.name;
+    assembled.cells = std::move(merged);
+    EXPECT_EQ(report_json(assembled), report_json(full));
+    EXPECT_EQ(report_csv(assembled), report_csv(full));
+}
+
+TEST(CampaignCache, CancelThenResumeIsByteIdentical) {
+    const CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+
+    // Reference: one uninterrupted run in its own cache.
+    const CampaignReport reference =
+        run_campaign(spec, cached_options(scratch_dir("resume_ref")));
+
+    // Interrupted run: request cancellation (through a copy of the shared
+    // token, as a watchdog thread would) once two cells have completed.
+    // The campaign checks the budget at cell boundaries, completes nothing
+    // further, and commits nothing for uncompleted work.
+    const std::string cache = scratch_dir("resume");
+    CampaignOptions opt = cached_options(cache);
+    support::CancelToken killswitch = opt.budget.cancel;  // shared flag
+    opt.progress = [&killswitch](std::string_view stage, std::size_t done,
+                                 std::size_t) {
+        if (stage == "campaign" && done == 2) killswitch.request();
+    };
+    const CampaignReport interrupted = run_campaign(spec, opt);
+    EXPECT_EQ(interrupted.stats.stop, support::StopReason::Cancelled);
+    EXPECT_EQ(interrupted.cells.size(), 2u);
+    EXPECT_EQ(interrupted.stats.cells_completed, 2u);
+
+    // Resume: same cache, fresh budget.  The first two cells are whole-cell
+    // hits; the rest compute now.  The report must match the uninterrupted
+    // reference byte for byte.
+    const CampaignReport resumed = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(resumed.stats.cell_hits, 2u);
+    EXPECT_EQ(resumed.stats.cell_misses, 2u);
+    EXPECT_EQ(resumed.cells.size(), 4u);
+    EXPECT_EQ(report_json(resumed), report_json(reference));
+    EXPECT_EQ(report_csv(resumed), report_csv(reference));
+}
+
+TEST(CampaignCache, CorruptedEntriesAreRecomputedAndRepaired) {
+    const CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    const std::string cache = scratch_dir("repair");
+    const CampaignReport cold = run_campaign(spec, cached_options(cache));
+
+    // Flip the last byte of every committed object.
+    std::size_t damaged = 0;
+    for (const auto& entry : fs::recursive_directory_iterator(cache)) {
+        if (!entry.is_regular_file()) continue;
+        std::fstream f(entry.path(), std::ios::in | std::ios::out |
+                                         std::ios::binary | std::ios::ate);
+        ASSERT_TRUE(f.is_open());
+        const auto size = static_cast<long long>(f.tellg());
+        f.seekg(size - 1);
+        const char last = static_cast<char>(f.get());
+        f.seekp(size - 1);
+        f.put(last == 'Z' ? 'z' : 'Z');
+        ++damaged;
+    }
+    ASSERT_GT(damaged, 0u);
+
+    // The warm run detects every corrupted object, recomputes, and matches
+    // the cold report byte for byte.
+    const CampaignReport repair = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(repair.stats.cell_hits, 0u);
+    EXPECT_GT(repair.stats.store_corrupt, 0u);
+    EXPECT_EQ(report_json(repair), report_json(cold));
+
+    // ...and the repaired cache serves the next run entirely from hits.
+    const CampaignReport healed = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(healed.stats.cell_hits, 4u);
+    EXPECT_EQ(healed.stats.store_corrupt, 0u);
+    EXPECT_EQ(report_json(healed), report_json(cold));
+}
+
+TEST(CampaignLint, BadCircuitFailsTheGateWithCellIdentity) {
+    // The PR 4 static-analysis gate runs per cell; a defective circuit
+    // aborts the campaign with the offending cell named in the error.
+    CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    spec.circuits = {std::string(DLPROJ_DATA_DIR) + "/bad_dangling.bench"};
+    try {
+        run_campaign(spec, {});
+        FAIL() << "expected the lint gate to reject the circuit";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("bad_dangling"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(CampaignBudget, VectorBudgetIsDeterministicConfigNotAnInterruption) {
+    // max_vectors caps every cell identically; it is part of the cache key
+    // and the stopped-early curves still cache and reproduce.
+    CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    spec.max_vectors = 8;
+    const std::string cache = scratch_dir("budget");
+    const CampaignReport a = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(a.stats.stop, support::StopReason::None);
+    for (const CellResult& c : a.cells) EXPECT_LE(c.vector_count, 8u);
+    const CampaignReport b = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(b.stats.cell_hits, 4u);
+    EXPECT_EQ(report_json(a), report_json(b));
+    // A different budget is a different cache key, not a stale hit.
+    CampaignSpec wider = spec;
+    wider.max_vectors = 0;
+    const CampaignReport c = run_campaign(wider, cached_options(cache));
+    EXPECT_EQ(c.stats.cell_hits, 0u);
+    EXPECT_NE(report_json(c), report_json(a));
+}
+
+}  // namespace
+}  // namespace dlp::campaign

@@ -453,5 +453,100 @@ TEST(Patterns, DeterministicAndFullWidth) {
     EXPECT_EQ(unique.size(), vs.size());
 }
 
+// --- Differential test: naive reference simulator vs PPSFP --------------
+//
+// An obviously-correct scalar simulator: for each fault, re-simulate the
+// whole circuit one vector at a time with the fault's line value forced,
+// and compare primary outputs against the good machine.  No pattern
+// packing, no fault dropping, no cone pruning — nothing shared with the
+// PPSFP implementation except the circuit IR.
+
+std::vector<bool> simulate_faulty_naive(const Circuit& c, const Vector& v,
+                                        const StuckAtFault& f) {
+    std::vector<std::uint64_t> value(c.gate_count(), 0);
+    std::size_t next_input = 0;
+    for (NetId id = 0; id < c.gate_count(); ++id) {
+        const netlist::Gate& g = c.gate(id);
+        if (g.type == GateType::Input) {
+            value[id] = v[next_input++] ? 1 : 0;
+        } else {
+            std::vector<std::uint64_t> fanin;
+            for (std::size_t pin = 0; pin < g.fanin.size(); ++pin) {
+                std::uint64_t bit = value[g.fanin[pin]] & 1;
+                if (!f.is_stem() && f.reader == id &&
+                    f.pin == static_cast<int>(pin))
+                    bit = f.stuck_value ? 1 : 0;
+                fanin.push_back(bit);
+            }
+            value[id] = netlist::eval_gate(g.type, fanin) & 1;
+        }
+        if (f.is_stem() && f.net == id) value[id] = f.stuck_value ? 1 : 0;
+    }
+    std::vector<bool> outs;
+    for (const NetId po : c.outputs()) outs.push_back(value[po] & 1);
+    return outs;
+}
+
+std::vector<int> run_reference_simulation(
+    const Circuit& c, std::span<const StuckAtFault> faults,
+    std::span<const Vector> vectors) {
+    std::vector<std::vector<bool>> good;
+    for (const Vector& v : vectors) {
+        const std::vector<bool> nets = simulate(c, v);
+        std::vector<bool> outs;
+        for (const NetId po : c.outputs()) outs.push_back(nets[po]);
+        good.push_back(std::move(outs));
+    }
+    std::vector<int> first(faults.size(), -1);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi)
+        for (std::size_t k = 0; k < vectors.size(); ++k)
+            if (simulate_faulty_naive(c, vectors[k], faults[fi]) != good[k]) {
+                first[fi] = static_cast<int>(k) + 1;
+                break;
+            }
+    return first;
+}
+
+void expect_ppsfp_matches_reference(const Circuit& c,
+                                    std::span<const Vector> vectors,
+                                    const char* what) {
+    const auto faults = full_fault_universe(c);
+    const auto reference = run_reference_simulation(c, faults, vectors);
+    const auto ppsfp = run_fault_simulation(c, faults, vectors);
+    ASSERT_EQ(reference.size(), ppsfp.size());
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        EXPECT_EQ(ppsfp[i], reference[i])
+            << what << ": fault " << fault_name(c, faults[i]);
+}
+
+TEST(FaultSimDifferential, C17MatchesNaiveReference) {
+    const Circuit c = build_c17();
+    RandomPatternGenerator rng(42);
+    expect_ppsfp_matches_reference(c, rng.vectors(c, 12), "c17");
+}
+
+TEST(FaultSimDifferential, RandomCircuitsMatchNaiveReference) {
+    // 100 seeded random c17-scale circuits, full (uncollapsed) fault
+    // universe, ~12 vectors each: every first-detection index must be
+    // bit-identical between the two simulators.
+    for (std::uint64_t trial = 0; trial < 100; ++trial) {
+        const Circuit c =
+            netlist::build_random_circuit(5, 8, /*seed=*/1000 + trial);
+        RandomPatternGenerator rng(trial);
+        expect_ppsfp_matches_reference(c, rng.vectors(c, 12),
+                                       c.name().c_str());
+    }
+}
+
+TEST(FaultSimDifferential, BlockBoundaryVectorCounts) {
+    // Vector counts straddling the 64-wide pattern block boundary, where
+    // lane masking bugs would live.
+    const Circuit c = netlist::build_random_circuit(5, 8, 7);
+    for (int n : {1, 63, 64, 65, 70}) {
+        RandomPatternGenerator rng(static_cast<std::uint64_t>(n));
+        expect_ppsfp_matches_reference(c, rng.vectors(c, n), "boundary");
+    }
+}
+
 }  // namespace
 }  // namespace dlp::gatesim

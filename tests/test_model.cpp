@@ -493,5 +493,121 @@ TEST(Stats, SummaryAndRegression) {
     EXPECT_GT(f.r_squared, 0.99);
 }
 
+// --- Property / metamorphic sweeps over the eq (11) model ---------------
+//
+// These complement the point checks above: instead of single known values
+// they assert structural invariants over a grid of (Y, R, theta_max)
+// parameterizations, which is what the campaign fit consumes.
+
+TEST(ProposedModelProperty, DlMonotoneNonIncreasingInCoverage) {
+    // More coverage can never ship more defects: DL(T) is non-increasing
+    // in T for every admissible parameterization.
+    for (double y : {1e-6, 0.01, 0.25, 0.5, 0.75, 0.9, 0.999, 1.0})
+        for (double r : {1.0, 1.5, 3.0, 8.0, 20.0})
+            for (double tm : {0.1, 0.5, 0.9, 1.0}) {
+                const ProposedModel m{y, r, tm};
+                double prev = std::numeric_limits<double>::infinity();
+                for (int k = 0; k <= 50; ++k) {
+                    const double t = k / 50.0;
+                    const double dl = m.dl(t);
+                    EXPECT_LE(dl, prev + 1e-15)
+                        << "Y=" << y << " R=" << r << " tm=" << tm
+                        << " T=" << t;
+                    prev = dl;
+                }
+            }
+}
+
+TEST(ProposedModelProperty, ThetaMonotoneAndBoundedByThetaMax) {
+    for (double r : {1.0, 2.0, 6.0, 15.0})
+        for (double tm : {0.2, 0.7, 1.0}) {
+            const ProposedModel m{0.5, r, tm};
+            double prev = -1.0;
+            for (int k = 0; k <= 40; ++k) {
+                const double t = k / 40.0;
+                const double th = m.theta_of_coverage(t);
+                EXPECT_GE(th, prev - 1e-15);
+                EXPECT_GE(th, 0.0);
+                EXPECT_LE(th, tm + 1e-15);
+                prev = th;
+            }
+            EXPECT_DOUBLE_EQ(m.theta_of_coverage(0.0), 0.0);
+            EXPECT_NEAR(m.theta_of_coverage(1.0), tm, 1e-12);
+        }
+}
+
+TEST(ProposedModelProperty, CollapsesToWilliamsBrownAtUnitParameters) {
+    // R = 1, theta_max = 1 must reduce eq (11) exactly to eq (1), on a
+    // dense T grid and across the yield range.
+    for (double y : {1e-4, 0.1, 0.5, 0.75, 0.99, 1.0}) {
+        const ProposedModel m{y, 1.0, 1.0};
+        for (int k = 0; k <= 100; ++k) {
+            const double t = k / 100.0;
+            EXPECT_NEAR(m.dl(t), williams_brown_dl(y, t), 1e-13)
+                << "Y=" << y << " T=" << t;
+        }
+        EXPECT_DOUBLE_EQ(m.residual_dl(), 0.0);
+    }
+}
+
+TEST(ProposedModelProperty, BoundaryCoverageIsClampedAndFinite) {
+    // T = 0 and T = 1 are exactly the no-test and full-test limits; both
+    // must be finite, in [0,1], and NaN-free even at extreme yields.
+    for (double y : {1e-12, 1e-6, 0.5, 1.0 - 1e-12, 1.0})
+        for (double r : {1.0, 4.0, 50.0})
+            for (double tm : {1e-6, 0.5, 1.0}) {
+                const ProposedModel m{y, r, tm};
+                for (double t : {0.0, 1.0}) {
+                    const double dl = m.dl(t);
+                    EXPECT_FALSE(std::isnan(dl));
+                    EXPECT_GE(dl, 0.0);
+                    EXPECT_LE(dl, 1.0);
+                }
+                EXPECT_NEAR(m.dl(0.0), 1.0 - std::pow(y, 1.0), 1e-12);
+                EXPECT_NEAR(m.dl(1.0), m.residual_dl(), 1e-12);
+            }
+}
+
+TEST(ProposedModelProperty, DlBracketedByResidualAndNoTestLevels) {
+    // For any T, residual_dl() <= DL(T) <= DL(0) = 1 - Y.
+    for (double y : {0.3, 0.8})
+        for (double r : {2.0, 10.0}) {
+            const ProposedModel m{y, r, 0.8};
+            const double lo = m.residual_dl();
+            const double hi = m.dl(0.0);
+            for (int k = 0; k <= 20; ++k) {
+                const double dl = m.dl(k / 20.0);
+                EXPECT_GE(dl, lo - 1e-15);
+                EXPECT_LE(dl, hi + 1e-15);
+            }
+        }
+}
+
+TEST(ProposedModelProperty, RequiredCoverageInvertsDl) {
+    const ProposedModel m{0.75, 4.0, 0.9};
+    for (double t : {0.05, 0.3, 0.6, 0.95}) {
+        const double dl = m.dl(t);
+        EXPECT_NEAR(m.dl(m.required_coverage(dl)), dl, 1e-9);
+    }
+    // A target below the residual floor is unreachable.
+    EXPECT_THROW(m.required_coverage(m.residual_dl() * 0.5),
+                 std::domain_error);
+}
+
+TEST(ProposedModelProperty, HigherSusceptibilityCoversFasterEverywhere) {
+    // Metamorphic: raising R (realistic faults easier to catch) can only
+    // lower DL at every interior coverage point, all else equal.
+    const double y = 0.6, tm = 0.95;
+    for (int k = 1; k < 20; ++k) {
+        const double t = k / 20.0;
+        double prev = std::numeric_limits<double>::infinity();
+        for (double r : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+            const double dl = ProposedModel{y, r, tm}.dl(t);
+            EXPECT_LT(dl, prev);
+            prev = dl;
+        }
+    }
+}
+
 }  // namespace
 }  // namespace dlp::model

@@ -1,0 +1,195 @@
+// dlproj_campaign: batched experiment campaigns over a declarative grid
+// (circuits × rule decks × seeds × ATPG configs), backed by the
+// content-addressed artifact cache in src/campaign.
+//
+//   dlproj_campaign [options] <spec.campaign>
+//
+//   --cache-dir=PATH  artifact cache root (default: $DLPROJ_CACHE, else
+//                     the cache is disabled)
+//   --no-cache        disable the artifact cache for this run
+//   --shard=I/N       run only shard I of a deterministic N-way partition
+//                     of the grid (CI fan-out); reports stay mergeable
+//   --json=PATH       write the JSON report to PATH ("-" = stdout, the
+//                     default when neither --json nor --csv is given)
+//   --csv=PATH        write the CSV report to PATH ("-" = stdout)
+//   --stats=PATH      write cache/run accounting JSON (with wall_ms) to
+//                     PATH ("-" = stderr summary is always printed)
+//   --threads=N       worker count within each cell (0 = default)
+//   --max-vectors=N   override the spec's per-cell vector budget
+//   --list            print the grid cells (index, identity) and exit
+//   --quiet           suppress the stderr progress/summary lines
+//
+// Exit status: 0 success, 1 campaign failure (lint gate, bad inputs),
+// 2 usage or I/O error.  A run stopped by DLPROJ_DEADLINE_MS-style
+// budgets exits 0 with the stop recorded in the stats document.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "campaign/report.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+#include "campaign/store.h"
+#include "flow/report.h"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " [--cache-dir=PATH] [--no-cache] [--shard=I/N]"
+                 " [--json=PATH] [--csv=PATH] [--stats=PATH] [--threads=N]"
+                 " [--max-vectors=N] [--list] [--quiet] <spec.campaign>\n";
+    return 2;
+}
+
+void emit(const std::string& path, const std::string& contents) {
+    if (path == "-")
+        std::cout << contents;
+    else
+        dlp::flow::write_file(path, contents);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace dlp;
+
+    std::string cache_dir = campaign::env_cache_dir();
+    bool no_cache = false;
+    bool list = false;
+    bool quiet = false;
+    std::string json_path;
+    std::string csv_path;
+    std::string stats_path;
+    std::string spec_path;
+    campaign::Shard shard;
+    int threads = 0;
+    long long max_vectors = -1;  // <0: keep the spec's value
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char* flag) {
+            return arg.substr(std::strlen(flag));
+        };
+        try {
+            if (arg.rfind("--cache-dir=", 0) == 0)
+                cache_dir = value("--cache-dir=");
+            else if (arg == "--no-cache")
+                no_cache = true;
+            else if (arg.rfind("--shard=", 0) == 0)
+                shard = campaign::parse_shard(value("--shard="));
+            else if (arg.rfind("--json=", 0) == 0)
+                json_path = value("--json=");
+            else if (arg.rfind("--csv=", 0) == 0)
+                csv_path = value("--csv=");
+            else if (arg.rfind("--stats=", 0) == 0)
+                stats_path = value("--stats=");
+            else if (arg.rfind("--threads=", 0) == 0)
+                threads = std::stoi(value("--threads="));
+            else if (arg.rfind("--max-vectors=", 0) == 0)
+                max_vectors = std::stoll(value("--max-vectors="));
+            else if (arg == "--list")
+                list = true;
+            else if (arg == "--quiet")
+                quiet = true;
+            else if (arg.rfind("--", 0) == 0) {
+                std::cerr << argv[0] << ": unknown option " << arg << "\n";
+                return usage(argv[0]);
+            } else if (spec_path.empty())
+                spec_path = arg;
+            else {
+                std::cerr << argv[0] << ": extra argument " << arg << "\n";
+                return usage(argv[0]);
+            }
+        } catch (const std::exception& e) {
+            std::cerr << argv[0] << ": bad value in " << arg << ": "
+                      << e.what() << "\n";
+            return usage(argv[0]);
+        }
+    }
+    if (spec_path.empty()) return usage(argv[0]);
+
+    campaign::CampaignSpec spec;
+    try {
+        spec = campaign::load_campaign_spec(spec_path);
+    } catch (const std::exception& e) {
+        std::cerr << argv[0] << ": " << e.what() << "\n";
+        return 2;
+    }
+    if (max_vectors >= 0) spec.max_vectors = max_vectors;
+
+    if (list) {
+        for (std::size_t i = 0; i < spec.cell_count(); ++i) {
+            const campaign::Cell c = campaign::cell_at(spec, i);
+            std::cout << i << " " << c.circuit << " " << c.rules << " seed="
+                      << c.seed << " atpg=" << c.atpg << "\n";
+        }
+        return 0;
+    }
+
+    campaign::CampaignOptions opt;
+    opt.cache_dir = cache_dir;
+    opt.use_cache = !no_cache && !cache_dir.empty();
+    opt.shard = shard;
+    opt.parallel.threads = threads;
+    if (!quiet)
+        opt.progress = [](std::string_view stage, std::size_t done,
+                          std::size_t total) {
+            if (stage == "campaign")
+                std::cerr << "campaign: " << done << "/" << total
+                          << " cells\n";
+        };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    campaign::CampaignReport report;
+    try {
+        report = campaign::run_campaign(spec, opt);
+    } catch (const std::exception& e) {
+        std::cerr << argv[0] << ": " << e.what() << "\n";
+        return 1;
+    }
+    const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+    try {
+        if (json_path.empty() && csv_path.empty()) json_path = "-";
+        if (!json_path.empty())
+            emit(json_path, campaign::report_json(report));
+        if (!csv_path.empty()) emit(csv_path, campaign::report_csv(report));
+        if (!stats_path.empty()) {
+            // Splice wall_ms into the accounting document (the library
+            // keeps timing out of its deterministic output on purpose).
+            std::string stats = campaign::stats_json(report.stats);
+            const std::string needle = "{\n";
+            stats.insert(needle.size(), "  \"wall_ms\": " +
+                                            std::to_string(wall_ms) + ",\n");
+            emit(stats_path, stats);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << argv[0] << ": " << e.what() << "\n";
+        return 2;
+    }
+
+    if (!quiet) {
+        const auto& s = report.stats;
+        std::cerr << "campaign '" << report.name << "': " << s.cells_completed
+                  << "/" << s.cells_selected << " cells (of "
+                  << s.cells_total << " in the grid), cache " << s.cell_hits
+                  << " hit / " << s.cell_misses << " miss";
+        if (s.tests_hits || s.sim_hits || s.faults_hits)
+            std::cerr << " (stage hits: " << s.tests_hits << " tests, "
+                      << s.sim_hits << " sim, " << s.faults_hits
+                      << " faults)";
+        if (s.store_corrupt)
+            std::cerr << ", " << s.store_corrupt << " corrupt object(s)";
+        std::cerr << ", " << wall_ms << " ms";
+        if (s.stop != dlp::support::StopReason::None)
+            std::cerr << ", stopped: "
+                      << dlp::support::stop_reason_name(s.stop);
+        std::cerr << "\n";
+    }
+    return 0;
+}
