@@ -1,17 +1,26 @@
 // Throughput benchmarks (google-benchmark): gate-level PPSFP, switch-level
 // solve, PODEM, extraction.  After the registered benchmarks run, a directly
-// timed telemetry-enabled pass of both fault simulators writes
-// BENCH_faultsim.json (throughput, wall time, thread count, counters) to the
-// working directory so the perf trajectory accumulates machine-readably.
+// timed telemetry-enabled pass writes BENCH_faultsim.json to the working
+// directory so the perf trajectory accumulates machine-readably: one row per
+// (engine, circuit) over the synthetic corpus (c432 plus the committed
+// data/synth_*.bench generator settings), each with a speedup_vs_serial
+// normalized by items/s so the levelized >= 10x acceptance bar reads off
+// directly (scripts/bench_faultsim.sh enforces it).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "atpg/generate.h"
 #include "bench_util.h"
 #include "extract/extractor.h"
 #include "flow/experiment.h"
+#include "gatesim/engine.h"
+#include "gatesim/levelized.h"
 #include "gatesim/patterns.h"
 #include "layout/place_route.h"
 #include "netlist/builders.h"
@@ -50,6 +59,29 @@ BENCHMARK(BM_GateLevelFaultSim)
     ->Args({256, 2})
     ->Args({256, 4})
     ->Args({256, 8})
+    ->UseRealTime();
+
+// Same workload through the levelized engine, for an interactive
+// side-by-side with BM_GateLevelFaultSim at equal args.
+void BM_GateLevelLevelized(benchmark::State& state) {
+    const auto& c = mapped_c432();
+    const auto faults =
+        gatesim::collapse_faults(c, gatesim::full_fault_universe(c));
+    gatesim::RandomPatternGenerator rng(1);
+    const auto vectors = rng.vectors(c, static_cast<int>(state.range(0)));
+    const parallel::ParallelOptions par{static_cast<int>(state.range(1))};
+    const sim::Engine& eng = sim::engine("levelized");
+    for (auto _ : state) {
+        auto session = eng.open(c, faults, par);
+        session->apply(vectors);
+        benchmark::DoNotOptimize(session->coverage());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            static_cast<long>(faults.size()));
+}
+BENCHMARK(BM_GateLevelLevelized)
+    ->Args({64, 1})
+    ->Args({256, 1})
     ->UseRealTime();
 
 void BM_SwitchLevelGoodSim(benchmark::State& state) {
@@ -130,9 +162,97 @@ BENCHMARK(BM_SwitchLevelFaultSim)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-// One telemetry-enabled pass of each fault simulator, directly timed.
-// The counters land in the JSON alongside throughput, so a regression can
-// be attributed (fewer blocks? more faults remaining?) without a rerun.
+// One (engine, circuit) fault-sim pass, directly timed; best of `reps`.
+struct EngineRow {
+    std::string circuit;
+    std::size_t gates = 0;
+    std::string engine;
+    int vectors = 0;
+    std::size_t faults = 0;
+    double wall_s = 0.0;
+    double items_per_s = 0.0;
+    double speedup_vs_serial = 0.0;  // items/s ratio; serial row == 1.
+};
+
+EngineRow time_engine(const std::string& circuit_name,
+                      const netlist::Circuit& c, std::string_view engine_name,
+                      int vectors, int reps) {
+    using clock = std::chrono::steady_clock;
+    const auto faults =
+        gatesim::collapse_faults(c, gatesim::full_fault_universe(c));
+    gatesim::RandomPatternGenerator rng(1);
+    const auto vecs = rng.vectors(c, vectors);
+    const sim::Engine& eng = sim::engine(engine_name);
+
+    EngineRow row;
+    row.circuit = circuit_name;
+    row.gates = gatesim::levelize(c).logic_gate_count();
+    row.engine = engine_name;
+    row.vectors = vectors;
+    row.faults = faults.size();
+    row.wall_s = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = clock::now();
+        auto session = eng.open(c, faults);
+        session->apply(vecs);
+        benchmark::DoNotOptimize(session->detected_count());
+        const double secs =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        row.wall_s = std::min(row.wall_s, secs);
+    }
+    row.items_per_s = static_cast<double>(vectors) *
+                      static_cast<double>(faults.size()) / row.wall_s;
+    std::fprintf(stderr, "[bench] %-9s %-9s %5d vec  %.4fs\n",
+                 circuit_name.c_str(), row.engine.c_str(), vectors,
+                 row.wall_s);
+    return row;
+}
+
+// The per-engine grid over the synthetic corpus.  The synth circuits are
+// regenerated from the same (inputs, gates, seed) settings as the committed
+// data/synth_*.bench fixtures, so the rows name the fixtures without the
+// bench needing a source-tree path.  The naive oracle only runs on the
+// smallest circuit with a reduced vector count (it is O(faults x vectors x
+// gates) scalar work, there to calibrate the scale, not to race).
+std::vector<EngineRow> engine_grid() {
+    struct Workload {
+        std::string name;
+        netlist::Circuit circuit;
+        int vectors;
+        bool naive_too;
+    };
+    std::vector<Workload> loads;
+    loads.push_back({"c432", mapped_c432(), 256, true});
+    loads.push_back(
+        {"synth_2k", netlist::build_random_circuit(64, 2000, 42), 256, false});
+    loads.push_back(
+        {"synth_5k", netlist::build_random_circuit(96, 5000, 7), 256, false});
+    loads.push_back({"synth_10k", netlist::build_random_circuit(128, 10000, 11),
+                     256, false});
+
+    std::vector<EngineRow> rows;
+    for (const auto& w : loads) {
+        const int reps = w.name == "c432" ? 3 : 1;
+        if (w.naive_too)
+            rows.push_back(time_engine(w.name, w.circuit, "naive", 64, 1));
+        const std::size_t serial_at = rows.size();
+        rows.push_back(
+            time_engine(w.name, w.circuit, "serial", w.vectors, reps));
+        rows.push_back(
+            time_engine(w.name, w.circuit, "ppsfp", w.vectors, reps));
+        rows.push_back(
+            time_engine(w.name, w.circuit, "levelized", w.vectors, reps));
+        const double serial_ips = rows[serial_at].items_per_s;
+        for (std::size_t i = rows.size() - (w.naive_too ? 4 : 3);
+             i < rows.size(); ++i)
+            rows[i].speedup_vs_serial = rows[i].items_per_s / serial_ips;
+    }
+    return rows;
+}
+
+// Telemetry-enabled passes, directly timed.  The counters land in the JSON
+// alongside throughput, so a regression can be attributed (fewer blocks?
+// more faults remaining?) without a rerun.
 void write_bench_json() {
     using clock = std::chrono::steady_clock;
     const auto secs_since = [](clock::time_point t0) {
@@ -141,6 +261,8 @@ void write_bench_json() {
     dlp::obs::set_enabled(true);
     dlp::obs::reset();
     const int threads = parallel::resolve_threads(0);
+
+    const std::vector<EngineRow> rows = engine_grid();
 
     const auto& c = mapped_c432();
     const auto faults =
@@ -182,9 +304,28 @@ void write_bench_json() {
         "\"wall_s\": %.6f, \"items_per_s\": %.0f},\n",
         threads, faults.size(), gate_secs, gate_items / gate_secs,
         fsim.faults().size(), sw_secs, sw_items / sw_secs);
+
+    // One row per line so scripts/bench_faultsim.sh can grep/sed them.
+    std::string engines = "  \"engines\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const EngineRow& r = rows[i];
+        char line[512];
+        std::snprintf(
+            line, sizeof line,
+            "    {\"circuit\": \"%s\", \"gates\": %zu, \"engine\": \"%s\", "
+            "\"vectors\": %d, \"faults\": %zu, \"wall_s\": %.6f, "
+            "\"items_per_s\": %.0f, \"speedup_vs_serial\": %.2f}%s\n",
+            r.circuit.c_str(), r.gates, r.engine.c_str(), r.vectors, r.faults,
+            r.wall_s, r.items_per_s, r.speedup_vs_serial,
+            i + 1 < rows.size() ? "," : "");
+        engines += line;
+    }
+    engines += "  ],\n";
+
     const std::string path = "BENCH_faultsim.json";
     if (dlp::bench::write_file(
-            path, head + dlp::bench::telemetry_json_fields() + "\n}\n"))
+            path,
+            head + engines + dlp::bench::telemetry_json_fields() + "\n}\n"))
         std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
     else
         std::fprintf(stderr, "[bench] failed to write %s\n", path.c_str());

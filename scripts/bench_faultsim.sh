@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_faultsim.json (written to the repo root) via the
+# perf_faultsim harness: one row per (engine, circuit) over the synthetic
+# corpus, each with items/s and a speedup_vs_serial.  The acceptance bar for
+# the levelized engine is >= 10x the serial engine on a >= 2k-gate synthetic
+# circuit; this script enforces it so CI catches a regression.
+#
+# Usage: scripts/bench_faultsim.sh [path/to/perf_faultsim]
+set -eu
+root=$(cd "$(dirname "$0")/.." && pwd)
+
+BIN=${1:-$root/build/bench/perf_faultsim}
+[ -x "$BIN" ] || { echo "bench_faultsim: $BIN not built" >&2; exit 1; }
+
+# The registered google-benchmarks are the interactive view; the JSON
+# emitter runs after them regardless of the filter, so skip them here.
+cd "$root"
+"$BIN" --benchmark_filter='^$' >/dev/null
+
+[ -f BENCH_faultsim.json ] || {
+    echo "bench_faultsim: BENCH_faultsim.json not written" >&2; exit 1; }
+
+# Best levelized speedup over the synthetic (>= 2k-gate) circuits.  The
+# emitter writes one engine row per line, so line-oriented tools suffice.
+best=$(grep '"engine": "levelized"' BENCH_faultsim.json \
+    | grep '"circuit": "synth_' \
+    | sed 's/.*"speedup_vs_serial": \([0-9.]*\).*/\1/' \
+    | sort -g | tail -1)
+[ -n "$best" ] || {
+    echo "bench_faultsim: no levelized synth rows in BENCH_faultsim.json" >&2
+    exit 1
+}
+
+grep -E '"(engine|circuit)"' BENCH_faultsim.json || true
+awk -v b="$best" 'BEGIN { exit !(b >= 10.0) }' || {
+    echo "bench_faultsim: levelized speedup ${best}x < 10x on the" \
+         "synthetic corpus" >&2
+    exit 1
+}
+echo "bench_faultsim OK (levelized ${best}x vs serial)"

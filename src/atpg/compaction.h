@@ -10,7 +10,9 @@
 // the vector adjacency that two-pattern (transition) tests rely on.
 #pragma once
 
-#include "gatesim/fault_sim.h"
+#include <string_view>
+
+#include "gatesim/engine.h"
 
 namespace dlp::atpg {
 
@@ -20,9 +22,11 @@ struct CompactionResult {
     std::size_t kept = 0;
 };
 
+/// `engine` selects the grading fault-sim engine (sim::resolve_engine
+/// semantics: "" = DLPROJ_ENGINE, else the registry default).
 CompactionResult compact_reverse(
     const netlist::Circuit& circuit,
     std::span<const gatesim::StuckAtFault> faults,
-    std::span<const gatesim::Vector> vectors);
+    std::span<const gatesim::Vector> vectors, std::string_view engine = {});
 
 }  // namespace dlp::atpg

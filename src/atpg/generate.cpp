@@ -27,7 +27,10 @@ TestGenResult generate_test_set(const Circuit& circuit,
                                 std::vector<StuckAtFault> faults,
                                 const TestGenOptions& options) {
     TestGenResult result;
-    gatesim::FaultSimulator sim(circuit, std::move(faults), options.parallel);
+    const std::unique_ptr<sim::Session> session =
+        sim::resolve_engine(options.engine)
+            .open(circuit, std::move(faults), options.parallel);
+    sim::Session& sim = *session;
     gatesim::RandomPatternGenerator rng(options.seed);
     const support::RunBudget& budget = options.budget;
     const int backtrack_limit = budget.atpg_backtracks > 0

@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "atpg/podem.h"
-#include "gatesim/fault_sim.h"
+#include "gatesim/engine.h"
 #include "parallel/parallel_for.h"
 #include "support/cancel.h"
 
@@ -19,7 +21,10 @@ struct TestGenOptions {
     int stale_blocks = 4;      ///< stop random phase after this many barren batches
     std::uint64_t seed = 1;
     int backtrack_limit = 4096;
-    /// Worker count for the embedded PPSFP fault simulation (0 = default).
+    /// Fault-sim engine for the embedded grading (sim::resolve_engine:
+    /// "" = DLPROJ_ENGINE, else the registry default).
+    std::string engine;
+    /// Worker count for the embedded fault simulation (0 = default).
     parallel::ParallelOptions parallel;
     /// Bounded-execution limits.  The cancel token / deadline are checked
     /// between random blocks, between target faults, and at every PODEM

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "extract/rules_parser.h"
+#include "gatesim/engine.h"
 #include "netlist/bench_parser.h"
 #include "netlist/builders.h"
 
@@ -161,7 +162,11 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
                 spec.weighted = parse_bool(value, line);
             else if (key == "lint")
                 spec.lint = parse_bool(value, line);
-            else
+            else if (key == "engine") {
+                if (!sim::find_engine(value))
+                    fail(line, "unknown engine '" + value + "'");
+                spec.engine = value;
+            } else
                 fail(line, "unknown [campaign] key '" + key + "'");
         } else if (section == "grid") {
             if (key == "circuits")

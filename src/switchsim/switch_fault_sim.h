@@ -22,8 +22,10 @@
 // path for any worker count.
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "gatesim/engine.h"
 #include "parallel/parallel_for.h"
 #include "parallel/progress.h"
 #include "support/cancel.h"
@@ -40,7 +42,7 @@ struct WeightedFault {
     std::string name;
 };
 
-class SwitchFaultSimulator {
+class SwitchFaultSimulator final : public sim::SwitchSession {
 public:
     SwitchFaultSimulator(const SwitchSim& sim,
                          std::vector<WeightedFault> faults,
@@ -52,7 +54,7 @@ public:
     }
     /// Observer called after each simulated vector batch (stage
     /// "switch-sim", done/total in vectors), from the coordinating thread.
-    void set_progress(parallel::ProgressFn progress) {
+    void set_progress(parallel::ProgressFn progress) override {
         progress_ = std::move(progress);
     }
 
@@ -66,17 +68,21 @@ public:
     /// indices, charge-retention divergence, coverage curves) is a
     /// bit-identical prefix of the unbounded run's.
     support::ApplyResult apply(std::span<const Vector> vectors,
-                               const support::RunBudget& budget);
+                               const support::RunBudget& budget) override;
 
     std::span<const WeightedFault> faults() const { return faults_; }
-    std::span<const int> first_detected_at() const { return detected_at_; }
+    std::span<const int> first_detected_at() const override {
+        return detected_at_;
+    }
 
     /// First vector at which an IDDQ (quiescent current) measurement flags
     /// the fault: a bridge whose shorted nets are driven to opposite values
     /// conducts statically and raises IDDQ, independent of any logic flip.
     /// Opens have no current signature (-1).  This implements the paper's
     /// conclusion that current testing must complement voltage testing.
-    std::span<const int> iddq_detected_at() const { return iddq_at_; }
+    std::span<const int> iddq_detected_at() const override {
+        return iddq_at_;
+    }
 
     int vectors_applied() const { return vectors_applied_; }
 
@@ -85,11 +91,11 @@ public:
     double unweighted_coverage() const;  ///< Gamma after all vectors
 
     /// theta(k) for k = 1..vectors_applied().
-    std::vector<double> weighted_coverage_curve() const;
+    std::vector<double> weighted_coverage_curve() const override;
     /// Gamma(k) for k = 1..vectors_applied().
-    std::vector<double> unweighted_coverage_curve() const;
+    std::vector<double> unweighted_coverage_curve() const override;
     /// theta(k) when voltage and IDDQ detection are combined.
-    std::vector<double> weighted_coverage_curve_with_iddq() const;
+    std::vector<double> weighted_coverage_curve_with_iddq() const override;
 
 private:
     struct PerFault {
@@ -129,5 +135,15 @@ private:
     parallel::ParallelOptions parallel_;
     parallel::ProgressFn progress_;
 };
+
+/// Opens the switch-level session for `engine`.  Every registered engine
+/// currently shares the one sparse-divergence implementation above (the
+/// engines differ at the gate level only), but the flow goes through this
+/// seam so simulator construction happens in exactly one place and a future
+/// engine can specialize the switch-level path.
+std::unique_ptr<sim::SwitchSession> open_switch_session(
+    const sim::Engine& engine, const SwitchSim& sim,
+    std::vector<WeightedFault> faults,
+    parallel::ParallelOptions parallel = {});
 
 }  // namespace dlp::switchsim

@@ -14,6 +14,11 @@
 //   --csv=PATH        write the CSV report to PATH ("-" = stdout)
 //   --stats=PATH      write cache/run accounting JSON (with wall_ms) to
 //                     PATH ("-" = stderr summary is always printed)
+//   --engine=NAME     fault-sim engine for every cell, overriding the
+//                     spec's `engine =` key (naive, serial, ppsfp,
+//                     levelized; default: $DLPROJ_ENGINE, else levelized).
+//                     Engines are bit-identical — this is a performance
+//                     knob and never affects results or cache keys
 //   --threads=N       worker count within each cell (0 = default)
 //   --max-vectors=N   override the spec's per-cell vector budget
 //   --list            print the grid cells (index, identity) and exit
@@ -33,14 +38,16 @@
 #include "campaign/spec.h"
 #include "campaign/store.h"
 #include "flow/report.h"
+#include "gatesim/engine.h"
 
 namespace {
 
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--cache-dir=PATH] [--no-cache] [--shard=I/N]"
-                 " [--json=PATH] [--csv=PATH] [--stats=PATH] [--threads=N]"
-                 " [--max-vectors=N] [--list] [--quiet] <spec.campaign>\n";
+                 " [--json=PATH] [--csv=PATH] [--stats=PATH] [--engine=NAME]"
+                 " [--threads=N] [--max-vectors=N] [--list] [--quiet]"
+                 " <spec.campaign>\n";
     return 2;
 }
 
@@ -64,6 +71,7 @@ int main(int argc, char** argv) {
     std::string csv_path;
     std::string stats_path;
     std::string spec_path;
+    std::string engine;
     campaign::Shard shard;
     int threads = 0;
     long long max_vectors = -1;  // <0: keep the spec's value
@@ -86,6 +94,8 @@ int main(int argc, char** argv) {
                 csv_path = value("--csv=");
             else if (arg.rfind("--stats=", 0) == 0)
                 stats_path = value("--stats=");
+            else if (arg.rfind("--engine=", 0) == 0)
+                engine = value("--engine=");
             else if (arg.rfind("--threads=", 0) == 0)
                 threads = std::stoi(value("--threads="));
             else if (arg.rfind("--max-vectors=", 0) == 0)
@@ -129,10 +139,19 @@ int main(int argc, char** argv) {
         return 0;
     }
 
+    if (!engine.empty() && !dlp::sim::find_engine(engine)) {
+        std::cerr << argv[0] << ": unknown engine '" << engine
+                  << "' (registered:";
+        for (const auto n : dlp::sim::engine_names()) std::cerr << " " << n;
+        std::cerr << ")\n";
+        return 2;
+    }
+
     campaign::CampaignOptions opt;
     opt.cache_dir = cache_dir;
     opt.use_cache = !no_cache && !cache_dir.empty();
     opt.shard = shard;
+    opt.engine = engine;
     opt.parallel.threads = threads;
     if (!quiet)
         opt.progress = [](std::string_view stage, std::size_t done,
