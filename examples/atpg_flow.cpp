@@ -3,13 +3,14 @@
 // faults, and the Williams test-length law fitted to the random phase.
 #include <cmath>
 #include <cstdio>
+#include <exception>
 
 #include "atpg/generate.h"
 #include "model/coverage_laws.h"
 #include "netlist/builders.h"
 #include "netlist/techmap.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
     using namespace dlp;
 
     // Pick a workload: default c432, or an N-bit adder via "adder N".
@@ -60,4 +61,9 @@ int main(int argc, char** argv) {
                     std::log(law.susceptibility), law.vectors_for(0.99));
     }
     return 0;
+} catch (const std::exception& e) {
+    // Misconfiguration (e.g. a garbage DLPROJ_* value) diagnoses cleanly
+    // instead of aborting through an unhandled exception.
+    std::fprintf(stderr, "atpg_flow: %s\n", e.what());
+    return 2;
 }

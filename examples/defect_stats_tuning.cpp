@@ -4,12 +4,13 @@
 // candidate profiles by how well their simulated fallout matches.
 #include <cmath>
 #include <cstdio>
+#include <exception>
 
 #include "extract/rules_parser.h"
 #include "flow/experiment.h"
 #include "netlist/builders.h"
 
-int main() {
+int main() try {
     using namespace dlp;
 
     const auto run = [](const extract::DefectStatistics& stats) {
@@ -69,4 +70,7 @@ int main() {
                 "measured curve comes from the tester and the candidates "
                 "from assumed line statistics.\n", best);
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "defect_stats_tuning: %s\n", e.what());
+    return 2;
 }

@@ -9,6 +9,7 @@
 //   dl_projection_c432 out/   ->  out/curves.csv, out/weights.csv,
 //                                 out/c432_layout.svg, out/summary.txt
 #include <cstdio>
+#include <exception>
 #include <string>
 
 #include "flow/experiment.h"
@@ -18,7 +19,7 @@
 #include "netlist/builders.h"
 #include "obs/telemetry.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
     using namespace dlp;
 
     flow::ExperimentOptions opt;
@@ -88,4 +89,7 @@ int main(int argc, char** argv) {
     if (obs::enabled())
         std::fprintf(stderr, "\n%s", obs::summary_text().c_str());
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "dl_projection_c432: %s\n", e.what());
+    return 2;
 }

@@ -5,12 +5,13 @@
 // Williams-Brown equation, then with the proposed model once you know your
 // process's susceptibility ratio R and test-method ceiling theta_max.
 #include <cstdio>
+#include <exception>
 
 #include "flow/experiment.h"
 #include "model/dl_models.h"
 #include "netlist/builders.h"
 
-int main() {
+int main() try {
     using namespace dlp::model;
 
     const double yield = 0.75;
@@ -56,4 +57,7 @@ int main() {
                 "%zu warnings, %zu infos, %zu suppressed\n",
                 lint.errors, lint.warnings, lint.infos, lint.suppressed);
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 2;
 }

@@ -1,10 +1,15 @@
 #include "campaign/store.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/telemetry.h"
 
@@ -70,6 +75,36 @@ std::string render_object(std::string_view kind, std::string_view key,
     return out.str();
 }
 
+/// The parsed object header; `body` is the offset of the key bytes.
+struct ObjectHeader {
+    std::string kind;
+    std::size_t key_bytes = 0;
+    std::size_t payload_bytes = 0;
+    std::string payload_hash;
+    std::size_t body = 0;
+};
+
+/// Parses the line-oriented header; false on any structural defect
+/// (including a body whose size disagrees with the declared lengths).
+bool parse_header(const std::string& bytes, ObjectHeader& h) {
+    std::istringstream in(bytes);
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic) return false;
+    std::string word;
+    if (!(in >> word >> h.kind) || word != "kind") return false;
+    if (!(in >> word >> h.key_bytes) || word != "key-bytes") return false;
+    if (!(in >> word >> h.payload_bytes) || word != "payload-bytes")
+        return false;
+    if (!(in >> word >> h.payload_hash) || word != "payload-hash")
+        return false;
+    if (!std::getline(in, line)) return false;  // eat newline
+    if (!std::getline(in, line) || line != "--") return false;
+    const std::streampos pos = in.tellg();
+    if (pos < 0) return false;
+    h.body = static_cast<std::size_t>(pos);
+    return bytes.size() - h.body == h.key_bytes + h.payload_bytes;
+}
+
 /// Parses and verifies an object; returns the payload or nullopt when the
 /// object is malformed, of another kind/key, or fails its payload hash.
 std::optional<std::string> parse_object(const std::string& bytes,
@@ -77,37 +112,36 @@ std::optional<std::string> parse_object(const std::string& bytes,
                                         std::string_view key,
                                         bool& corrupt) {
     corrupt = true;  // every early-out below is a corruption/foreignness
-    std::istringstream in(bytes);
-    std::string line;
-    if (!std::getline(in, line) || line != kMagic) return std::nullopt;
-    std::string word, k;
-    std::size_t key_bytes = 0, payload_bytes = 0;
-    std::string payload_hash;
-    if (!(in >> word >> k) || word != "kind") return std::nullopt;
-    if (!(in >> word >> key_bytes) || word != "key-bytes") return std::nullopt;
-    if (!(in >> word >> payload_bytes) || word != "payload-bytes")
-        return std::nullopt;
-    if (!(in >> word >> payload_hash) || word != "payload-hash")
-        return std::nullopt;
-    if (!std::getline(in, line)) return std::nullopt;  // eat newline
-    if (!std::getline(in, line) || line != "--") return std::nullopt;
-    const std::streampos pos = in.tellg();
-    if (pos < 0) return std::nullopt;
-    const auto body = static_cast<std::size_t>(pos);
-    if (bytes.size() - body != key_bytes + payload_bytes) return std::nullopt;
-    const std::string_view stored_key(bytes.data() + body, key_bytes);
-    if (k != kind || stored_key != key) {
+    ObjectHeader h;
+    if (!parse_header(bytes, h)) return std::nullopt;
+    const std::string_view stored_key(bytes.data() + h.body, h.key_bytes);
+    if (h.kind != kind || stored_key != key) {
         // A different key with the same hash: not corruption, just a miss.
         corrupt = false;
         return std::nullopt;
     }
-    std::string payload = bytes.substr(body + key_bytes, payload_bytes);
-    if (hex64(fnv1a64(payload)) != payload_hash) return std::nullopt;
+    std::string payload = bytes.substr(h.body + h.key_bytes, h.payload_bytes);
+    if (hex64(fnv1a64(payload)) != h.payload_hash) return std::nullopt;
     corrupt = false;
     return payload;
 }
 
+std::string read_file_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
 }  // namespace
+
+bool verify_object_bytes(const std::string& bytes) {
+    ObjectHeader h;
+    if (!parse_header(bytes, h)) return false;
+    const std::string payload =
+        bytes.substr(h.body + h.key_bytes, h.payload_bytes);
+    return hex64(fnv1a64(payload)) == h.payload_hash;
+}
 
 std::optional<std::string> ArtifactStore::get(std::string_view kind,
                                               std::string_view key) {
@@ -143,6 +177,18 @@ std::optional<std::string> ArtifactStore::get(std::string_view kind,
     return std::nullopt;
 }
 
+void ArtifactStore::journal_append(const std::string& record) {
+    // One open-append-close per record: puts happen at stage boundaries
+    // (a handful per cell), and append mode keeps concurrent processes'
+    // records from interleaving mid-line on POSIX filesystems.
+    const std::string wal = root_ + "/journal.wal";
+    std::ofstream out(wal, std::ios::binary | std::ios::app);
+    if (!out) throw std::runtime_error("cannot open journal " + wal);
+    out << record;
+    out.flush();
+    if (!out) throw std::runtime_error("journal write failed: " + wal);
+}
+
 void ArtifactStore::put(std::string_view kind, std::string_view key,
                         std::string_view payload) {
     if (!enabled()) return;
@@ -154,20 +200,126 @@ void ArtifactStore::put(std::string_view kind, std::string_view key,
         throw std::runtime_error("cannot create cache directory " +
                                  target.parent_path().string() + ": " +
                                  ec.message());
-    // Temp-then-rename keeps commits atomic on POSIX filesystems.
-    const std::string tmp = path + ".tmp";
+    // Temp-then-rename keeps commits atomic on POSIX filesystems.  The
+    // temp name carries pid + sequence so concurrent writers of the same
+    // object never tear each other's temp file, and recovery can identify
+    // abandoned ones.  The sequence is process-wide, not per-instance:
+    // two store instances in one process (service worker threads) writing
+    // the same object must not collide on the temp name, and the journal
+    // pairs I/C records by (pid, seq) so the tag must be unique per
+    // process too.
+    static std::atomic<std::uint64_t> process_seq{0};
+    const std::uint64_t seq =
+        process_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::string tag =
+        std::to_string(::getpid()) + " " + std::to_string(seq);
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                            "." + std::to_string(seq);
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) throw std::runtime_error("cannot open " + tmp);
         out << render_object(kind, key, payload);
         if (!out) throw std::runtime_error("write failed: " + tmp);
     }
+    // Intent record before the rename, commit record after: a SIGKILL
+    // anywhere in between leaves an unpaired intent for recover_store().
+    const std::string rel =
+        fs::path(path).lexically_relative(fs::path(root_) / "objects")
+            .generic_string();
+    journal_append("I " + tag + " " + rel + "\n");
     fs::rename(tmp, target, ec);
     if (ec) throw std::runtime_error("cannot commit " + path + ": " +
                                      ec.message());
+    journal_append("C " + tag + "\n");
     ++writes_;
     DLP_OBS_COUNTER(c_write, "campaign.store.write");
     DLP_OBS_ADD(c_write, 1);
+}
+
+std::string recovery_summary(const RecoveryReport& r) {
+    if (r.intents == 0 && r.stale_tmps == 0) return "store journal clean";
+    std::ostringstream out;
+    out << "store recovery: " << r.intents << " journaled intent(s), "
+        << r.unpaired << " unpaired, " << r.verified << " verified intact, "
+        << r.quarantined << " torn object(s) quarantined, " << r.stale_tmps
+        << " stale temp file(s) removed";
+    return out.str();
+}
+
+RecoveryReport recover_store(const std::string& root) {
+    RecoveryReport rep;
+    if (root.empty()) return rep;
+    const fs::path objects = fs::path(root) / "objects";
+    const std::string wal = root + "/journal.wal";
+
+    // 1. Replay the journal: pair I/C records by (pid, seq); what remains
+    //    are commits a crash may have torn.
+    std::map<std::pair<std::string, std::string>, std::string> open_intents;
+    if (fs::exists(wal)) {
+        std::ifstream in(wal, std::ios::binary);
+        std::string line;
+        while (std::getline(in, line)) {
+            std::istringstream ls(line);
+            std::string op, pid, seq;
+            if (!(ls >> op >> pid >> seq)) continue;  // torn final line
+            if (op == "I") {
+                std::string rel;
+                if (!(ls >> rel)) continue;
+                ++rep.intents;
+                open_intents[{pid, seq}] = rel;
+            } else if (op == "C") {
+                open_intents.erase({pid, seq});
+            }
+        }
+    }
+    rep.unpaired = open_intents.size();
+    for (const auto& [id, rel] : open_intents) {
+        const fs::path obj = objects / rel;
+        std::error_code ec;
+        if (!fs::exists(obj, ec)) continue;  // crashed before the rename
+        if (verify_object_bytes(read_file_bytes(obj.string()))) {
+            ++rep.verified;  // rename completed; only the C record is lost
+            continue;
+        }
+        // Torn object: move it aside (never delete — it is evidence), so
+        // the next lookup misses and recomputes.
+        const fs::path qdir = fs::path(root) / "quarantine";
+        fs::create_directories(qdir, ec);
+        if (ec)
+            throw std::runtime_error("cannot create " + qdir.string() +
+                                     ": " + ec.message());
+        std::string qname = obj.filename().string();
+        fs::path qpath = qdir / qname;
+        for (int n = 1; fs::exists(qpath); ++n)
+            qpath = qdir / (qname + "." + std::to_string(n));
+        fs::rename(obj, qpath, ec);
+        if (ec)
+            throw std::runtime_error("cannot quarantine " + obj.string() +
+                                     ": " + ec.message());
+        ++rep.quarantined;
+    }
+
+    // 2. Sweep abandoned temp files (a crash between the temp write and
+    //    the rename, or a pre-journal ".tmp" from an older layout).
+    if (fs::exists(objects)) {
+        for (auto it = fs::recursive_directory_iterator(objects);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file()) continue;
+            const std::string name = it->path().filename().string();
+            if (name.find(".tmp") == std::string::npos) continue;
+            std::error_code ec;
+            fs::remove(it->path(), ec);
+            if (!ec) ++rep.stale_tmps;
+        }
+    }
+
+    // 3. Truncate the journal: everything above has been settled.
+    if (fs::exists(wal)) {
+        std::ofstream trunc(wal, std::ios::binary | std::ios::trunc);
+        if (!trunc)
+            throw std::runtime_error("cannot truncate journal " + wal);
+    }
+    return rep;
 }
 
 }  // namespace dlp::campaign

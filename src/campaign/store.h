@@ -10,10 +10,20 @@
 // is detected on read, counted, and treated as a miss so the artifact is
 // recomputed and rewritten.
 //
-// Commits are atomic: objects are written to a temp file in the same
-// directory and renamed into place, so a campaign killed mid-write never
-// leaves a half-committed object behind, and an interrupted campaign
+// Commits are atomic: objects are written to a unique temp file in the
+// same directory and renamed into place, so a campaign killed mid-write
+// never leaves a half-committed object behind, and an interrupted campaign
 // resumes from the last committed artifact.
+//
+// Crash-safe sessions: every put() additionally journals its intent to
+// <root>/journal.wal (an "I <pid> <seq> <object>" line flushed *before*
+// the rename, paired with a "C <pid> <seq>" line after).  A process
+// SIGKILLed anywhere in the commit window leaves an unpaired intent;
+// recover_store() replays the journal on the next start, verifies every
+// object an unpaired intent touches, quarantines torn ones (moved to
+// <root>/quarantine/, never deleted — they are evidence), sweeps abandoned
+// temp files, and truncates the journal.  Recovery must run while no other
+// process is writing the store (daemon startup, CLI startup).
 //
 // Object layout: <root>/objects/<hh>/<hash16>-<kind>  where <hh> is the
 // first hex byte of the key hash (fan-out), <hash16> the full 64-bit key
@@ -71,11 +81,40 @@ public:
     std::size_t writes() const { return writes_; }
 
 private:
+    void journal_append(const std::string& record);
+
     std::string root_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
     std::size_t corrupt_ = 0;
     std::size_t writes_ = 0;
 };
+
+/// What recover_store() found and fixed.
+struct RecoveryReport {
+    std::size_t intents = 0;      ///< journal intent records examined
+    std::size_t unpaired = 0;     ///< intents with no matching commit
+    std::size_t verified = 0;     ///< objects behind unpaired intents that
+                                  ///< passed the full integrity check
+    std::size_t quarantined = 0;  ///< torn objects moved to quarantine/
+    std::size_t stale_tmps = 0;   ///< abandoned temp files removed
+    bool clean() const { return quarantined == 0 && stale_tmps == 0; }
+};
+
+/// Human-readable one-line summary ("journal clean" / what was healed).
+std::string recovery_summary(const RecoveryReport& report);
+
+/// Replays the write-ahead journal of the store at `root` and self-heals
+/// the crash window: verifies objects behind unpaired intents, moves torn
+/// objects to <root>/quarantine/, removes stale "*.tmp.*" temp files under
+/// objects/, and truncates the journal.  Safe on a missing or journal-less
+/// root (returns an all-zero report).  Must not run concurrently with a
+/// writer on the same root.  Throws std::runtime_error on I/O failure.
+RecoveryReport recover_store(const std::string& root);
+
+/// Integrity check used by recovery and tests: true iff `bytes` is a
+/// complete, self-consistent artifact object (magic, header, sizes,
+/// payload hash) — no expected key needed.
+bool verify_object_bytes(const std::string& bytes);
 
 }  // namespace dlp::campaign

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "atpg/scoap.h"
+#include "support/env.h"
 
 namespace dlp::lint {
 
@@ -458,12 +459,9 @@ LintReport make_report(const DiagnosticEngine& engine) {
 }
 
 bool lint_enabled_from_env() {
-    const char* v = std::getenv("DLPROJ_LINT");
-    if (v == nullptr) return true;
-    std::string s(v);
-    for (char& c : s)
-        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    return !(s == "0" || s == "off" || s == "false");
+    // Recognized off-spellings disable the gate; garbage ("fale", "-1")
+    // throws support::EnvError instead of silently leaving the gate on.
+    return support::env_flag("DLPROJ_LINT", true);
 }
 
 }  // namespace dlp::lint

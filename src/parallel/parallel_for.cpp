@@ -1,13 +1,13 @@
 #include "parallel/parallel_for.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
+#include "support/env.h"
 
 namespace dlp::parallel {
 
@@ -20,13 +20,13 @@ thread_local int tl_scoped_threads = 0;
 constexpr int kMaxThreads = 256;
 
 int env_threads() {
-    static const int cached = [] {
-        const char* e = std::getenv("DLPROJ_THREADS");
-        if (!e) return 0;
-        const int v = std::atoi(e);
-        return v > 0 ? v : 0;
-    }();
-    return cached;
+    // Not cached: a getenv + strtoll per parallel_for entry is noise
+    // against the loop body, and it lets tests toggle the knob between
+    // runs.  Garbage, negative, or > kMaxThreads values throw
+    // support::EnvError instead of silently running with the default
+    // worker count (0 = unset = use hardware_concurrency).
+    return static_cast<int>(
+        support::env_int("DLPROJ_THREADS", 0, 0, kMaxThreads));
 }
 
 }  // namespace

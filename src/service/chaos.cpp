@@ -1,0 +1,135 @@
+#include "service/chaos.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace dlp::service {
+
+namespace {
+
+constexpr int kPollMs = 20;
+constexpr std::size_t kChunk = 4096;
+
+/// xorshift64* [0, 1) — deterministic per stream, no global state.
+double next_uniform(std::uint64_t& state) {
+    std::uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return static_cast<double>((x * 2685821657736338717ull) >> 11) /
+           static_cast<double>(1ull << 53);
+}
+
+}  // namespace
+
+FaultProxy::FaultProxy(ChaosConfig config) : config_(std::move(config)) {}
+
+FaultProxy::~FaultProxy() { stop(); }
+
+void FaultProxy::start() {
+    stopping_.store(false, std::memory_order_relaxed);
+    listen_ = unix_listen(config_.listen_path, 64);
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void FaultProxy::stop() {
+    stopping_.store(true, std::memory_order_relaxed);
+    if (acceptor_.joinable()) acceptor_.join();
+    listen_.reset();
+    std::vector<std::thread> pumps;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        pumps.swap(pumps_);
+    }
+    for (std::thread& t : pumps) t.join();
+    if (!config_.listen_path.empty())
+        ::unlink(config_.listen_path.c_str());
+}
+
+void FaultProxy::accept_loop() {
+    std::uint64_t accept_seed =
+        0x9E3779B97F4A7C15ull ^ (static_cast<std::uint64_t>(config_.seed));
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        Fd client = accept_one(listen_.get(), kPollMs);
+        if (!client.valid()) continue;
+        const std::size_t index =
+            connections_.fetch_add(1, std::memory_order_relaxed);
+        if (next_uniform(accept_seed) < config_.refuse_p) {
+            faults_.fetch_add(1, std::memory_order_relaxed);
+            continue;  // closing the fd refuses the conversation
+        }
+        Fd server;
+        try {
+            server = unix_connect(config_.target_path);
+        } catch (const WireError&) {
+            continue;  // daemon down: client sees an immediate close
+        }
+        const std::uint64_t stream_seed =
+            (static_cast<std::uint64_t>(config_.seed) << 32) ^
+            (index * 0x9E3779B97F4A7C15ull) ^ 1;
+        std::lock_guard<std::mutex> lock(mu_);
+        pumps_.emplace_back([this, c = std::move(client),
+                             s = std::move(server), stream_seed]() mutable {
+            pump(std::move(c), std::move(s), stream_seed);
+        });
+    }
+}
+
+void FaultProxy::pump(Fd client, Fd server, std::uint64_t stream_seed) {
+    std::uint64_t rng = stream_seed;
+    char buf[kChunk];
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        struct pollfd fds[2];
+        fds[0] = {client.get(), POLLIN, 0};
+        fds[1] = {server.get(), POLLIN, 0};
+        const int rc = ::poll(fds, 2, kPollMs);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            return;
+        }
+        if (rc == 0) continue;
+        for (int side = 0; side < 2; ++side) {
+            if (!(fds[side].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+            const int from = side == 0 ? client.get() : server.get();
+            const int to = side == 0 ? server.get() : client.get();
+            const ssize_t n = ::recv(from, buf, sizeof buf, 0);
+            if (n <= 0) return;  // EOF or error: sever both directions
+            std::size_t forward = static_cast<std::size_t>(n);
+            bool sever = false;
+            if (next_uniform(rng) < config_.drop_p) {
+                faults_.fetch_add(1, std::memory_order_relaxed);
+                return;  // drop the chunk and the connection
+            }
+            if (next_uniform(rng) < config_.truncate_p) {
+                faults_.fetch_add(1, std::memory_order_relaxed);
+                forward = static_cast<std::size_t>(
+                    next_uniform(rng) * static_cast<double>(forward));
+                sever = true;
+            }
+            if (next_uniform(rng) < config_.delay_p) {
+                faults_.fetch_add(1, std::memory_order_relaxed);
+                const auto ms = static_cast<long long>(
+                    next_uniform(rng) *
+                    static_cast<double>(config_.delay_ms_max));
+                std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+            }
+            std::size_t sent = 0;
+            while (sent < forward) {
+                const ssize_t w = ::send(to, buf + sent, forward - sent,
+                                         MSG_NOSIGNAL);
+                if (w < 0) {
+                    if (errno == EINTR) continue;
+                    return;
+                }
+                sent += static_cast<std::size_t>(w);
+            }
+            if (sever) return;
+        }
+    }
+}
+
+}  // namespace dlp::service

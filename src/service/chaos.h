@@ -1,0 +1,64 @@
+// Fault-injection proxy for the service soak harness: sits between
+// clients and the daemon on a second unix socket and mistreats the byte
+// stream on purpose — refused connections, mid-stream drops, truncated
+// forwards, and injected delays, all deterministic in the seed.
+//
+// The proxy is transport-level on purpose: it never parses frames, so its
+// faults land at arbitrary byte positions — exactly the torn-header /
+// torn-body cases the wire layer must classify as truncation and the
+// client retry loop must absorb.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/wire.h"
+
+namespace dlp::service {
+
+struct ChaosConfig {
+    std::string listen_path;  ///< clients connect here
+    std::string target_path;  ///< the real daemon socket
+    std::uint32_t seed = 1;
+    // Per-event probabilities (evaluated independently, in this order).
+    double refuse_p = 0.0;    ///< accept, then close without forwarding
+    double drop_p = 0.0;      ///< per chunk: sever both directions
+    double truncate_p = 0.0;  ///< per chunk: forward a prefix, then sever
+    double delay_p = 0.0;     ///< per chunk: sleep before forwarding
+    int delay_ms_max = 10;    ///< max injected delay per chunk
+};
+
+class FaultProxy {
+public:
+    explicit FaultProxy(ChaosConfig config);
+    ~FaultProxy();  ///< stop()s
+
+    void start();
+    void stop();
+
+    std::size_t connections() const {
+        return connections_.load(std::memory_order_relaxed);
+    }
+    std::size_t faults_injected() const {
+        return faults_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void accept_loop();
+    void pump(Fd client, Fd server, std::uint64_t stream_seed);
+
+    ChaosConfig config_;
+    Fd listen_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> connections_{0};
+    std::atomic<std::size_t> faults_{0};
+    std::thread acceptor_;
+    std::mutex mu_;
+    std::vector<std::thread> pumps_;
+};
+
+}  // namespace dlp::service

@@ -1,0 +1,133 @@
+#include "service/client.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "campaign/store.h"  // fnv1a64/hex64
+#include "obs/telemetry.h"
+#include "service/wire.h"
+
+namespace dlp::service {
+
+std::string derive_idempotency_key(const Request& request) {
+    static std::atomic<std::uint64_t> counter{0};
+    // Content hash x process identity: retries of the *same* call share
+    // the key; distinct calls (even with identical content) do not,
+    // because each call_service() invocation derives exactly once.
+    const std::uint64_t content = campaign::fnv1a64(request_json(request));
+    const std::uint64_t salt =
+        campaign::fnv1a64("pid " + std::to_string(::getpid()) + " n " +
+                          std::to_string(counter.fetch_add(1)));
+    return "auto-" + campaign::hex64(content ^ salt);
+}
+
+namespace {
+
+/// One attempt: connect, send, drain progress frames, return the result
+/// reply.  Throws WireError/ProtocolError on transport/protocol failure.
+Reply attempt_once(const Request& request, const ClientOptions& options) {
+    Fd conn = unix_connect(options.socket_path);
+    // A failed request write is not yet a failed attempt: an overloaded
+    // server sheds *before reading the payload* and closes, so our write
+    // can die on EPIPE while the shed frame (with its retry-after hint)
+    // is already sitting in the receive buffer.  Hold the error, try to
+    // read anyway, and re-throw only if no reply is there either.
+    bool write_failed = false;
+    std::string write_error;
+    try {
+        write_frame(conn.get(), request_json(request), options.io_timeout_ms);
+    } catch (const WireError& e) {
+        write_failed = true;
+        write_error = e.what();
+    }
+    while (true) {
+        std::string payload;
+        bool got = false;
+        try {
+            got = read_frame(conn.get(), payload, options.io_timeout_ms);
+        } catch (const WireError&) {
+            if (write_failed) throw WireError(write_error);
+            throw;
+        }
+        if (!got) {
+            if (write_failed) throw WireError(write_error);
+            throw WireError("server closed before sending a result");
+        }
+        Reply reply = parse_reply(payload);
+        if (reply.event == "progress") {
+            if (options.on_progress)
+                options.on_progress(reply.stage, reply.done, reply.total);
+            continue;
+        }
+        return reply;
+    }
+}
+
+}  // namespace
+
+CallResult call_service(Request request, const ClientOptions& options) {
+    if (options.socket_path.empty())
+        throw std::invalid_argument("call_service: empty socket path");
+    const bool retryable =
+        options.max_attempts > 1 || options.retry_on_shed;
+    if (request.idempotency_key.empty() && retryable &&
+        (request.op == Op::Project || request.op == Op::Campaign))
+        request.idempotency_key = derive_idempotency_key(request);
+
+    DLP_OBS_COUNTER(c_retry, "service.client.retries");
+    support::Backoff backoff(options.backoff);
+    const int attempts_max = std::max(1, options.max_attempts);
+    CallResult result;
+    std::string last_error = "no attempt made";
+    long long floor_ms = 0;
+    for (int attempt = 0; attempt < attempts_max; ++attempt) {
+        if (attempt > 0) {
+            DLP_OBS_ADD(c_retry, 1);
+            const long long delay = backoff.next_ms(floor_ms);
+            if (options.sleep_fn)
+                options.sleep_fn(delay);
+            else
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+        }
+        ++result.attempts;
+        Reply reply;
+        try {
+            reply = attempt_once(request, options);
+        } catch (const std::exception& e) {
+            // Connect refused/absent, timeout, truncated frame, garbage
+            // payload: the transport failed, the request may or may not
+            // have executed — exactly what the idempotency key is for.
+            last_error = e.what();
+            floor_ms = 0;
+            continue;
+        }
+        result.status = reply.status;
+        result.stop = reply.stop;
+        result.error = reply.error;
+        result.body = reply.body;
+        result.stats = reply.stats;
+        result.raw = reply.raw;
+        result.retry_after_ms = reply.retry_after_ms;
+        if (reply.status == "shed" && options.retry_on_shed) {
+            // Honor the server's backpressure hint as a delay floor.
+            floor_ms = reply.retry_after_ms;
+            last_error = "shed: " + reply.error;
+            continue;
+        }
+        return result;
+    }
+    if (result.status.empty() || result.status == "shed") {
+        if (result.status.empty()) {
+            result.status = "unreachable";
+            result.error = last_error;
+        }
+    }
+    return result;
+}
+
+}  // namespace dlp::service

@@ -1,0 +1,65 @@
+// Client side of the campaign projection service: connect, send one
+// request, collect progress events and the result — wrapped in a retry
+// loop that survives a flaky transport and an overloaded server.
+//
+// Retry policy:
+//   * connect failures and torn replies (WireError mid-stream) retry with
+//     exponential backoff + deterministic jitter (support/backoff.h);
+//   * "shed" results retry too, honoring the server's retry_after_ms as a
+//     floor for the next delay;
+//   * "ok" / "cancelled" / "error" results and protocol violations are
+//     final — retrying a malformed request cannot fix it.
+// Every retried request carries an idempotency key (auto-derived from the
+// request content when the caller sets none), so a retry whose
+// predecessor actually executed replays the stored response instead of
+// re-running the campaign.  Obs counter: service.client.retries.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "service/protocol.h"
+#include "support/backoff.h"
+
+namespace dlp::service {
+
+struct ClientOptions {
+    std::string socket_path;
+    int max_attempts = 5;          ///< total tries (first + retries)
+    int io_timeout_ms = 30000;     ///< per-frame read/write bound
+    support::BackoffOptions backoff;
+    bool retry_on_shed = true;     ///< false: report shed to the caller
+    /// Progress observer (stage, done, total), invoked on the calling
+    /// thread as event frames arrive.
+    std::function<void(const std::string&, std::size_t, std::size_t)>
+        on_progress;
+    /// Test seam: invoked with the computed delay instead of sleeping.
+    std::function<void(long long)> sleep_fn;
+};
+
+struct CallResult {
+    /// "ok" | "cancelled" | "shed" | "error" | "unreachable".
+    /// "unreachable": every attempt failed at the transport layer.
+    std::string status;
+    std::string stop;            ///< cancelled: stop reason
+    std::string error;           ///< error/unreachable/shed diagnostic
+    std::string body;            ///< report document (re-rendered JSON)
+    std::string stats;           ///< accounting document
+    std::string raw;             ///< verbatim result-frame payload
+    long long retry_after_ms = 0;
+    int attempts = 0;            ///< connection attempts consumed
+
+    bool ok() const { return status == "ok"; }
+};
+
+/// Derives a stable idempotency key from the request content (used when
+/// the caller leaves Request::idempotency_key empty, salted per process
+/// so two unrelated client processes never collide).
+std::string derive_idempotency_key(const Request& request);
+
+/// Executes one request against the service.  Never throws for transport
+/// or server-side failures — those come back in CallResult; throws only
+/// on caller bugs (empty socket path).
+CallResult call_service(Request request, const ClientOptions& options);
+
+}  // namespace dlp::service

@@ -1,0 +1,175 @@
+#include "service/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/protocol.h"
+
+namespace dlp::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw WireError(what + ": " + std::strerror(errno));
+}
+
+/// Blocks until `fd` is ready for `events` or `timeout_ms` passes.
+/// Returns false on timeout; throws on poll error or socket error/hangup
+/// when waiting to read would never succeed.
+bool wait_ready(int fd, short events, int timeout_ms) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    while (true) {
+        const int rc = ::poll(&p, 1, timeout_ms);
+        if (rc > 0) return true;  // readable/writable OR error/hup: let the
+                                  // actual recv/send surface the condition
+        if (rc == 0) return false;
+        if (errno == EINTR) continue;
+        throw_errno("poll");
+    }
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+}
+
+int Fd::release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+void Fd::reset(int fd) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+}
+
+Fd unix_listen(const std::string& path, int backlog) {
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw WireError("socket path too long: " + path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) throw_errno("socket");
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());  // a stale socket file from a crashed daemon
+    if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof addr) != 0)
+        throw_errno("bind " + path);
+    if (::listen(fd.get(), backlog) != 0) throw_errno("listen " + path);
+    return fd;
+}
+
+Fd unix_connect(const std::string& path) {
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw WireError("socket path too long: " + path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) throw_errno("socket");
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof addr) != 0)
+        throw_errno("connect " + path);
+    return fd;
+}
+
+Fd accept_one(int listen_fd, int timeout_ms) {
+    if (!wait_ready(listen_fd, POLLIN, timeout_ms)) return Fd();
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK || errno == EINVAL)
+            return Fd();  // EINVAL: listener shut down during drain
+        throw_errno("accept");
+    }
+    return Fd(fd);
+}
+
+namespace {
+
+/// Reads exactly `n` bytes.  Returns the count read before a clean EOF
+/// (== n on success); throws on timeout or socket error.
+std::size_t read_exact(int fd, char* buf, std::size_t n, int timeout_ms) {
+    std::size_t got = 0;
+    while (got < n) {
+        if (!wait_ready(fd, POLLIN, timeout_ms))
+            throw WireError("read timeout after " +
+                            std::to_string(timeout_ms) + " ms");
+        const ssize_t rc = ::recv(fd, buf + got, n - got, 0);
+        if (rc > 0) {
+            got += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc == 0) return got;  // EOF
+        if (errno == EINTR) continue;
+        throw_errno("recv");
+    }
+    return got;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload, int timeout_ms) {
+    unsigned char header[kFrameHeader];
+    const std::size_t got =
+        read_exact(fd, reinterpret_cast<char*>(header), kFrameHeader,
+                   timeout_ms);
+    if (got == 0) return false;  // clean close between frames
+    if (got < kFrameHeader)
+        throw WireError("truncated frame header (" + std::to_string(got) +
+                        " of " + std::to_string(kFrameHeader) + " bytes)");
+    std::uint32_t n = 0;
+    try {
+        n = decode_frame_header(header);
+    } catch (const std::exception& e) {
+        throw WireError(e.what());
+    }
+    payload.resize(n);
+    if (n == 0) return true;
+    const std::size_t body = read_exact(fd, payload.data(), n, timeout_ms);
+    if (body < n)
+        throw WireError("truncated frame body (" + std::to_string(body) +
+                        " of " + std::to_string(n) + " bytes)");
+    return true;
+}
+
+void write_frame(int fd, std::string_view payload, int timeout_ms) {
+    if (payload.size() > kMaxFrame)
+        throw WireError("frame payload too large: " +
+                        std::to_string(payload.size()));
+    const std::string header =
+        encode_frame_header(static_cast<std::uint32_t>(payload.size()));
+    std::string buf;
+    buf.reserve(header.size() + payload.size());
+    buf += header;
+    buf += payload;
+    std::size_t sent = 0;
+    while (sent < buf.size()) {
+        if (!wait_ready(fd, POLLOUT, timeout_ms))
+            throw WireError("write timeout after " +
+                            std::to_string(timeout_ms) + " ms");
+        const ssize_t rc =
+            ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+        if (rc >= 0) {
+            sent += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        throw_errno("send");
+    }
+}
+
+}  // namespace dlp::service

@@ -1,0 +1,68 @@
+// POSIX plumbing for the service protocol: unix-domain sockets and timed,
+// truncation-detecting frame I/O.
+//
+// Every read and write runs under a poll() timeout so a stalled or
+// byzantine peer (the fault-injection proxy delays, drops, and truncates
+// traffic on purpose) can never wedge a worker thread: the call throws
+// WireError and the connection is abandoned.  A clean EOF before the
+// first header byte is a normal close; EOF anywhere else is a truncated
+// frame and throws.  All writes use MSG_NOSIGNAL — a dead peer surfaces
+// as EPIPE, never SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dlp::service {
+
+class WireError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Owning fd wrapper (move-only).
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    Fd(Fd&& other) noexcept : fd_(other.release()) {}
+    Fd& operator=(Fd&& other) noexcept;
+    ~Fd() { reset(); }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int release();
+    void reset(int fd = -1);
+
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+private:
+    int fd_ = -1;
+};
+
+/// Binds and listens on a unix-domain socket, unlinking a stale socket
+/// file first.  Throws WireError (path too long, bind/listen failure).
+Fd unix_listen(const std::string& path, int backlog);
+
+/// Connects to a unix-domain socket; throws WireError on failure (the
+/// message distinguishes "absent" from "refused" for retry decisions).
+Fd unix_connect(const std::string& path);
+
+/// Accepts one connection; -1 (invalid Fd) when `timeout_ms` elapses or
+/// the listener was shut down.  Throws WireError on a hard accept error.
+Fd accept_one(int listen_fd, int timeout_ms);
+
+/// Reads one complete frame into `payload`.
+///   true  = a frame arrived;
+///   false = the peer closed cleanly before any header byte.
+/// Throws WireError on timeout, mid-frame EOF (truncation), an oversize
+/// length prefix, or a socket error.
+bool read_frame(int fd, std::string& payload, int timeout_ms);
+
+/// Writes one complete frame; throws WireError on timeout or error.
+void write_frame(int fd, std::string_view payload, int timeout_ms);
+
+}  // namespace dlp::service

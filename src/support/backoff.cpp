@@ -1,0 +1,43 @@
+#include "support/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlp::support {
+
+Backoff::Backoff(BackoffOptions options)
+    : options_(options), state_(options.seed ? options.seed : 1) {
+    if (options_.initial_ms < 0) options_.initial_ms = 0;
+    if (options_.max_ms < options_.initial_ms)
+        options_.max_ms = options_.initial_ms;
+    if (options_.factor < 1.0) options_.factor = 1.0;
+    options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+}
+
+std::uint64_t Backoff::next_random() {
+    // xorshift64* — tiny, seedable, good enough for jitter.
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 2685821657736338717ull;
+}
+
+long long Backoff::next_ms(long long floor_ms) {
+    const double base =
+        static_cast<double>(options_.initial_ms) *
+        std::pow(options_.factor, static_cast<double>(attempts_));
+    ++attempts_;
+    double delay = std::min(base, static_cast<double>(options_.max_ms));
+    if (options_.jitter > 0.0) {
+        // Uniform in [-jitter, +jitter] of the base delay.
+        const double u = static_cast<double>(next_random() >> 11) /
+                         static_cast<double>(1ull << 53);  // [0, 1)
+        delay *= 1.0 + options_.jitter * (2.0 * u - 1.0);
+    }
+    const auto ms = static_cast<long long>(delay);
+    return std::max({ms, floor_ms, 0ll});
+}
+
+}  // namespace dlp::support

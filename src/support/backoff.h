@@ -1,0 +1,49 @@
+// Retry pacing for clients of overloadable services: exponential backoff
+// with deterministic, seeded jitter.
+//
+// Jitter is essential (synchronized retries from N clients re-create the
+// very overload spike that shed them), but wall-clock randomness would
+// break test reproducibility, so the jitter stream is a seeded xorshift —
+// two Backoff instances with the same seed produce the same delay
+// sequence.  A server-provided retry-after hint acts as a floor for the
+// next delay, never a ceiling: the server knows how long its queue is, the
+// client knows how often it has been rebuffed.
+#pragma once
+
+#include <cstdint>
+
+namespace dlp::support {
+
+struct BackoffOptions {
+    long long initial_ms = 10;   ///< first delay
+    long long max_ms = 2000;     ///< delay ceiling
+    double factor = 2.0;         ///< growth per attempt
+    double jitter = 0.25;        ///< +/- fraction of the base delay
+    std::uint64_t seed = 1;      ///< jitter stream seed
+};
+
+class Backoff {
+public:
+    explicit Backoff(BackoffOptions options = {});
+
+    /// Delay before the next attempt, advancing the schedule.  `floor_ms`
+    /// (e.g. a shed reply's retry-after hint) raises the result but never
+    /// lowers it.  Always >= 0.
+    long long next_ms(long long floor_ms = 0);
+
+    /// Attempts scheduled so far (== number of next_ms() calls).
+    int attempts() const { return attempts_; }
+
+    /// Restarts the schedule (keeps the jitter stream position, so a
+    /// reset-and-retry sequence stays deterministic but not identical).
+    void reset() { attempts_ = 0; }
+
+private:
+    std::uint64_t next_random();
+
+    BackoffOptions options_;
+    std::uint64_t state_;
+    int attempts_ = 0;
+};
+
+}  // namespace dlp::support

@@ -1,6 +1,8 @@
 #include "support/cancel.h"
 
-#include <cstdlib>
+#include <limits>
+
+#include "support/env.h"
 
 namespace dlp::support {
 
@@ -17,11 +19,11 @@ std::string_view stop_reason_name(StopReason reason) {
 
 long long env_deadline_ms() {
     // Read per call (not cached): each ExperimentRunner reads it once at
-    // construction, and tests toggle the variable between runs.
-    const char* e = std::getenv("DLPROJ_DEADLINE_MS");
-    if (!e) return 0;
-    const long long v = std::atoll(e);
-    return v > 0 ? v : 0;
+    // construction, and tests toggle the variable between runs.  A garbage
+    // or negative value throws EnvError rather than silently running
+    // unbounded.
+    return env_int("DLPROJ_DEADLINE_MS", 0, 0,
+                   std::numeric_limits<long long>::max());
 }
 
 }  // namespace dlp::support

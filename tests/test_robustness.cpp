@@ -34,6 +34,7 @@
 #include "netlist/builders.h"
 #include "parallel/parallel_for.h"
 #include "support/cancel.h"
+#include "support/env.h"
 
 namespace dlp {
 namespace {
@@ -516,10 +517,12 @@ TEST(ExperimentBudget, EnvDeadlineSuppliesDefaultOnly) {
     EXPECT_EQ(support::env_deadline_ms(), 0);
     ::setenv("DLPROJ_DEADLINE_MS", "1500", 1);
     EXPECT_EQ(support::env_deadline_ms(), 1500);
+    // Hardened parsing (support/env.h): garbage no longer silently
+    // disables the knob, it is diagnosed.
     ::setenv("DLPROJ_DEADLINE_MS", "-5", 1);
-    EXPECT_EQ(support::env_deadline_ms(), 0);
+    EXPECT_THROW(support::env_deadline_ms(), support::EnvError);
     ::setenv("DLPROJ_DEADLINE_MS", "junk", 1);
-    EXPECT_EQ(support::env_deadline_ms(), 0);
+    EXPECT_THROW(support::env_deadline_ms(), support::EnvError);
 
     // A runner built with no deadline picks the env default up...
     ::setenv("DLPROJ_DEADLINE_MS", "60000", 1);

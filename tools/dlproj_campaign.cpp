@@ -21,17 +21,33 @@
 //                     knob and never affects results or cache keys
 //   --threads=N       worker count within each cell (0 = default)
 //   --max-vectors=N   override the spec's per-cell vector budget
+//   --timeout-ms=N    wall-clock budget for the whole campaign; on expiry
+//                     the run stops at the next cell/stage boundary and
+//                     the partial report (an exact prefix) is emitted
+//   --no-recover      skip the startup artifact-store crash recovery
+//                     (required when other writers share the cache
+//                     concurrently, e.g. CI shard fan-out)
 //   --list            print the grid cells (index, identity) and exit
 //   --quiet           suppress the stderr progress/summary lines
 //
+// SIGINT trips the campaign's cancel token: the run stops at the next
+// boundary, everything completed so far is committed to the cache and
+// emitted as a partial report, and the exit status is 130.  A second
+// SIGINT kills the process immediately (the handler is one-shot).
+//
 // Exit status: 0 success, 1 campaign failure (lint gate, bad inputs),
-// 2 usage or I/O error.  A run stopped by DLPROJ_DEADLINE_MS-style
-// budgets exits 0 with the stop recorded in the stats document.
+// 2 usage or I/O error, 130 interrupted (SIGINT).  A run stopped by
+// --timeout-ms / DLPROJ_DEADLINE_MS budgets exits 0 with the stop
+// recorded in the stats document.
+#include <signal.h>
+
 #include <chrono>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+
+#include "support/cancel.h"
 
 #include "campaign/report.h"
 #include "campaign/runner.h"
@@ -42,12 +58,28 @@
 
 namespace {
 
+// SIGINT handler state: CancelToken::request() is a lock-free atomic
+// store, which is async-signal-safe.  SA_RESETHAND makes the handler
+// one-shot, so a second SIGINT falls back to the default (kill).
+dlp::support::CancelToken g_interrupt;
+
+extern "C" void on_interrupt(int) { g_interrupt.request(); }
+
+void install_interrupt_handler() {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = on_interrupt;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &sa, nullptr);
+}
+
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--cache-dir=PATH] [--no-cache] [--shard=I/N]"
                  " [--json=PATH] [--csv=PATH] [--stats=PATH] [--engine=NAME]"
-                 " [--threads=N] [--max-vectors=N] [--list] [--quiet]"
-                 " <spec.campaign>\n";
+                 " [--threads=N] [--max-vectors=N] [--timeout-ms=N]"
+                 " [--no-recover] [--list] [--quiet] <spec.campaign>\n";
     return 2;
 }
 
@@ -75,6 +107,8 @@ int main(int argc, char** argv) {
     campaign::Shard shard;
     int threads = 0;
     long long max_vectors = -1;  // <0: keep the spec's value
+    long long timeout_ms = 0;    // 0: no campaign-level deadline
+    bool no_recover = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -100,6 +134,10 @@ int main(int argc, char** argv) {
                 threads = std::stoi(value("--threads="));
             else if (arg.rfind("--max-vectors=", 0) == 0)
                 max_vectors = std::stoll(value("--max-vectors="));
+            else if (arg.rfind("--timeout-ms=", 0) == 0)
+                timeout_ms = std::stoll(value("--timeout-ms="));
+            else if (arg == "--no-recover")
+                no_recover = true;
             else if (arg == "--list")
                 list = true;
             else if (arg == "--quiet")
@@ -153,6 +191,29 @@ int main(int argc, char** argv) {
     opt.shard = shard;
     opt.engine = engine;
     opt.parallel.threads = threads;
+    opt.budget.cancel = g_interrupt;
+    if (timeout_ms > 0)
+        opt.budget.deadline = support::Deadline::after_ms(timeout_ms);
+
+    if (opt.use_cache && !no_recover) {
+        // Heal any torn commit a crashed/killed predecessor left behind
+        // before this run trusts the cache.  Single-writer assumption:
+        // concurrent shards must pass --no-recover (recovery would see
+        // their live intents as orphans).
+        try {
+            const campaign::RecoveryReport rec =
+                campaign::recover_store(cache_dir);
+            if (!quiet && (rec.intents || rec.quarantined || rec.stale_tmps))
+                std::cerr << "store recovery: "
+                          << campaign::recovery_summary(rec) << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << argv[0] << ": store recovery failed: " << e.what()
+                      << "\n";
+            return 2;
+        }
+    }
+
+    install_interrupt_handler();
     if (!quiet)
         opt.progress = [](std::string_view stage, std::size_t done,
                           std::size_t total) {
@@ -210,5 +271,8 @@ int main(int argc, char** argv) {
                       << dlp::support::stop_reason_name(s.stop);
         std::cerr << "\n";
     }
+    // Conventional interrupted-by-SIGINT status; the partial report above
+    // is still valid (exact prefix of the uninterrupted run).
+    if (report.stats.stop == support::StopReason::Cancelled) return 130;
     return 0;
 }
