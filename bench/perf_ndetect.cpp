@@ -1,0 +1,170 @@
+// Emits BENCH_ndetect.json: cost and quality of n-detection test sets vs
+// the target n in {1, 2, 4, 8} (scripts/bench_ndetect.sh wraps this and
+// enforces the structural bars).  Two workloads per n:
+//
+//  * c432, full flow — the physical design (layout, extraction, switch
+//    netlist) is prepared once and reused; per n the ATPG, switch-level
+//    simulation, and fit stages re-run and are timed together, since those
+//    are exactly the n-dependent stages.  Rows carry theta_final, the
+//    achieved DL of eq (3), and the Pomeranz & Reddy worst/average-case
+//    coverage.  The random phase is kept short (max_random = 128) so the
+//    top-up phase, not the shared random prefix, supplies the added
+//    multiplicity — otherwise every n would grade the same vector set.
+//
+//  * synth_5k, gate level — the committed fixture's generator settings
+//    (96 inputs, 5000 gates, seed 7); the full flow is out of reach at
+//    this size, so the row times a levelized session over 256 fixed
+//    random vectors at target n.  With the vectors fixed, the n axis
+//    varies only the dropping schedule (higher n keeps faults live
+//    longer), so wall_s is the marginal cost of counting and dl_ppm is
+//    the Williams-Brown projection (eq 1) of the stuck-at coverage at an
+//    assumed yield — constant in n by construction.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "flow/experiment.h"
+#include "gatesim/engine.h"
+#include "gatesim/patterns.h"
+#include "model/dl_models.h"
+#include "model/ndetect.h"
+#include "netlist/builders.h"
+
+namespace {
+
+using namespace dlp;
+using clock_type = std::chrono::steady_clock;
+
+constexpr int kTargets[] = {1, 2, 4, 8};
+constexpr double kAssumedYield = 0.75;  // synth_5k has no layout -> no Y
+
+struct Row {
+    std::string workload;
+    int ndetect = 0;
+    double wall_s = 0.0;
+    int vectors = 0;
+    double theta_final = 0.0;  // c432 rows; synth rows carry coverage here
+    double dl_ppm = 0.0;
+    int min_detections = 0;
+    double mean_detections = 0.0;
+    double worst_case_coverage = 0.0;
+    double avg_case_coverage = 0.0;
+};
+
+std::vector<Row> c432_flow_rows() {
+    flow::ExperimentOptions opt;
+    opt.atpg.seed = 5;
+    opt.atpg.max_random = 128;  // see the file comment
+    flow::ExperimentRunner runner(netlist::build_c432(), opt);
+    std::fprintf(stderr, "[bench] preparing c432 physical design...\n");
+    runner.prepare();
+
+    std::vector<Row> rows;
+    for (const int n : kTargets) {
+        runner.options().atpg.ndetect = n;
+        runner.invalidate_tests();
+        const auto t0 = clock_type::now();
+        const flow::ExperimentResult& r = runner.run();
+        const double secs =
+            std::chrono::duration<double>(clock_type::now() - t0).count();
+        Row row;
+        row.workload = "c432-flow";
+        row.ndetect = n;
+        row.wall_s = secs;
+        row.vectors = r.vector_count;
+        row.theta_final = r.theta_curve.final();
+        row.dl_ppm =
+            model::to_ppm(model::weighted_dl(r.yield, row.theta_final));
+        row.min_detections = r.ndetect.min_detections;
+        row.mean_detections = r.ndetect.mean_detections;
+        row.worst_case_coverage = r.ndetect.worst_case_coverage;
+        row.avg_case_coverage = r.ndetect.avg_case_coverage;
+        rows.push_back(row);
+        std::fprintf(stderr,
+                     "[bench] c432-flow      n=%d %4d vec  %6.2fs  "
+                     "theta=%.4f wc=%.4f\n",
+                     n, row.vectors, secs, row.theta_final,
+                     row.worst_case_coverage);
+    }
+    return rows;
+}
+
+std::vector<Row> synth5k_gatesim_rows() {
+    const netlist::Circuit c = netlist::build_random_circuit(96, 5000, 7);
+    const auto faults =
+        gatesim::collapse_faults(c, gatesim::full_fault_universe(c));
+    gatesim::RandomPatternGenerator rng(1);
+    const auto vectors = rng.vectors(c, 256);
+    const sim::Engine& eng = sim::engine("levelized");
+
+    std::vector<Row> rows;
+    for (const int n : kTargets) {
+        const auto t0 = clock_type::now();
+        auto session = eng.open(c, {faults.begin(), faults.end()}, {},
+                                sim::SessionOptions{n});
+        session->apply(std::span<const gatesim::Vector>(vectors));
+        const double secs =
+            std::chrono::duration<double>(clock_type::now() - t0).count();
+        const auto profile =
+            model::ndetect_profile(session->detection_counts(), n);
+        Row row;
+        row.workload = "synth_5k-gatesim";
+        row.ndetect = n;
+        row.wall_s = secs;
+        row.vectors = 256;
+        row.theta_final = session->coverage();  // stuck-at T, no layout
+        row.dl_ppm = model::to_ppm(
+            model::williams_brown_dl(kAssumedYield, row.theta_final));
+        row.min_detections = profile.min_detections;
+        row.mean_detections = profile.mean_detections;
+        row.worst_case_coverage = profile.worst_case_coverage;
+        row.avg_case_coverage = profile.avg_case_coverage;
+        rows.push_back(row);
+        std::fprintf(stderr,
+                     "[bench] synth_5k-gate  n=%d %4d vec  %6.2fs  "
+                     "T=%.4f wc=%.4f\n",
+                     n, row.vectors, secs, row.theta_final,
+                     row.worst_case_coverage);
+    }
+    return rows;
+}
+
+}  // namespace
+
+int main() {
+    std::vector<Row> rows = c432_flow_rows();
+    const std::vector<Row> synth = synth5k_gatesim_rows();
+    rows.insert(rows.end(), synth.begin(), synth.end());
+
+    // One row per line so scripts/bench_ndetect.sh can grep/sed them.
+    std::string body = "{\n  \"bench\": \"ndetect\",\n";
+    body += "  \"assumed_yield_synth\": " + std::to_string(kAssumedYield) +
+            ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        char line[512];
+        std::snprintf(
+            line, sizeof line,
+            "    {\"workload\": \"%s\", \"ndetect\": %d, \"wall_s\": %.4f, "
+            "\"vectors\": %d, \"theta_final\": %.6f, \"dl_ppm\": %.2f, "
+            "\"min_detections\": %d, \"mean_detections\": %.4f, "
+            "\"worst_case_coverage\": %.6f, \"avg_case_coverage\": %.6f}%s\n",
+            r.workload.c_str(), r.ndetect, r.wall_s, r.vectors, r.theta_final,
+            r.dl_ppm, r.min_detections, r.mean_detections,
+            r.worst_case_coverage, r.avg_case_coverage,
+            i + 1 < rows.size() ? "," : "");
+        body += line;
+    }
+    body += "  ]\n}\n";
+
+    const std::string path = "BENCH_ndetect.json";
+    if (dlp::bench::write_file(path, body))
+        std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    else {
+        std::fprintf(stderr, "[bench] failed to write %s\n", path.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_ndetect.json (written to the repo root) via the
+# perf_ndetect harness: time and theta/DL versus the n-detection target
+# n in {1, 2, 4, 8}, on the c432 full flow and the synth_5k gate-level
+# workload (see bench/perf_ndetect.cpp for what each row measures).
+#
+# The enforced bars are the laws the n-detection suite guarantees, not
+# performance numbers: every row's average-case coverage dominates its
+# worst case, the synth worst case is non-increasing in n (fixed vector
+# set), and the c432 n-detect sets are at least as long as the n=1 set
+# (the top-up phase only appends).
+#
+# Usage: scripts/bench_ndetect.sh [path/to/perf_ndetect]
+set -eu
+root=$(cd "$(dirname "$0")/.." && pwd)
+
+BIN=${1:-$root/build/bench/perf_ndetect}
+[ -x "$BIN" ] || { echo "bench_ndetect: $BIN not built" >&2; exit 1; }
+
+cd "$root"
+"$BIN"
+
+[ -f BENCH_ndetect.json ] || {
+    echo "bench_ndetect: BENCH_ndetect.json not written" >&2; exit 1; }
+
+# One row per line; pull a named numeric field out of a row.
+field() { sed "s/.*\"$2\": \([0-9.e+-]*\).*/\1/" <<< "$1"; }
+
+rows=$(grep '"workload"' BENCH_ndetect.json)
+[ "$(wc -l <<< "$rows")" -eq 8 ] || {
+    echo "bench_ndetect: expected 8 rows (2 workloads x 4 targets)" >&2
+    exit 1
+}
+
+fail=0
+prev_synth_wc=""
+c432_n1_vectors=""
+while IFS= read -r row; do
+    wc_cov=$(field "$row" worst_case_coverage)
+    ac_cov=$(field "$row" avg_case_coverage)
+    awk -v a="$ac_cov" -v w="$wc_cov" 'BEGIN { exit !(a >= w) }' || {
+        echo "bench_ndetect: avg case $ac_cov < worst case $wc_cov: $row" >&2
+        fail=1
+    }
+    case "$row" in
+        *synth_5k*)
+            if [ -n "$prev_synth_wc" ]; then
+                awk -v p="$prev_synth_wc" -v w="$wc_cov" \
+                    'BEGIN { exit !(w <= p) }' || {
+                    echo "bench_ndetect: synth worst case rose with n" >&2
+                    fail=1
+                }
+            fi
+            prev_synth_wc=$wc_cov
+            ;;
+        *c432*)
+            vectors=$(field "$row" vectors)
+            [ -n "$c432_n1_vectors" ] || c432_n1_vectors=$vectors
+            [ "$vectors" -ge "$c432_n1_vectors" ] || {
+                echo "bench_ndetect: c432 n-detect set shorter than n=1" >&2
+                fail=1
+            }
+            ;;
+    esac
+done <<< "$rows"
+
+grep -E '"(workload|ndetect)"' BENCH_ndetect.json >/dev/null || true
+[ "$fail" -eq 0 ] || { echo "bench_ndetect FAILED" >&2; exit 1; }
+echo "bench_ndetect OK"

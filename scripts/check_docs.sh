@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Documentation lint, run by the `docs_check` CTest entry and the CI docs
-# job.  Two checks:
+# job.  Three checks:
 #   1. every relative markdown link in the repo's *.md files points at a
 #      file or directory that exists (external URLs and pure #anchors are
 #      skipped, as are targets that don't look like paths);
 #   2. docs/CONFIGURATION.md mentions every DLPROJ_* identifier that
-#      appears in src/ — new knobs must be documented to land.
+#      appears in src/ or tools/ (the env.cpp helpers are called with the
+#      variable name at the consuming site) — new knobs must be
+#      documented to land;
+#   3. every CLI flag a tool accepts (the "--flag" literals in its source,
+#      which is also what its usage()/--help prints) appears in
+#      docs/CONFIGURATION.md or the tool's own doc page.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -36,7 +41,7 @@ while IFS= read -r md; do
     done < <(grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//')
 done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*')
 
-# --- 2. every DLPROJ_* knob in src/ is documented ----------------------
+# --- 2. every DLPROJ_* knob in src/ or tools/ is documented ------------
 conf=docs/CONFIGURATION.md
 if [ ! -f "$conf" ]; then
     echo "MISSING: $conf"
@@ -44,10 +49,38 @@ if [ ! -f "$conf" ]; then
 else
     while IFS= read -r knob; do
         if ! grep -q "$knob" "$conf"; then
-            echo "UNDOCUMENTED KNOB: $knob (found in src/, absent from $conf)"
+            echo "UNDOCUMENTED KNOB: $knob (found in src/ or tools/," \
+                 "absent from $conf)"
             fail=1
         fi
-    done < <(grep -rhoE 'DLPROJ_[A-Z_]*[A-Z]' src | sort -u)
+    done < <(grep -rhoE 'DLPROJ_[A-Z_]*[A-Z]' src tools | sort -u)
+fi
+
+# --- 3. every tool CLI flag is documented ------------------------------
+# A tool's usage()/--help text and its argument parser both spell flags as
+# "--name" string literals, so the literals are the full flag inventory.
+# Each must appear in CONFIGURATION.md or the tool's own doc page.
+doc_pages_for() {
+    case "$1" in
+        dlproj_lint)     echo "docs/LINT.md" ;;
+        dlproj_client|dlproj_served) echo "docs/SERVICE.md" ;;
+        dlproj_campaign) echo "docs/NDETECT.md" ;;
+        *)               echo "" ;;
+    esac
+}
+if [ -f "$conf" ]; then
+    for tool_src in tools/dlproj_*.cpp; do
+        tool=$(basename "$tool_src" .cpp)
+        pages="$conf $(doc_pages_for "$tool")"
+        while IFS= read -r flag; do
+            # shellcheck disable=SC2086
+            if ! grep -qF -- "$flag" $pages; then
+                echo "UNDOCUMENTED FLAG: $tool $flag (absent from $pages)"
+                fail=1
+            fi
+        done < <(grep -ohE '"--[a-z][a-z-]*' "$tool_src" | tr -d '"' |
+                 sort -u)
+    done
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -1,12 +1,34 @@
 #include "atpg/generate.h"
 
 #include <algorithm>
+#include <set>
 #include <span>
+#include <stdexcept>
 
 #include "gatesim/patterns.h"
 #include "obs/telemetry.h"
 
 namespace dlp::atpg {
+
+std::string_view ndetect_mix_name(NDetectMix mix) {
+    switch (mix) {
+        case NDetectMix::Mixed: return "mixed";
+        case NDetectMix::Random: return "random";
+        case NDetectMix::WeightedRandom: return "weighted";
+        case NDetectMix::Deterministic: return "deterministic";
+    }
+    return "mixed";
+}
+
+NDetectMix parse_ndetect_mix(std::string_view name) {
+    if (name == "mixed") return NDetectMix::Mixed;
+    if (name == "random") return NDetectMix::Random;
+    if (name == "weighted") return NDetectMix::WeightedRandom;
+    if (name == "deterministic") return NDetectMix::Deterministic;
+    throw std::invalid_argument(
+        "unknown ndetect mix '" + std::string(name) +
+        "' (accepted: mixed, random, weighted, deterministic)");
+}
 
 double TestGenResult::coverage() const {
     const std::size_t total = first_detected_at.size();
@@ -27,9 +49,12 @@ TestGenResult generate_test_set(const Circuit& circuit,
                                 std::vector<StuckAtFault> faults,
                                 const TestGenOptions& options) {
     TestGenResult result;
+    const int ndetect = std::max(1, options.ndetect);
+    result.ndetect = ndetect;
     const std::unique_ptr<sim::Session> session =
         sim::resolve_engine(options.engine)
-            .open(circuit, std::move(faults), options.parallel);
+            .open(circuit, std::move(faults), options.parallel,
+                  sim::SessionOptions{ndetect});
     sim::Session& sim = *session;
     gatesim::RandomPatternGenerator rng(options.seed);
     const support::RunBudget& budget = options.budget;
@@ -132,9 +157,164 @@ TestGenResult generate_test_set(const Circuit& circuit,
         }
     }
 
+    // Phase 3: n-detection top-up.  Phases 1-2 are untouched by the target
+    // (their loop conditions read first-detection stats only), so the
+    // sequence so far is exactly the n=1 sequence; this phase only appends,
+    // re-targeting detected faults until each has `ndetect` distinct
+    // detecting vectors.  All sources draw from the same rng stream, so
+    // the whole sequence stays deterministic in options.seed and a budget
+    // stop still yields a bit-identical prefix of the unbounded run.
+    if (ndetect > 1 && result.stop == support::StopReason::None) {
+        DLP_OBS_SPAN(topup_span, "atpg.ndetect_topup");
+        // Distinctness: a fault's count must reflect distinct tests, so
+        // top-up vectors are deduplicated against the whole sequence.
+        std::set<Vector> seen(result.vectors.begin(), result.vectors.end());
+
+        const auto counts_sum = [&] {
+            long long s = 0;
+            for (int c : sim.detection_counts()) s += c;
+            return s;
+        };
+        // Detected faults still below target; undetectable faults (never
+        // detected: redundant, aborted, untargeted) cannot be topped up.
+        const auto under_target = [&] {
+            std::size_t n = 0;
+            const auto counts = sim.detection_counts();
+            const auto first = sim.first_detected_at();
+            for (std::size_t fi = 0; fi < counts.size(); ++fi)
+                if (first[fi] >= 0 && counts[fi] < ndetect) ++n;
+            return n;
+        };
+        const auto apply_block = [&](std::vector<Vector>& block,
+                                     int& counter) {
+            if (block.empty()) return;
+            const auto ares =
+                sim.apply(std::span<const Vector>(block), budget);
+            result.vectors.insert(result.vectors.end(), block.begin(),
+                                  block.begin() + ares.vectors_applied);
+            counter += ares.vectors_applied;
+            if (ares.stop != support::StopReason::None)
+                result.stop = ares.stop;
+        };
+        // One biased random vector: each input is 1 with probability w8/8.
+        const auto biased_vector = [&](int w8) {
+            Vector v(circuit.inputs().size());
+            for (std::size_t i = 0; i < v.size(); ++i)
+                v[i] = (rng.next_word() & 7) <
+                       static_cast<std::uint64_t>(w8);
+            return v;
+        };
+
+        // Random sources: blocks until the counts stop improving for
+        // stale_blocks rounds (same barren rule as phase 1, but graded on
+        // count progress), capped at max_random vectors per source.  The
+        // weighted source cycles input biases 1/8, 1/4, 3/4, 7/8, 1/2 —
+        // extreme biases excite the long AND/OR chains uniform vectors
+        // miss (the classic weighted-random argument).
+        const auto random_rounds = [&](bool weighted, int& counter) {
+            static constexpr int kBias[] = {1, 2, 6, 7, 4};
+            int barren = 0;
+            int generated = 0;
+            int bias_idx = 0;
+            while (result.stop == support::StopReason::None &&
+                   under_target() > 0 && barren < options.stale_blocks &&
+                   generated < options.max_random) {
+                const support::StopReason stop = budget.check();
+                if (stop != support::StopReason::None) {
+                    result.stop = stop;
+                    break;
+                }
+                const int take = std::min(options.random_block,
+                                          options.max_random - generated);
+                const int w8 = kBias[bias_idx++ % 5];
+                std::vector<Vector> block;
+                for (int k = 0; k < take; ++k) {
+                    Vector v = weighted ? biased_vector(w8)
+                                        : rng.next_vector(circuit);
+                    if (seen.insert(v).second) block.push_back(std::move(v));
+                }
+                generated += take;
+                const long long before = counts_sum();
+                apply_block(block, counter);
+                barren = counts_sum() == before ? barren + 1 : 0;
+            }
+        };
+
+        // Deterministic source: PODEM re-targets each under-target fault
+        // with a fresh random x-fill per attempt, so repeated targets yield
+        // distinct tests; passes repeat while any vector lands.  A fault
+        // whose generated tests keep colliding with the set (fully
+        // specified test cubes) just stops contributing.
+        const auto deterministic_passes = [&] {
+            constexpr int kFutileAttempts = 4;
+            Podem podem(circuit, compute_testability(circuit));
+            bool progress = true;
+            while (progress && result.stop == support::StopReason::None &&
+                   under_target() > 0) {
+                progress = false;
+                auto counts = sim.detection_counts();
+                const auto first = sim.first_detected_at();
+                for (std::size_t fi = 0; fi < counts.size(); ++fi) {
+                    if (first[fi] < 0 || counts[fi] >= ndetect) continue;
+                    const support::StopReason stop = budget.check();
+                    if (stop != support::StopReason::None) {
+                        result.stop = stop;
+                        return;
+                    }
+                    for (int attempt = 0; attempt < kFutileAttempts;
+                         ++attempt) {
+                        const auto res =
+                            podem.generate(sim.faults()[fi], backtrack_limit,
+                                           rng.next_word(), &budget);
+                        if (res.stop != support::StopReason::None) {
+                            result.stop = res.stop;
+                            return;
+                        }
+                        if (res.status != PodemResult::Status::TestFound)
+                            break;  // aborted: the search would just repeat
+                        if (!seen.insert(res.test).second)
+                            continue;  // duplicate: retry with a new x-fill
+                        std::vector<Vector> one{res.test};
+                        apply_block(one, result.topup_deterministic_count);
+                        if (result.stop != support::StopReason::None)
+                            return;
+                        progress = true;
+                        counts = sim.detection_counts();
+                        break;
+                    }
+                }
+            }
+        };
+
+        switch (options.ndetect_mix) {
+            case NDetectMix::Mixed:
+                random_rounds(false, result.topup_random_count);
+                random_rounds(true, result.topup_weighted_count);
+                deterministic_passes();
+                break;
+            case NDetectMix::Random:
+                random_rounds(false, result.topup_random_count);
+                break;
+            case NDetectMix::WeightedRandom:
+                random_rounds(true, result.topup_weighted_count);
+                break;
+            case NDetectMix::Deterministic:
+                deterministic_passes();
+                break;
+        }
+        DLP_OBS_SPAN_NOTE(
+            topup_span,
+            std::to_string(result.topup_random_count +
+                           result.topup_weighted_count +
+                           result.topup_deterministic_count) +
+                " top-up vectors");
+    }
+
     result.detected = sim.detected_count();
     result.first_detected_at.assign(sim.first_detected_at().begin(),
                                     sim.first_detected_at().end());
+    result.detection_counts = sim.detection_counts();
+    result.nth_detected_at = sim.nth_detected_at();
     for (size_t i = 0; i < result.first_detected_at.size(); ++i)
         if (result.first_detected_at[i] >= 1)
             result.status[i] = FaultStatus::Detected;

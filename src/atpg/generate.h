@@ -1,12 +1,20 @@
 // Full test-set generation driver: a random-pattern phase (PPSFP with fault
 // dropping) followed by deterministic PODEM for the remaining faults,
 // mirroring the paper's "first vectors random, last deterministic" setup.
+//
+// With `ndetect > 1` a third phase tops the set up to an n-detection test
+// set (Pomeranz & Reddy): already-detected faults are re-targeted — with
+// uniform random, weighted-random, and/or PODEM-generated vectors,
+// depending on the mix — until every detected fault has `ndetect` distinct
+// detecting vectors (or the sources run dry).  The phase only appends, so
+// the n-detect sequence extends the n=1 sequence vector for vector.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include <string>
+#include <string_view>
 
 #include "atpg/podem.h"
 #include "gatesim/engine.h"
@@ -14,6 +22,21 @@
 #include "support/cancel.h"
 
 namespace dlp::atpg {
+
+/// Vector-source mix for the n-detection top-up phase (ndetect > 1).
+enum class NDetectMix : std::uint8_t {
+    Mixed,           ///< random, then weighted-random, then deterministic
+    Random,          ///< uniform random blocks only
+    WeightedRandom,  ///< input-biased random blocks only
+    Deterministic,   ///< PODEM re-targeting only
+};
+
+/// Stable lowercase name ("mixed", "random", "weighted", "deterministic").
+std::string_view ndetect_mix_name(NDetectMix mix);
+
+/// Inverse of ndetect_mix_name; throws std::invalid_argument naming the
+/// accepted values on an unknown name.
+NDetectMix parse_ndetect_mix(std::string_view name);
 
 struct TestGenOptions {
     int random_block = 64;     ///< vectors per random batch
@@ -26,6 +49,14 @@ struct TestGenOptions {
     std::string engine;
     /// Worker count for the embedded fault simulation (0 = default).
     parallel::ParallelOptions parallel;
+    /// n-detection target: 1 generates the classic single-detection set
+    /// (bit-identical to the pre-n-detect driver); > 1 appends a top-up
+    /// phase until every detected fault has `ndetect` distinct detecting
+    /// vectors.  Top-up vectors are deduplicated against the whole set, so
+    /// counts reflect distinct tests.
+    int ndetect = 1;
+    /// Vector sources for the top-up phase (ignored when ndetect <= 1).
+    NDetectMix ndetect_mix = NDetectMix::Mixed;
     /// Bounded-execution limits.  The cancel token / deadline are checked
     /// between random blocks, between target faults, and at every PODEM
     /// backtrack; `budget.max_vectors` caps the generated sequence and
@@ -50,6 +81,17 @@ struct TestGenResult {
     std::size_t aborted = 0;         ///< backtrack limit hit
     std::vector<int> first_detected_at;  ///< per fault, 1-based; -1 undetected
     std::vector<FaultStatus> status;     ///< per fault
+
+    // n-detection accounting (trivial when ndetect == 1).
+    int ndetect = 1;  ///< the target the set was generated toward
+    /// Per fault: detecting vector positions, saturated at `ndetect`.
+    std::vector<int> detection_counts;
+    /// Per fault: 1-based index where the count reached `ndetect`; -1 below
+    /// target.  Equals first_detected_at when ndetect == 1.
+    std::vector<int> nth_detected_at;
+    int topup_random_count = 0;         ///< uniform-random top-up vectors
+    int topup_weighted_count = 0;       ///< weighted-random top-up vectors
+    int topup_deterministic_count = 0;  ///< PODEM top-up vectors
     /// Why generation stopped early (None = ran to natural completion).
     /// On a stop, `vectors` is a bit-identical prefix of the sequence an
     /// unbounded run would generate, and untargeted faults stay Undetected.

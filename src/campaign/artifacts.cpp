@@ -47,6 +47,21 @@ public:
         if (!std::getline(in_, line) || line != expected)
             bad(std::string("expected magic '") + expected + "'");
     }
+    /// Reads "<stem> <version>" and returns the version; rejects anything
+    /// outside [1, max_version] (future versions are a cache miss, not a
+    /// best-effort parse).
+    int versioned_magic(const char* stem, int max_version) {
+        std::string line;
+        if (!std::getline(in_, line))
+            bad(std::string("expected magic '") + stem + "'");
+        std::istringstream ls(line);
+        std::string word, extra;
+        int v = 0;
+        if (!(ls >> word >> v) || word != stem || (ls >> extra) || v < 1 ||
+            v > max_version)
+            bad("unsupported artifact header '" + line + "'");
+        return v;
+    }
     /// Reads "<key> <integer>".
     long long field(const char* key) {
         expect_key(key);
@@ -156,8 +171,11 @@ std::vector<gatesim::StuckAtFault> parse_faults(const std::string& text) {
 }
 
 std::string serialize_tests(const flow::ExperimentRunner::TestSet& t) {
+    // Classic single-detection test sets keep the version-1 byte layout;
+    // only n-detect sets (which carry extra tables) emit version 2.
+    const bool v2 = t.tests.ndetect > 1;
     std::ostringstream out;
-    out << "dlproj-tests 1\n";
+    out << (v2 ? "dlproj-tests 2\n" : "dlproj-tests 1\n");
     out << "stuck " << t.stuck.size() << "\n";
     for (const auto& s : t.stuck) {
         const long long reader =
@@ -172,6 +190,13 @@ std::string serialize_tests(const flow::ExperimentRunner::TestSet& t) {
     out << "aborted " << t.tests.aborted << "\n";
     out << "untargeted " << t.tests.untargeted << "\n";
     out << "stop " << static_cast<int>(t.tests.stop) << "\n";
+    if (v2) {
+        out << "ndetect " << t.tests.ndetect << "\n";
+        out << "topup_random " << t.tests.topup_random_count << "\n";
+        out << "topup_weighted " << t.tests.topup_weighted_count << "\n";
+        out << "topup_deterministic " << t.tests.topup_deterministic_count
+            << "\n";
+    }
     const std::size_t width =
         t.tests.vectors.empty() ? 0 : t.tests.vectors.front().size();
     out << "width " << width << "\n";
@@ -183,6 +208,10 @@ std::string serialize_tests(const flow::ExperimentRunner::TestSet& t) {
         out << bits << "\n";
     }
     put_ints(out, "first_detected_at", t.tests.first_detected_at);
+    if (v2) {
+        put_ints(out, "detection_counts", t.tests.detection_counts);
+        put_ints(out, "nth_detected_at", t.tests.nth_detected_at);
+    }
     out << "status " << t.tests.status.size();
     for (const auto s : t.tests.status) out << " " << static_cast<int>(s);
     out << "\n";
@@ -192,7 +221,7 @@ std::string serialize_tests(const flow::ExperimentRunner::TestSet& t) {
 
 flow::ExperimentRunner::TestSet parse_tests(const std::string& text) {
     Reader r(text);
-    r.magic("dlproj-tests 1");
+    const int version = r.versioned_magic("dlproj-tests", 2);
     flow::ExperimentRunner::TestSet t;
     const long long nstuck = r.field("stuck");
     t.stuck.resize(static_cast<std::size_t>(nstuck));
@@ -214,6 +243,16 @@ flow::ExperimentRunner::TestSet parse_tests(const std::string& text) {
     t.tests.aborted = static_cast<std::size_t>(r.field("aborted"));
     t.tests.untargeted = static_cast<std::size_t>(r.field("untargeted"));
     t.tests.stop = stop_from_int(r.field("stop"));
+    if (version >= 2) {
+        t.tests.ndetect = static_cast<int>(r.field("ndetect"));
+        if (t.tests.ndetect < 1) bad("bad ndetect target");
+        t.tests.topup_random_count =
+            static_cast<int>(r.field("topup_random"));
+        t.tests.topup_weighted_count =
+            static_cast<int>(r.field("topup_weighted"));
+        t.tests.topup_deterministic_count =
+            static_cast<int>(r.field("topup_deterministic"));
+    }
     const long long width = r.field("width");
     const long long nvec = r.field("vectors");
     t.tests.vectors.resize(static_cast<std::size_t>(nvec));
@@ -226,6 +265,17 @@ flow::ExperimentRunner::TestSet parse_tests(const std::string& text) {
         for (std::size_t i = 0; i < bits.size(); ++i) v[i] = bits[i] == '1';
     }
     t.tests.first_detected_at = r.ints("first_detected_at");
+    if (version >= 2) {
+        t.tests.detection_counts = r.ints("detection_counts");
+        t.tests.nth_detected_at = r.ints("nth_detected_at");
+    } else {
+        // Version-1 artifacts predate per-fault counting; at a target of
+        // 1 the counts are exactly the 0/1 image of first detection.
+        t.tests.detection_counts.reserve(t.tests.first_detected_at.size());
+        for (const int at : t.tests.first_detected_at)
+            t.tests.detection_counts.push_back(at >= 0 ? 1 : 0);
+        t.tests.nth_detected_at = t.tests.first_detected_at;
+    }
     const std::vector<int> status = r.ints("status");
     t.tests.status.reserve(status.size());
     for (const int s : status) {
@@ -269,8 +319,9 @@ flow::ExperimentRunner::SimulationData parse_simulation(
 }
 
 std::string serialize_cell(const CellResult& c) {
+    const bool v2 = c.ndetect > 1;
     std::ostringstream out;
-    out << "dlproj-cell 1\n";
+    out << (v2 ? "dlproj-cell 2\n" : "dlproj-cell 1\n");
     out << "circuit " << c.circuit << "\n";
     out << "rules " << c.rules << "\n";
     out << "atpg " << c.atpg << "\n";
@@ -285,6 +336,15 @@ std::string serialize_cell(const CellResult& c) {
     out << "fit_r " << double_hex(c.fit_r) << "\n";
     out << "fit_theta_max " << double_hex(c.fit_theta_max) << "\n";
     out << "fit_rms " << double_hex(c.fit_rms) << "\n";
+    if (v2) {
+        out << "ndetect " << c.ndetect << "\n";
+        out << "ndetect_min " << c.ndetect_min << "\n";
+        out << "ndetect_mean " << double_hex(c.ndetect_mean) << "\n";
+        out << "worst_case_coverage " << double_hex(c.worst_case_coverage)
+            << "\n";
+        out << "avg_case_coverage " << double_hex(c.avg_case_coverage)
+            << "\n";
+    }
     out << "interruption " << (c.interruption.empty() ? "-" : c.interruption)
         << "\n";
     put_curve(out, "t_curve", c.t_curve);
@@ -296,7 +356,7 @@ std::string serialize_cell(const CellResult& c) {
 
 CellResult parse_cell(const std::string& text) {
     Reader r(text);
-    r.magic("dlproj-cell 1");
+    const int version = r.versioned_magic("dlproj-cell", 2);
     CellResult c;
     c.circuit = r.sfield("circuit");
     c.rules = r.sfield("rules");
@@ -313,12 +373,34 @@ CellResult parse_cell(const std::string& text) {
     c.fit_r = r.dfield("fit_r");
     c.fit_theta_max = r.dfield("fit_theta_max");
     c.fit_rms = r.dfield("fit_rms");
+    if (version >= 2) {
+        c.ndetect = static_cast<int>(r.field("ndetect"));
+        if (c.ndetect < 1) bad("bad ndetect target");
+        c.ndetect_min = static_cast<int>(r.field("ndetect_min"));
+        c.ndetect_mean = r.dfield("ndetect_mean");
+        c.worst_case_coverage = r.dfield("worst_case_coverage");
+        c.avg_case_coverage = r.dfield("avg_case_coverage");
+    }
     c.interruption = r.sfield("interruption");
     if (c.interruption == "-") c.interruption.clear();
     c.t_curve = r.curve("t_curve");
     c.theta_curve = r.curve("theta_curve");
     c.gamma_curve = r.curve("gamma_curve");
     c.theta_iddq_curve = r.curve("theta_iddq_curve");
+    if (version < 2) {
+        // A v1 cell is a classic n=1 cell, where every quality figure
+        // collapses to the testable-fault coverage — which is exactly
+        // T(k)'s final value (both are detected/testable with the same
+        // integer-valued operands, so the doubles are bit-identical).
+        // Deriving them here keeps a warm resume of an ndetect-axis grid
+        // byte-identical to a cold run when its n=1 cells hit artifacts
+        // written by a classic (or pre-n-detect) campaign.
+        const double cov = c.t_curve.final();
+        c.ndetect_mean = cov;
+        c.worst_case_coverage = cov;
+        c.avg_case_coverage = cov;
+        c.ndetect_min = cov == 1.0 ? 1 : 0;
+    }
     return c;
 }
 

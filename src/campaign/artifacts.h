@@ -10,6 +10,12 @@
 // this.  Every document carries a versioned magic line; parse_* throw
 // std::runtime_error on any mismatch, which the campaign runner treats as
 // a cache miss.
+//
+// n-detection cells (ndetect > 1) serialize as version 2 of the tests/cell
+// formats, which append the detection-count tables and quality figures;
+// classic cells keep emitting version 1 byte for byte, so caches warmed
+// before the n-detect axis existed stay valid and n=1 artifacts stay
+// byte-identical across the change.  Parsers accept both versions.
 #pragma once
 
 #include <string>
@@ -41,6 +47,15 @@ struct CellResult {
     double fit_r = 1.0;
     double fit_theta_max = 1.0;
     double fit_rms = 0.0;
+
+    // n-detection quality (Pomeranz & Reddy worst/average case over
+    // testable faults; see model/ndetect.h).  Trivial at the default
+    // target 1, and only serialized/reported for n-detect cells.
+    int ndetect = 1;             ///< the cell's n-detection target
+    int ndetect_min = 0;         ///< min detections over testable faults
+    double ndetect_mean = 0.0;   ///< mean detections over testable faults
+    double worst_case_coverage = 0.0;  ///< frac of faults at the target
+    double avg_case_coverage = 0.0;    ///< mean min(count, n)/n
 
     /// "" for a complete run, else "<stage>:<reason>" (e.g. a per-cell
     /// vector budget: "switch-sim:VectorBudget").

@@ -48,6 +48,13 @@ double residual_ppm(const CellResult& c) {
     return model::to_ppm(m.residual_dl());
 }
 
+double dl_ppm(const CellResult& c) {
+    // Achieved defect level from the measured weighted realistic
+    // coverage, eq (3): DL = 1 - Y^(1-theta).  Reported per n-detect
+    // cell so DL can be read directly against the target n.
+    return model::to_ppm(model::weighted_dl(c.yield, c.theta_curve.final()));
+}
+
 }  // namespace
 
 std::string report_json(const CampaignReport& report) {
@@ -63,6 +70,8 @@ std::string report_json(const CampaignReport& report) {
         out << "      \"rules\": \"" << json_escape(c.rules) << "\",\n";
         out << "      \"seed\": " << c.seed << ",\n";
         out << "      \"atpg\": \"" << json_escape(c.atpg) << "\",\n";
+        if (report.ndetect_axis)
+            out << "      \"ndetect\": " << c.ndetect << ",\n";
         out << "      \"mapped_gates\": " << c.mapped_gates << ",\n";
         out << "      \"stuck_faults\": " << c.stuck_faults << ",\n";
         out << "      \"realistic_faults\": " << c.realistic_faults << ",\n";
@@ -81,6 +90,13 @@ std::string report_json(const CampaignReport& report) {
             << ", \"theta_max\": " << num(c.fit_theta_max)
             << ", \"rms\": " << num(c.fit_rms)
             << ", \"residual_ppm\": " << num(residual_ppm(c)) << "},\n";
+        if (report.ndetect_axis)
+            out << "      \"ndetect_quality\": {\"min_detections\": "
+                << c.ndetect_min << ", \"mean_detections\": "
+                << num(c.ndetect_mean) << ", \"worst_case_coverage\": "
+                << num(c.worst_case_coverage) << ", \"avg_case_coverage\": "
+                << num(c.avg_case_coverage) << ", \"dl_ppm\": "
+                << num(dl_ppm(c)) << "},\n";
         out << "      \"interruption\": \"" << json_escape(c.interruption)
             << "\",\n";
         put_curve_json(out, "t_curve", c.t_curve);
@@ -97,21 +113,34 @@ std::string report_json(const CampaignReport& report) {
 
 std::string report_csv(const CampaignReport& report, bool header) {
     std::ostringstream out;
-    if (header)
-        out << "index,circuit,rules,seed,atpg,mapped_gates,stuck_faults,"
+    if (header) {
+        out << "index,circuit,rules,seed,atpg,";
+        if (report.ndetect_axis) out << "ndetect,";
+        out << "mapped_gates,stuck_faults,"
                "realistic_faults,vectors,yield,t_final,theta_final,"
                "gamma_final,theta_iddq_final,fit_r,fit_theta_max,"
-               "residual_ppm,interruption\n";
+               "residual_ppm,";
+        if (report.ndetect_axis)
+            out << "min_detections,mean_detections,worst_case_coverage,"
+                   "avg_case_coverage,dl_ppm,";
+        out << "interruption\n";
+    }
     for (const CellResult& c : report.cells) {
         out << c.index << "," << c.circuit << "," << c.rules << "," << c.seed
-            << "," << c.atpg << "," << c.mapped_gates << ","
+            << "," << c.atpg << ",";
+        if (report.ndetect_axis) out << c.ndetect << ",";
+        out << c.mapped_gates << ","
             << c.stuck_faults << "," << c.realistic_faults << ","
             << c.vector_count << "," << num(c.yield) << ","
             << num(c.t_curve.final()) << "," << num(c.theta_curve.final())
             << "," << num(c.gamma_curve.final()) << ","
             << num(c.theta_iddq_curve.final()) << "," << num(c.fit_r) << ","
-            << num(c.fit_theta_max) << "," << num(residual_ppm(c)) << ","
-            << c.interruption << "\n";
+            << num(c.fit_theta_max) << "," << num(residual_ppm(c)) << ",";
+        if (report.ndetect_axis)
+            out << c.ndetect_min << "," << num(c.ndetect_mean) << ","
+                << num(c.worst_case_coverage) << ","
+                << num(c.avg_case_coverage) << "," << num(dl_ppm(c)) << ",";
+        out << c.interruption << "\n";
     }
     return out.str();
 }

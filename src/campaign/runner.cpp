@@ -50,6 +50,14 @@ CellKeys make_keys(const CampaignSpec& spec, const Cell& cell,
           << "stale_blocks " << atpg.stale_blocks << "\n"
           << "backtrack_limit " << atpg.backtrack_limit << "\n"
           << "max_vectors " << spec.max_vectors << "\n";
+        // The n-detection target (and the top-up mix, which only matters
+        // beyond the first detection) enter the key only when they can
+        // change the test set, so classic cells keep their v1 keys and
+        // pre-existing warm caches stay hits.
+        if (atpg.ndetect > 1)
+            o << "ndetect " << atpg.ndetect << "\n"
+              << "ndetect_mix " << atpg::ndetect_mix_name(atpg.ndetect_mix)
+              << "\n";
         k.tests = o.str();
     }
     {
@@ -83,6 +91,11 @@ CellResult make_cell_result(const Cell& cell,
     c.fit_r = r.fit.r;
     c.fit_theta_max = r.fit.theta_max;
     c.fit_rms = r.fit.rms_error;
+    c.ndetect = r.ndetect.target;
+    c.ndetect_min = r.ndetect.min_detections;
+    c.ndetect_mean = r.ndetect.mean_detections;
+    c.worst_case_coverage = r.ndetect.worst_case_coverage;
+    c.avg_case_coverage = r.ndetect.avg_case_coverage;
     if (r.interruption)
         c.interruption =
             r.interruption->stage + ":" +
@@ -108,6 +121,7 @@ CampaignReport CampaignRunner::run() {
     DLP_OBS_SPAN(span, "campaign.run");
     CampaignReport rep;
     rep.name = spec_.name;
+    rep.ndetect_axis = spec_.has_ndetect_axis();
     rep.stats.cells_total = spec_.cell_count();
     const std::vector<std::size_t> cells =
         shard_cells(rep.stats.cells_total, options_.shard);
@@ -140,9 +154,12 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
     DLP_OBS_COUNTER(c_miss, "campaign.cell.cache_miss");
     const Cell cell = cell_at(spec_, index);
     const auto cell_id = [&] {
-        return "cell #" + std::to_string(index) + " (" + cell.circuit + ", " +
-               cell.rules + ", seed " + std::to_string(cell.seed) + ", atpg " +
-               cell.atpg + ")";
+        std::string id = "cell #" + std::to_string(index) + " (" +
+                         cell.circuit + ", " + cell.rules + ", seed " +
+                         std::to_string(cell.seed) + ", atpg " + cell.atpg;
+        if (cell.ndetect != 1)
+            id += ", ndetect " + std::to_string(cell.ndetect);
+        return id + ")";
     };
 
     // Resolve the grid names to concrete inputs and canonicalize them by
@@ -159,6 +176,7 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
     const AtpgVariant& variant = atpg_variant(spec_, cell.atpg);
     atpg::TestGenOptions atpg_opts = variant.options;
     atpg_opts.seed = cell.seed;
+    atpg_opts.ndetect = cell.ndetect;
     const std::string bench_hash = hex64(fnv1a64(netlist::to_bench(circuit)));
     const std::string rules_hash = hex64(fnv1a64(extract::to_rules(defects)));
     const CellKeys keys =

@@ -70,6 +70,10 @@ struct CampaignReport {
     /// Completed cells in grid order (shard-selected).  Deterministic in
     /// the spec: cache hits, resumes and sharding never change content.
     std::vector<CellResult> cells;
+    /// True when the spec sweeps an n-detection axis (any target != 1).
+    /// Report emitters add the per-n quality columns only then, so
+    /// classic campaigns keep their exact report bytes.
+    bool ndetect_axis = false;
     CampaignStats stats;
 };
 

@@ -92,11 +92,14 @@ int int_suffix(const std::string& name, const char* prefix) {
 }  // namespace
 
 Cell cell_at(const CampaignSpec& spec, std::size_t index) {
+    const std::size_t nn = spec.ndetect.size();
     const std::size_t na = spec.atpg.size();
     const std::size_t ns = spec.seeds.size();
     const std::size_t nr = spec.rules.size();
     Cell c;
     c.index = index;
+    c.ndetect = spec.ndetect[index % nn];
+    index /= nn;
     c.atpg = spec.atpg[index % na].name;
     index /= na;
     c.seed = spec.seeds[index % ns];
@@ -180,7 +183,18 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
                         static_cast<std::uint64_t>(parse_int(v, line)));
             } else if (key == "atpg")
                 atpg_selection = split_list(value);
-            else
+            else if (key == "ndetect") {
+                spec.ndetect.clear();
+                for (const std::string& v : split_list(value)) {
+                    const long long n = parse_int(v, line);
+                    if (n < 1 || n > 64)
+                        fail(line, "ndetect target out of range [1, 64]: '" +
+                                       v + "'");
+                    spec.ndetect.push_back(static_cast<int>(n));
+                }
+                if (spec.ndetect.empty())
+                    fail(line, "[grid] ndetect is empty");
+            } else
                 fail(line, "unknown [grid] key '" + key + "'");
         } else if (section.rfind("atpg.", 0) == 0) {
             atpg::TestGenOptions& o = spec.atpg.back().options;
@@ -192,7 +206,13 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
                 o.stale_blocks = static_cast<int>(parse_int(value, line));
             else if (key == "backtrack_limit")
                 o.backtrack_limit = static_cast<int>(parse_int(value, line));
-            else
+            else if (key == "ndetect_mix") {
+                try {
+                    o.ndetect_mix = atpg::parse_ndetect_mix(value);
+                } catch (const std::invalid_argument& e) {
+                    fail(line, e.what());
+                }
+            } else
                 fail(line, "unknown [" + section + "] key '" + key + "'");
         } else {
             fail(line, "key outside any section");

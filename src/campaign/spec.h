@@ -13,18 +13,21 @@
 //   rules = bridging, uniform
 //   seeds = 1, 2
 //   atpg = quick
+//   ndetect = 1, 2, 4, 8       # optional n-detection axis (default: 1)
 //
 //   [atpg.quick]               # one section per named ATPG variant
 //   max_random = 256
 //   backtrack_limit = 1024
+//   ndetect_mix = mixed        # top-up sources when ndetect > 1
 //
 // Grid axes are names: circuits resolve to the programmatic builders in
 // netlist/builders.h (c17, c432, adder<N>, parity<N>, mux<N>, decoder<N>,
 // alu<N>, hamming<N>) or to a .bench file path; rule decks resolve to the
 // DefectStatistics presets (bridging, open, uniform) or to a .rules file
 // path.  Cells enumerate in row-major grid order — circuit outermost, then
-// rules, seeds, ATPG variant — which is also the shard-partitioning and
-// report order.
+// rules, seeds, ATPG variant, n-detection target — which is also the
+// shard-partitioning and report order.  The ndetect axis is innermost, so
+// a spec without one enumerates exactly as before it existed.
 #pragma once
 
 #include <cstdint>
@@ -54,14 +57,28 @@ struct CampaignSpec {
     /// identical, so this never enters artifact cache keys.
     std::string engine;
 
-    // Grid axes (each must be non-empty; seeds/atpg default to one entry).
+    // Grid axes (each must be non-empty; seeds/atpg/ndetect default to one
+    // entry).
     std::vector<std::string> circuits;
     std::vector<std::string> rules;
     std::vector<std::uint64_t> seeds{1};
     std::vector<AtpgVariant> atpg{AtpgVariant{}};
+    /// n-detection targets (atpg::TestGenOptions::ndetect per cell).  The
+    /// default {1} is the classic single-detection grid; its cells hash,
+    /// serialize, and report byte-identically to a spec that predates the
+    /// axis.
+    std::vector<int> ndetect{1};
 
     std::size_t cell_count() const {
-        return circuits.size() * rules.size() * seeds.size() * atpg.size();
+        return circuits.size() * rules.size() * seeds.size() * atpg.size() *
+               ndetect.size();
+    }
+    /// True when the grid actually sweeps n (any target != 1): reports add
+    /// the per-n quality columns only for such campaigns.
+    bool has_ndetect_axis() const {
+        for (int n : ndetect)
+            if (n != 1) return true;
+        return false;
     }
 };
 
@@ -72,6 +89,7 @@ struct Cell {
     std::string rules;
     std::uint64_t seed = 1;
     std::string atpg;  ///< variant name
+    int ndetect = 1;   ///< n-detection target
 };
 
 /// The cell at row-major grid `index` (< spec.cell_count()).

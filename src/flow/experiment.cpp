@@ -441,6 +441,18 @@ const ExperimentResult& ExperimentRunner::fit() {
         r.theta_iddq_curve = d.theta_iddq_curve;
         r.lint = lint_report();
 
+        // n-detection quality of the stuck-at set: grade the per-fault
+        // detection counts against the ATPG target, excluding redundant
+        // faults so coverage figures match TestGenResult::coverage().
+        {
+            std::vector<std::uint8_t> redundant(t.tests.status.size(), 0);
+            for (std::size_t i = 0; i < t.tests.status.size(); ++i)
+                if (t.tests.status[i] == atpg::FaultStatus::Redundant)
+                    redundant[i] = 1;
+            r.ndetect = model::ndetect_profile(t.tests.detection_counts,
+                                               t.tests.ndetect, redundant);
+        }
+
         // Record where a budget stopped the run (earliest stage wins; a
         // sticky stop in ATPG also stops the later stages immediately).
         if (t.tests.stop != support::StopReason::None) {

@@ -19,6 +19,7 @@
 #include "lint/checks.h"
 #include "model/coverage_laws.h"
 #include "model/fit.h"
+#include "model/ndetect.h"
 #include "netlist/techmap.h"
 #include "parallel/parallel_for.h"
 #include "parallel/progress.h"
@@ -126,6 +127,11 @@ struct ExperimentResult {
     model::ProposedFit fit;           ///< (R, theta_max) of eq (11)
     model::CoverageLaw t_law;         ///< fitted stuck-at susceptibility
     model::CoverageLaw theta_law;     ///< fitted realistic susceptibility
+
+    /// n-detection quality of the stuck-at test set, graded against the
+    /// options.atpg.ndetect target over testable (non-redundant) faults
+    /// (Pomeranz & Reddy worst/average case; trivial at the default n=1).
+    model::NDetectProfile ndetect;
 
     /// Static-analysis findings for the inputs this result was computed
     /// from (empty when the lint gate is disabled).  A lint failure leaves

@@ -1,5 +1,6 @@
 #include "gatesim/engine.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
@@ -54,6 +55,30 @@ std::vector<std::size_t> Session::undetected() const {
     return out;
 }
 
+// Base-class n-detection defaults: a target of 1, with the count table
+// derived from the first-detection table, so engines that only support the
+// classic drop-on-first-detection behavior need no override.
+
+std::vector<int> Session::detection_counts() const {
+    const auto table = first_detected_at();
+    std::vector<int> counts(table.size(), 0);
+    for (std::size_t i = 0; i < table.size(); ++i)
+        if (table[i] >= 0) counts[i] = 1;
+    return counts;
+}
+
+std::vector<int> Session::nth_detected_at() const {
+    const auto table = first_detected_at();
+    return std::vector<int>(table.begin(), table.end());
+}
+
+std::size_t Session::fully_detected_count() const {
+    std::size_t n = 0;
+    for (int at : nth_detected_at())
+        if (at >= 0) ++n;
+    return n;
+}
+
 // ---- Builtin engines ------------------------------------------------------
 
 namespace {
@@ -68,8 +93,8 @@ using gatesim::Vector;
 class PpsfpSession final : public Session {
 public:
     PpsfpSession(const Circuit& circuit, std::vector<StuckAtFault> faults,
-                 parallel::ParallelOptions parallel)
-        : sim_(circuit, std::move(faults), parallel) {}
+                 parallel::ParallelOptions parallel, SessionOptions options)
+        : sim_(circuit, std::move(faults), parallel, options.ndetect) {}
 
     std::span<const StuckAtFault> faults() const override {
         return sim_.faults();
@@ -84,6 +109,16 @@ public:
     }
     using Session::apply;
 
+    int ndetect_target() const override { return sim_.ndetect_target(); }
+    std::vector<int> detection_counts() const override {
+        const auto counts = sim_.detection_counts();
+        return std::vector<int>(counts.begin(), counts.end());
+    }
+    std::vector<int> nth_detected_at() const override {
+        const auto table = sim_.nth_detected_at();
+        return std::vector<int>(table.begin(), table.end());
+    }
+
 private:
     gatesim::FaultSimulator sim_;
 };
@@ -96,9 +131,14 @@ private:
 /// test-sized circuits only.
 class NaiveSession final : public Session {
 public:
-    NaiveSession(const Circuit& circuit, std::vector<StuckAtFault> faults)
-        : circuit_(circuit), faults_(std::move(faults)) {
+    NaiveSession(const Circuit& circuit, std::vector<StuckAtFault> faults,
+                 SessionOptions options)
+        : circuit_(circuit),
+          faults_(std::move(faults)),
+          ndetect_(std::max(1, options.ndetect)) {
         detected_at_.assign(faults_.size(), -1);
+        counts_.assign(faults_.size(), 0);
+        nth_at_.assign(faults_.size(), -1);
     }
 
     std::span<const StuckAtFault> faults() const override { return faults_; }
@@ -106,6 +146,10 @@ public:
         return detected_at_;
     }
     int vectors_applied() const override { return vectors_applied_; }
+
+    int ndetect_target() const override { return ndetect_; }
+    std::vector<int> detection_counts() const override { return counts_; }
+    std::vector<int> nth_detected_at() const override { return nth_at_; }
 
     support::ApplyResult apply(std::span<const Vector> vectors,
                                const support::RunBudget& budget) override {
@@ -130,13 +174,17 @@ public:
             for (std::size_t k = 0; k < take; ++k)
                 good[k] = good_outputs(vectors[base + k]);
             for (std::size_t fi = 0; fi < faults_.size(); ++fi) {
-                if (detected_at_[fi] >= 0) continue;
+                if (counts_[fi] >= ndetect_) continue;  // fault dropping
                 for (std::size_t k = 0; k < take; ++k)
                     if (faulty_outputs(vectors[base + k], faults_[fi]) !=
                         good[k]) {
-                        detected_at_[fi] =
+                        const int pos =
                             before_applied + static_cast<int>(base + k) + 1;
-                        break;
+                        if (detected_at_[fi] < 0) detected_at_[fi] = pos;
+                        if (++counts_[fi] == ndetect_) {
+                            nth_at_[fi] = pos;
+                            break;
+                        }
                     }
             }
             completed = base + take;
@@ -187,7 +235,10 @@ private:
 
     const Circuit& circuit_;
     std::vector<StuckAtFault> faults_;
+    const int ndetect_;
     std::vector<int> detected_at_;
+    std::vector<int> counts_;  ///< detections so far, saturated at ndetect_
+    std::vector<int> nth_at_;  ///< vector index reaching the target; -1 below
     int vectors_applied_ = 0;
 };
 
@@ -200,8 +251,9 @@ public:
     }
     std::unique_ptr<Session> open(
         const Circuit& circuit, std::vector<StuckAtFault> faults,
-        parallel::ParallelOptions) const override {
-        return std::make_unique<NaiveSession>(circuit, std::move(faults));
+        parallel::ParallelOptions, SessionOptions options) const override {
+        return std::make_unique<NaiveSession>(circuit, std::move(faults),
+                                              options);
     }
 };
 
@@ -213,9 +265,10 @@ public:
     }
     std::unique_ptr<Session> open(
         const Circuit& circuit, std::vector<StuckAtFault> faults,
-        parallel::ParallelOptions) const override {
-        return std::make_unique<PpsfpSession>(
-            circuit, std::move(faults), parallel::ParallelOptions{1});
+        parallel::ParallelOptions, SessionOptions options) const override {
+        return std::make_unique<PpsfpSession>(circuit, std::move(faults),
+                                              parallel::ParallelOptions{1},
+                                              options);
     }
 };
 
@@ -228,9 +281,10 @@ public:
     }
     std::unique_ptr<Session> open(
         const Circuit& circuit, std::vector<StuckAtFault> faults,
-        parallel::ParallelOptions parallel) const override {
+        parallel::ParallelOptions parallel,
+        SessionOptions options) const override {
         return std::make_unique<PpsfpSession>(circuit, std::move(faults),
-                                              parallel);
+                                              parallel, options);
     }
 };
 
@@ -243,9 +297,10 @@ public:
     }
     std::unique_ptr<Session> open(
         const Circuit& circuit, std::vector<StuckAtFault> faults,
-        parallel::ParallelOptions parallel) const override {
+        parallel::ParallelOptions parallel,
+        SessionOptions options) const override {
         return std::make_unique<gatesim::LevelizedFaultSimulator>(
-            circuit, std::move(faults), parallel);
+            circuit, std::move(faults), parallel, options.ndetect);
     }
 };
 

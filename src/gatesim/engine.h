@@ -37,10 +37,20 @@
 
 namespace dlp::sim {
 
+/// Per-session knobs passed to Engine::open().
+struct SessionOptions {
+    /// n-detection target: a fault is dropped from simulation only after
+    /// it has been detected by `ndetect` vector positions (Pomeranz &
+    /// Reddy n-detection test sets).  1 recovers the classic single-
+    /// detection behavior exactly — same dropping, same work, same bytes.
+    int ndetect = 1;
+};
+
 /// A fault-simulation run over one (circuit, stuck-at fault list) pair.
 /// Vectors are applied in sequence (appending); per fault the session
-/// records the 1-based index of the first detecting vector.  Detected
-/// faults are dropped from subsequent simulation.
+/// records the 1-based index of the first detecting vector.  Faults are
+/// dropped from subsequent simulation once detected `ndetect` times
+/// (SessionOptions; default 1 = classic drop-on-first-detection).
 ///
 /// Contract (shared by every engine, enforced by the differential suite):
 ///   * apply() consumes vectors in 64-wide pattern blocks and checks the
@@ -48,7 +58,9 @@ namespace dlp::sim {
 ///     number of blocks and everything recorded is a bit-identical prefix
 ///     of the unbounded run (see support/cancel.h).
 ///   * Results are independent of the worker count.
-///   * first_detected_at() is bit-identical across engines.
+///   * first_detected_at() — and, for engines that support n-detection,
+///     detection_counts() / nth_detected_at() — are bit-identical across
+///     engines.
 class Session {
 public:
     virtual ~Session() = default;
@@ -72,6 +84,23 @@ public:
         return apply(vectors, support::RunBudget{}).newly_detected;
     }
 
+    // ---- n-detection accounting ------------------------------------------
+    // Defaults implement the classic target of 1, derived from the first-
+    // detection table, so single-detection engines need no override.
+
+    /// The session's n-detection target (SessionOptions::ndetect).
+    virtual int ndetect_target() const { return 1; }
+
+    /// Per fault: number of detecting vector positions seen so far,
+    /// saturated at ndetect_target().  Monotone in the applied prefix and
+    /// (for a fixed sequence) in the target n.
+    virtual std::vector<int> detection_counts() const;
+
+    /// Per fault: 1-based index of the vector at which the detection count
+    /// reached ndetect_target(); -1 while still below target.  Equals
+    /// first_detected_at() when the target is 1.
+    virtual std::vector<int> nth_detected_at() const;
+
     // Derived accessors, computed from the detection table so every engine
     // shares one definition.
     std::size_t detected_count() const;
@@ -81,6 +110,8 @@ public:
     std::vector<double> coverage_curve() const;
     /// Indices (into faults()) of still-undetected faults.
     std::vector<std::size_t> undetected() const;
+    /// Faults whose detection count reached the n-detection target.
+    std::size_t fully_detected_count() const;
 };
 
 /// Switch-level (realistic-defect) session: the interface the experiment
@@ -117,11 +148,13 @@ public:
 
     /// Opens a session.  `circuit` must outlive the session; `parallel` is
     /// the worker-count request for engines that use the shared pool
-    /// (serial engines ignore it; results never depend on it).
+    /// (serial engines ignore it; results never depend on it).  `options`
+    /// carries per-session knobs such as the n-detection target.
     virtual std::unique_ptr<Session> open(
         const gatesim::Circuit& circuit,
         std::vector<gatesim::StuckAtFault> faults,
-        parallel::ParallelOptions parallel = {}) const = 0;
+        parallel::ParallelOptions parallel = {},
+        SessionOptions options = {}) const = 0;
 };
 
 /// Registry default when neither an explicit name nor DLPROJ_ENGINE is set.

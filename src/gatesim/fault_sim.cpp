@@ -11,9 +11,14 @@ namespace dlp::gatesim {
 
 FaultSimulator::FaultSimulator(const Circuit& circuit,
                                std::vector<StuckAtFault> faults,
-                               parallel::ParallelOptions parallel)
-    : circuit_(circuit), faults_(std::move(faults)), parallel_(parallel) {
+                               parallel::ParallelOptions parallel, int ndetect)
+    : circuit_(circuit),
+      faults_(std::move(faults)),
+      ndetect_(std::max(1, ndetect)),
+      parallel_(parallel) {
     detected_at_.assign(faults_.size(), -1);
+    counts_.assign(faults_.size(), 0);
+    nth_at_.assign(faults_.size(), -1);
 }
 
 int FaultSimulator::apply(std::span<const Vector> vectors) {
@@ -77,7 +82,7 @@ support::ApplyResult FaultSimulator::apply(std::span<const Vector> vectors,
             [&](size_t fb, size_t fe, int w) {
                 auto& [fwords, operands] = scratch[static_cast<size_t>(w)];
                 for (size_t fi = fb; fi < fe; ++fi) {
-                    if (detected_at_[fi] >= 0) continue;  // fault dropping
+                    if (counts_[fi] >= ndetect_) continue;  // fault dropping
                     const StuckAtFault& fault = faults_[fi];
                     const std::uint64_t stuck_word =
                         fault.stuck_value ? ~0ULL : 0ULL;
@@ -125,9 +130,26 @@ support::ApplyResult FaultSimulator::apply(std::span<const Vector> vectors,
                         diff |= (fwords[po] ^ good[po]);
                     diff &= lane_mask;
                     if (diff != 0) {
-                        const int lane = std::countr_zero(diff);
-                        detected_at_[fi] = before_applied +
-                                           static_cast<int>(base) + lane + 1;
+                        // Every set lane is one detecting vector position.
+                        // The count saturates at the target; when this block
+                        // carries the target-reaching detection, its lane is
+                        // the `need`-th set bit of diff.
+                        const int block_base =
+                            before_applied + static_cast<int>(base);
+                        if (detected_at_[fi] < 0)
+                            detected_at_[fi] =
+                                block_base + std::countr_zero(diff) + 1;
+                        const int need = ndetect_ - counts_[fi];
+                        const int got = std::popcount(diff);
+                        if (got >= need) {
+                            std::uint64_t d = diff;
+                            for (int i = 1; i < need; ++i) d &= d - 1;
+                            nth_at_[fi] =
+                                block_base + std::countr_zero(d) + 1;
+                            counts_[fi] = ndetect_;
+                        } else {
+                            counts_[fi] += got;
+                        }
                     }
                 }
             },

@@ -25,8 +25,10 @@ namespace dlp::gatesim {
 
 class FaultSimulator {
 public:
+    /// `ndetect` is the n-detection target: a fault is dropped only after
+    /// `ndetect` vector positions have detected it (1 = classic behavior).
     FaultSimulator(const Circuit& circuit, std::vector<StuckAtFault> faults,
-                   parallel::ParallelOptions parallel = {});
+                   parallel::ParallelOptions parallel = {}, int ndetect = 1);
 
     /// Worker count for subsequent apply() calls (0 = scoped/env default).
     void set_parallel(parallel::ParallelOptions parallel) {
@@ -53,6 +55,17 @@ public:
     /// undetected.
     std::span<const int> first_detected_at() const { return detected_at_; }
 
+    /// The n-detection target faults are simulated toward.
+    int ndetect_target() const { return ndetect_; }
+
+    /// Per fault: detecting vector positions seen so far, saturated at the
+    /// target (monotone in the applied prefix and in the target).
+    std::span<const int> detection_counts() const { return counts_; }
+
+    /// Per fault: 1-based index of the vector at which the count reached
+    /// the target, -1 while below; equals first_detected_at() at target 1.
+    std::span<const int> nth_detected_at() const { return nth_at_; }
+
     int vectors_applied() const { return vectors_applied_; }
     std::size_t detected_count() const { return detected_count_; }
     double coverage() const;
@@ -67,7 +80,10 @@ public:
 private:
     const Circuit& circuit_;
     std::vector<StuckAtFault> faults_;
+    int ndetect_ = 1;
     std::vector<int> detected_at_;
+    std::vector<int> counts_;  ///< detections so far, saturated at ndetect_
+    std::vector<int> nth_at_;  ///< vector index reaching the target; -1 below
     int vectors_applied_ = 0;
     std::size_t detected_count_ = 0;
     parallel::ParallelOptions parallel_;

@@ -159,12 +159,15 @@ void simulate_block_levelized(const LevelizedCircuit& lc,
 
 LevelizedFaultSimulator::LevelizedFaultSimulator(
     const Circuit& circuit, std::vector<StuckAtFault> faults,
-    parallel::ParallelOptions parallel)
+    parallel::ParallelOptions parallel, int ndetect)
     : circuit_(circuit),
       lc_(levelize(circuit)),
       faults_(std::move(faults)),
+      ndetect_(std::max(1, ndetect)),
       parallel_(parallel) {
     detected_at_.assign(faults_.size(), -1);
+    counts_.assign(faults_.size(), 0);
+    nth_at_.assign(faults_.size(), -1);
 }
 
 std::uint64_t LevelizedFaultSimulator::propagate(
@@ -263,8 +266,9 @@ std::uint64_t LevelizedFaultSimulator::propagate(
         // Once lane 0 differs at an output the detection index (lowest
         // differing lane, always inside the lane mask) can't improve —
         // deeper propagation only ORs in higher lanes.  Drain the pending
-        // buckets and stop.
-        if (diff & 1ULL) {
+        // buckets and stop.  Only valid at a target of 1: n-detection
+        // counts every set lane, so the full diff word must be computed.
+        if (ndetect_ == 1 && (diff & 1ULL)) {
             for (int r = l + 1; r <= hi; ++r)
                 s.bucket[static_cast<std::size_t>(r)].clear();
             break;
@@ -325,7 +329,7 @@ support::ApplyResult LevelizedFaultSimulator::apply(
             [&](std::size_t fb, std::size_t fe, int w) {
                 Scratch& s = scratch[static_cast<std::size_t>(w)];
                 for (std::size_t fi = fb; fi < fe; ++fi) {
-                    if (detected_at_[fi] >= 0) continue;  // fault dropping
+                    if (counts_[fi] >= ndetect_) continue;  // fault dropping
                     const StuckAtFault& fault = faults_[fi];
                     if (fault.is_stem()) {
                         // Not excited in any valid lane: no propagation
@@ -337,10 +341,28 @@ support::ApplyResult LevelizedFaultSimulator::apply(
                     }
                     const std::uint64_t diff =
                         propagate(fi, s, good) & lane_mask;
-                    if (diff != 0)
-                        detected_at_[fi] =
-                            before_applied + static_cast<int>(base) +
-                            std::countr_zero(diff) + 1;
+                    if (diff != 0) {
+                        // Same accounting as the PPSFP engine: every set
+                        // lane is one detecting vector position; the count
+                        // saturates at the target and the target-reaching
+                        // lane is the `need`-th set bit of diff.
+                        const int block_base =
+                            before_applied + static_cast<int>(base);
+                        if (detected_at_[fi] < 0)
+                            detected_at_[fi] =
+                                block_base + std::countr_zero(diff) + 1;
+                        const int need = ndetect_ - counts_[fi];
+                        const int got = std::popcount(diff);
+                        if (got >= need) {
+                            std::uint64_t d = diff;
+                            for (int i = 1; i < need; ++i) d &= d - 1;
+                            nth_at_[fi] =
+                                block_base + std::countr_zero(d) + 1;
+                            counts_[fi] = ndetect_;
+                        } else {
+                            counts_[fi] += got;
+                        }
+                    }
                 }
             },
             parallel_.threads);

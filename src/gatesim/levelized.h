@@ -89,9 +89,12 @@ void simulate_block_levelized(const LevelizedCircuit& lc,
 /// The levelized engine session; also usable directly (bench, tests).
 class LevelizedFaultSimulator final : public sim::Session {
 public:
+    /// `ndetect` is the n-detection target: a fault is dropped only after
+    /// `ndetect` vector positions have detected it (1 = classic behavior).
     LevelizedFaultSimulator(const Circuit& circuit,
                             std::vector<StuckAtFault> faults,
-                            parallel::ParallelOptions parallel = {});
+                            parallel::ParallelOptions parallel = {},
+                            int ndetect = 1);
 
     std::span<const StuckAtFault> faults() const override { return faults_; }
     std::span<const int> first_detected_at() const override {
@@ -101,6 +104,10 @@ public:
     support::ApplyResult apply(std::span<const Vector> vectors,
                                const support::RunBudget& budget) override;
     using sim::Session::apply;
+
+    int ndetect_target() const override { return ndetect_; }
+    std::vector<int> detection_counts() const override { return counts_; }
+    std::vector<int> nth_detected_at() const override { return nth_at_; }
 
     /// The compiled IR (tests and benches introspect it).
     const LevelizedCircuit& compiled() const { return lc_; }
@@ -124,7 +131,10 @@ private:
     const Circuit& circuit_;
     LevelizedCircuit lc_;
     std::vector<StuckAtFault> faults_;
+    int ndetect_ = 1;
     std::vector<int> detected_at_;
+    std::vector<int> counts_;  ///< detections so far, saturated at ndetect_
+    std::vector<int> nth_at_;  ///< vector index reaching the target; -1 below
     int vectors_applied_ = 0;
     parallel::ParallelOptions parallel_;
 };

@@ -1,0 +1,36 @@
+#include "model/ndetect.h"
+
+#include <algorithm>
+
+namespace dlp::model {
+
+NDetectProfile ndetect_profile(std::span<const int> counts, int target,
+                               std::span<const std::uint8_t> exclude) {
+    NDetectProfile p;
+    p.target = std::max(1, target);
+    p.histogram.assign(static_cast<std::size_t>(p.target) + 1, 0);
+
+    long long sum = 0;  // of clamped counts, so it feeds both means
+    std::size_t at_target = 0;
+    int min_count = -1;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i < exclude.size() && exclude[i]) continue;
+        const int c = std::clamp(counts[i], 0, p.target);
+        ++p.faults;
+        ++p.histogram[static_cast<std::size_t>(c)];
+        sum += c;
+        if (c >= p.target) ++at_target;
+        min_count = min_count < 0 ? c : std::min(min_count, c);
+    }
+    if (p.faults == 0) return p;
+
+    const double n = static_cast<double>(p.faults);
+    p.min_detections = std::max(0, min_count);
+    p.mean_detections = static_cast<double>(sum) / n;
+    p.worst_case_coverage = static_cast<double>(at_target) / n;
+    p.avg_case_coverage =
+        static_cast<double>(sum) / (n * static_cast<double>(p.target));
+    return p;
+}
+
+}  // namespace dlp::model

@@ -1,0 +1,49 @@
+// Worst-case / average-case quality statistics of an n-detection test set
+// (Pomeranz & Reddy, "Worst-Case and Average-Case Analysis of n-Detection
+// Test Sets").
+//
+// The paper's DL(T) model (eq. 11) grades a test set by a single coverage
+// number; an n-detection set tightens that grade by requiring each fault be
+// detected by n distinct vectors.  This module reduces a per-fault
+// detection-count table (dlp::sim::Session::detection_counts()) to the two
+// figures of merit Pomeranz & Reddy plot per n:
+//   * worst-case coverage  — the fraction of testable faults that reached
+//     the full target n (the set's guaranteed multiplicity), and
+//   * average-case coverage — mean over testable faults of
+//     min(count, n) / n (how close the set is to the target on average).
+// At n = 1 both reduce to the classic testable-fault coverage, so the
+// profile is a strict generalization of TestGenResult::coverage().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dlp::model {
+
+/// Per-n quality profile of a detection-count table.
+struct NDetectProfile {
+    int target = 1;          ///< the n the counts were graded against
+    std::size_t faults = 0;  ///< faults profiled (total minus excluded)
+    /// Min count over profiled faults (0 when some testable fault was
+    /// never detected — the worst-case fault of the set).
+    int min_detections = 0;
+    double mean_detections = 0.0;  ///< mean count over profiled faults
+    /// Fraction of profiled faults with count >= target (worst case).
+    double worst_case_coverage = 0.0;
+    /// Mean of min(count, target) / target over profiled faults.
+    double avg_case_coverage = 0.0;
+    /// histogram[k] = profiled faults with count == k, k in [0, target]
+    /// (counts are saturated at the target upstream).
+    std::vector<std::size_t> histogram;
+};
+
+/// Profiles a detection-count table against target n.  Entries < 0 and
+/// entries > target are clamped into [0, target].  `exclude` (optional,
+/// same length as `counts`) removes faults that cannot be detected by
+/// construction — typically the redundant set — so coverage figures are
+/// over testable faults, matching TestGenResult::coverage().
+NDetectProfile ndetect_profile(std::span<const int> counts, int target,
+                               std::span<const std::uint8_t> exclude = {});
+
+}  // namespace dlp::model

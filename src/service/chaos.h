@@ -32,17 +32,27 @@ struct ChaosConfig {
     int delay_ms_max = 10;    ///< max injected delay per chunk
 };
 
+/// The proxy itself: one acceptor thread plus one pump thread per
+/// connection direction.  start()/stop() bracket the lifetime; counters
+/// are readable at any time (including while running).
 class FaultProxy {
 public:
     explicit FaultProxy(ChaosConfig config);
     ~FaultProxy();  ///< stop()s
 
+    /// Binds listen_path and starts accepting.  Throws std::runtime_error
+    /// if the socket cannot be bound.
     void start();
+    /// Stops accepting, severs every live connection, joins all threads.
+    /// Idempotent.
     void stop();
 
+    /// Client connections accepted so far.
     std::size_t connections() const {
         return connections_.load(std::memory_order_relaxed);
     }
+    /// Faults actually injected (refusals + drops + truncations + delays);
+    /// a run with probabilities > 0 but zero injections exercised nothing.
     std::size_t faults_injected() const {
         return faults_.load(std::memory_order_relaxed);
     }

@@ -24,10 +24,10 @@
 namespace dlp::service {
 
 struct ClientOptions {
-    std::string socket_path;
+    std::string socket_path;       ///< daemon unix socket (required)
     int max_attempts = 5;          ///< total tries (first + retries)
     int io_timeout_ms = 30000;     ///< per-frame read/write bound
-    support::BackoffOptions backoff;
+    support::BackoffOptions backoff;  ///< retry pacing (seeded jitter)
     bool retry_on_shed = true;     ///< false: report shed to the caller
     /// Progress observer (stage, done, total), invoked on the calling
     /// thread as event frames arrive.

@@ -90,6 +90,7 @@ Request parse_request(std::string_view payload) {
     r.rules = doc.str_or("rules", "");
     r.seed = static_cast<std::uint64_t>(require_range(
         doc, "seed", 1, 0, std::numeric_limits<std::int64_t>::max() >> 12));
+    r.ndetect = static_cast<int>(require_range(doc, "ndetect", 0, 0, 64));
 
     if (r.op == Op::Campaign && r.spec.empty())
         throw ProtocolError("campaign request is missing \"spec\"");
@@ -119,6 +120,8 @@ std::string request_json(const Request& r) {
     if (r.seed != 1)
         doc.set("seed",
                 Json::number(static_cast<long long>(r.seed)));
+    if (r.ndetect > 0)
+        doc.set("ndetect", Json::number(static_cast<long long>(r.ndetect)));
     return write_json(doc);
 }
 

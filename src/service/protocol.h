@@ -26,6 +26,9 @@
 //   circuit, rules  project op: grid names or file paths (resolved by
 //                   campaign::resolve_circuit / resolve_rules)
 //   seed            project op: ATPG seed (default 1)
+//   ndetect         project op: n-detection target in [1, 64] (0/absent =
+//                   classic single detection); campaign specs carry their
+//                   own [grid] ndetect axis instead
 //
 // Reply frames:
 //   {"event":"progress","id":...,"stage":...,"done":N,"total":N}
@@ -86,6 +89,7 @@ struct Request {
     std::string circuit;  // project
     std::string rules;    // project
     std::uint64_t seed = 1;
+    int ndetect = 0;  ///< project op target; 0 = classic (n = 1)
 };
 
 /// Parses a request payload; throws ProtocolError (bad JSON, unknown op,

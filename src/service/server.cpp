@@ -435,6 +435,7 @@ void Service::execute_run(const Request& request, int fd) {
             spec.circuits = {request.circuit};
             spec.rules = {request.rules};
             spec.seeds = {request.seed};
+            if (request.ndetect >= 1) spec.ndetect = {request.ndetect};
         }
         if (request.max_vectors >= 0) spec.max_vectors = request.max_vectors;
         const std::string engine =

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/artifacts.h"
 #include "campaign/report.h"
 #include "campaign/runner.h"
 #include "campaign/spec.h"
@@ -236,6 +237,75 @@ TEST(CampaignCache, ColdThenWarmAccounting) {
     // The science reports are byte-identical; only accounting differs.
     EXPECT_EQ(report_json(warm), report_json(cold));
     EXPECT_EQ(report_csv(warm), report_csv(cold));
+}
+
+TEST(CampaignNDetect, ClassicCellSerializesV1WithDerivedQuality) {
+    // A classic (n=1) cell keeps the version-1 artifact format byte for
+    // byte; parsing it back derives the trivial n=1 quality figures from
+    // T(k)'s final value, so a warm ndetect-axis resume over a classic (or
+    // pre-n-detect) cache reports the same bytes as a cold run.
+    CellResult c;
+    c.circuit = "c17";
+    c.rules = "bridging";
+    c.atpg = "default";
+    c.t_curve = flow::CoverageCurve({0.5, 0.875});
+    const std::string text = serialize_cell(c);
+    EXPECT_EQ(text.substr(0, text.find('\n')), "dlproj-cell 1");
+    EXPECT_EQ(text.find("ndetect"), std::string::npos);
+    const CellResult back = parse_cell(text);
+    EXPECT_EQ(back.ndetect, 1);
+    EXPECT_EQ(back.ndetect_min, 0);  // 0.875 < 1: some fault undetected
+    EXPECT_EQ(back.ndetect_mean, 0.875);
+    EXPECT_EQ(back.worst_case_coverage, 0.875);
+    EXPECT_EQ(back.avg_case_coverage, 0.875);
+
+    // An n-detect cell round-trips its measured figures through v2.
+    c.ndetect = 4;
+    c.ndetect_min = 2;
+    c.ndetect_mean = 3.25;
+    c.worst_case_coverage = 0.5;
+    c.avg_case_coverage = 0.8125;
+    const std::string text2 = serialize_cell(c);
+    EXPECT_EQ(text2.substr(0, text2.find('\n')), "dlproj-cell 2");
+    const CellResult back2 = parse_cell(text2);
+    EXPECT_EQ(back2.ndetect, 4);
+    EXPECT_EQ(back2.ndetect_min, 2);
+    EXPECT_EQ(back2.ndetect_mean, 3.25);
+    EXPECT_EQ(back2.worst_case_coverage, 0.5);
+    EXPECT_EQ(back2.avg_case_coverage, 0.8125);
+}
+
+TEST(CampaignNDetect, AxisGridSharesClassicCacheByteIdentically) {
+    // The n=1 cells of an ndetect-axis grid carry the same artifact keys
+    // and bytes as a classic campaign's, so a cache warmed without the
+    // axis serves them — and the axis report must not depend on whether
+    // its n=1 cells were hits or fresh.
+    CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    spec.circuits = {"c17"};
+    spec.rules = {"bridging"};
+    const std::string cache = scratch_dir("ndetect_axis");
+    const CampaignReport classic = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(classic.stats.cell_misses, 1u);
+    EXPECT_FALSE(classic.ndetect_axis);
+
+    spec.ndetect = {1, 2};
+    const CampaignReport warm = run_campaign(spec, cached_options(cache));
+    EXPECT_TRUE(warm.ndetect_axis);
+    EXPECT_EQ(warm.stats.cell_hits, 1u);    // the n=1 cell
+    EXPECT_EQ(warm.stats.cell_misses, 1u);  // the n=2 cell
+    const CampaignReport cold =
+        run_campaign(spec, cached_options(scratch_dir("ndetect_axis_cold")));
+    EXPECT_EQ(report_json(warm), report_json(cold));
+    EXPECT_EQ(report_csv(warm), report_csv(cold));
+    ASSERT_EQ(warm.cells.size(), 2u);
+    EXPECT_EQ(warm.cells[0].ndetect, 1);
+    EXPECT_EQ(warm.cells[1].ndetect, 2);
+    // c17 is fully testable: at n=1 the derived quality figures collapse
+    // to the (complete) coverage.
+    EXPECT_EQ(warm.cells[0].worst_case_coverage, 1.0);
+    EXPECT_EQ(warm.cells[0].ndetect_min, 1);
+    EXPECT_GE(warm.cells[1].avg_case_coverage,
+              warm.cells[1].worst_case_coverage);
 }
 
 TEST(CampaignCache, TestsArtifactSharedAcrossRuleDecks) {

@@ -68,7 +68,7 @@ TEST(EngineRegistry, DuplicateRegistrationThrows) {
         std::string_view description() const override { return "dup"; }
         std::unique_ptr<sim::Session> open(
             const Circuit&, std::vector<StuckAtFault>,
-            parallel::ParallelOptions) const override {
+            parallel::ParallelOptions, sim::SessionOptions) const override {
             return nullptr;
         }
     };

@@ -21,6 +21,9 @@
 //                     knob and never affects results or cache keys
 //   --threads=N       worker count within each cell (0 = default)
 //   --max-vectors=N   override the spec's per-cell vector budget
+//   --ndetect=LIST    override the spec's [grid] ndetect axis with a
+//                     comma-separated list of targets in [1, 64]
+//                     (e.g. --ndetect=1,2,4,8)
 //   --timeout-ms=N    wall-clock budget for the whole campaign; on expiry
 //                     the run stops at the next cell/stage boundary and
 //                     the partial report (an exact prefix) is emitted
@@ -78,7 +81,8 @@ int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--cache-dir=PATH] [--no-cache] [--shard=I/N]"
                  " [--json=PATH] [--csv=PATH] [--stats=PATH] [--engine=NAME]"
-                 " [--threads=N] [--max-vectors=N] [--timeout-ms=N]"
+                 " [--threads=N] [--max-vectors=N] [--ndetect=LIST]"
+                 " [--timeout-ms=N]"
                  " [--no-recover] [--list] [--quiet] <spec.campaign>\n";
     return 2;
 }
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
     long long max_vectors = -1;  // <0: keep the spec's value
     long long timeout_ms = 0;    // 0: no campaign-level deadline
     bool no_recover = false;
+    std::string ndetect_list;  // empty: keep the spec's axis
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -134,6 +139,8 @@ int main(int argc, char** argv) {
                 threads = std::stoi(value("--threads="));
             else if (arg.rfind("--max-vectors=", 0) == 0)
                 max_vectors = std::stoll(value("--max-vectors="));
+            else if (arg.rfind("--ndetect=", 0) == 0)
+                ndetect_list = value("--ndetect=");
             else if (arg.rfind("--timeout-ms=", 0) == 0)
                 timeout_ms = std::stoll(value("--timeout-ms="));
             else if (arg == "--no-recover")
@@ -167,12 +174,37 @@ int main(int argc, char** argv) {
         return 2;
     }
     if (max_vectors >= 0) spec.max_vectors = max_vectors;
+    if (!ndetect_list.empty()) {
+        spec.ndetect.clear();
+        std::istringstream in(ndetect_list);
+        std::string item;
+        try {
+            while (std::getline(in, item, ',')) {
+                if (item.empty()) continue;
+                const int n = std::stoi(item);
+                if (n < 1 || n > 64)
+                    throw std::runtime_error("target out of range [1, 64]");
+                spec.ndetect.push_back(n);
+            }
+            if (spec.ndetect.empty())
+                throw std::runtime_error("empty target list");
+        } catch (const std::exception& e) {
+            std::cerr << argv[0] << ": bad --ndetect list '" << ndetect_list
+                      << "': " << e.what() << "\n";
+            return 2;
+        }
+    }
 
     if (list) {
+        // The ndetect column appears only for grids that sweep n, so the
+        // listing of a classic spec keeps its exact bytes.
+        const bool show_ndetect = spec.has_ndetect_axis();
         for (std::size_t i = 0; i < spec.cell_count(); ++i) {
             const campaign::Cell c = campaign::cell_at(spec, i);
             std::cout << i << " " << c.circuit << " " << c.rules << " seed="
-                      << c.seed << " atpg=" << c.atpg << "\n";
+                      << c.seed << " atpg=" << c.atpg;
+            if (show_ndetect) std::cout << " ndetect=" << c.ndetect;
+            std::cout << "\n";
         }
         return 0;
     }
