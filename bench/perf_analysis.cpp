@@ -1,0 +1,125 @@
+// Emits BENCH_analysis.json: throughput and yield of the static
+// untestability analysis (src/analysis) per corpus circuit — pivots and
+// implications per second, proofs found (= faults proven untestable), and
+// the time the independent checker (analysis::check_proof) takes to
+// re-certify every emitted proof.  scripts/bench_analysis.sh wraps this
+// and enforces the structural bars (every proof checks; the redundant
+// fixtures yield proofs).
+//
+// Workloads: the c17/c432/adder/parity builders, the committed synth_2k
+// netlist (loaded from data/, so run from the repo root or pass the data
+// dir as argv[1]), and a synth_5k-scale random circuit built with the
+// fixture's generator settings (96 inputs, 5000 gates, seed 7 — the
+// committed synth_5k.bench predates the INPUT/OUTPUT header fix and does
+// not parse).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/proof.h"
+#include "analysis/untestable.h"
+#include "bench_util.h"
+#include "gatesim/faults.h"
+#include "netlist/bench_parser.h"
+#include "netlist/builders.h"
+
+namespace {
+
+using namespace dlp;
+using clock_type = std::chrono::steady_clock;
+
+struct Row {
+    std::string circuit;
+    std::size_t gates = 0;
+    std::size_t faults = 0;
+    std::size_t untestable = 0;
+    std::size_t pivots = 0;
+    std::uint64_t implications = 0;
+    std::uint64_t learned = 0;
+    double wall_s = 0.0;
+    double proofs_per_s = 0.0;
+    double check_s = 0.0;  ///< independent checker over every proof
+    bool all_proofs_check = true;
+};
+
+Row run_circuit(const std::string& name, const netlist::Circuit& c) {
+    const auto faults =
+        gatesim::collapse_faults(c, gatesim::full_fault_universe(c));
+
+    const auto t0 = clock_type::now();
+    const analysis::AnalysisResult r = analysis::find_untestable(c, faults);
+    const double secs =
+        std::chrono::duration<double>(clock_type::now() - t0).count();
+
+    const auto c0 = clock_type::now();
+    bool all_ok = true;
+    for (const auto& proof : r.proofs)
+        all_ok = all_ok && analysis::check_proof(c, proof);
+    const double check_s =
+        std::chrono::duration<double>(clock_type::now() - c0).count();
+
+    Row row;
+    row.circuit = name;
+    row.gates = c.gate_count();
+    row.faults = faults.size();
+    row.untestable = r.stats.proofs;
+    row.pivots = r.stats.pivots_done;
+    row.implications = r.stats.implications;
+    row.learned = r.stats.learned;
+    row.wall_s = secs;
+    row.proofs_per_s = secs > 0.0 ? r.stats.proofs / secs : 0.0;
+    row.check_s = check_s;
+    row.all_proofs_check = all_ok;
+    std::fprintf(stderr,
+                 "[bench] %-10s %6zu faults  %5zu untestable  %7.3fs "
+                 "analyze  %7.3fs check  %s\n",
+                 name.c_str(), row.faults, row.untestable, secs, check_s,
+                 all_ok ? "proofs ok" : "PROOF CHECK FAILED");
+    return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string data_dir = argc > 1 ? argv[1] : "data";
+
+    std::vector<Row> rows;
+    rows.push_back(run_circuit("c17", netlist::build_c17()));
+    rows.push_back(run_circuit("c432", netlist::build_c432()));
+    rows.push_back(run_circuit("adder8", netlist::build_ripple_adder(8)));
+    rows.push_back(run_circuit("parity16", netlist::build_parity_tree(16)));
+    rows.push_back(run_circuit(
+        "synth_2k", netlist::load_bench_file(data_dir + "/synth_2k.bench")));
+    rows.push_back(
+        run_circuit("synth_5k", netlist::build_random_circuit(96, 5000, 7)));
+
+    // One row per line so scripts/bench_analysis.sh can grep/sed them.
+    std::string body = "{\n  \"bench\": \"analysis\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        char line[512];
+        std::snprintf(
+            line, sizeof line,
+            "    {\"circuit\": \"%s\", \"gates\": %zu, \"faults\": %zu, "
+            "\"untestable\": %zu, \"pivots\": %zu, \"implications\": %llu, "
+            "\"learned\": %llu, \"wall_s\": %.4f, \"proofs_per_s\": %.2f, "
+            "\"check_s\": %.4f, \"all_proofs_check\": %s}%s\n",
+            r.circuit.c_str(), r.gates, r.faults, r.untestable, r.pivots,
+            static_cast<unsigned long long>(r.implications),
+            static_cast<unsigned long long>(r.learned), r.wall_s,
+            r.proofs_per_s, r.check_s, r.all_proofs_check ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+        body += line;
+    }
+    body += "  ]\n}\n";
+
+    const std::string path = "BENCH_analysis.json";
+    if (dlp::bench::write_file(path, body))
+        std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    else {
+        std::fprintf(stderr, "[bench] failed to write %s\n", path.c_str());
+        return 1;
+    }
+    return 0;
+}

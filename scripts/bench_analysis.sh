@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_analysis.json (written to the repo root) via the
+# perf_analysis harness: static untestability-analysis throughput
+# (proofs/sec, implications) and untestable-fault counts per corpus
+# circuit, plus the independent proof-checker pass over every emitted
+# proof (see bench/perf_analysis.cpp for what each row measures).
+#
+# The enforced bars are correctness properties, not performance numbers:
+# every row's proofs re-certify under the independent checker, and the
+# redundancy-rich fixtures (c432, synth_2k) yield at least one proof —
+# a silent drop to zero would mean the pass stopped finding anything.
+#
+# Usage: scripts/bench_analysis.sh [path/to/perf_analysis]
+set -eu
+root=$(cd "$(dirname "$0")/.." && pwd)
+
+BIN=${1:-$root/build/bench/perf_analysis}
+[ -x "$BIN" ] || { echo "bench_analysis: $BIN not built" >&2; exit 1; }
+
+cd "$root"
+"$BIN" "$root/data"
+
+[ -f BENCH_analysis.json ] || {
+    echo "bench_analysis: BENCH_analysis.json not written" >&2; exit 1; }
+
+# One row per line; pull a named field out of a row.
+field() { sed "s/.*\"$2\": \([a-z0-9.e+-]*\).*/\1/" <<< "$1"; }
+
+rows=$(grep '"circuit"' BENCH_analysis.json)
+[ "$(wc -l <<< "$rows")" -eq 6 ] || {
+    echo "bench_analysis: expected 6 corpus rows" >&2; exit 1; }
+
+fail=0
+while IFS= read -r row; do
+    [ "$(field "$row" all_proofs_check)" = "true" ] || {
+        echo "bench_analysis: proof check failed: $row" >&2
+        fail=1
+    }
+    case "$row" in
+        *c432*|*synth_2k*)
+            [ "$(field "$row" untestable)" -gt 0 ] || {
+                echo "bench_analysis: no proofs on a redundant fixture:" \
+                     "$row" >&2
+                fail=1
+            }
+            ;;
+    esac
+done <<< "$rows"
+
+[ "$fail" -eq 0 ] || { echo "bench_analysis FAILED" >&2; exit 1; }
+echo "bench_analysis OK"

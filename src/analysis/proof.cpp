@@ -1,0 +1,304 @@
+#include "analysis/proof.h"
+
+#include <string>
+#include <vector>
+
+#include "gatesim/faults.h"
+
+namespace dlp::analysis {
+
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::kNoNet;
+
+int controlling_value(GateType t) {
+    switch (t) {
+        case GateType::And:
+        case GateType::Nand:
+            return 0;
+        case GateType::Or:
+        case GateType::Nor:
+            return 1;
+        default:
+            return -1;
+    }
+}
+
+/// Replays chains against the bare circuit.  Deduction is validated by
+/// brute-force local satisfiability over each step's gate truth table —
+/// no rule engine is shared with the prover.
+class Checker {
+public:
+    explicit Checker(const Circuit& circuit)
+        : circuit_(circuit), n_(circuit.gate_count()) {}
+
+    bool fail(std::string* why, const std::string& msg) {
+        if (why && why->empty()) *why = msg;
+        return false;
+    }
+
+    /// True iff gate `g`'s local constraints admit no consistent
+    /// assignment extending `vals` with `over_net` pinned to `over_val`
+    /// (pass kNoNet for no override).  Unknown nets are enumerated; a
+    /// gate too wide to enumerate reports through `ok = false`.
+    bool locally_unsat(NetId g, const std::vector<std::int8_t>& vals,
+                      NetId over_net, int over_val, bool& ok) {
+        ok = true;
+        const netlist::Gate& gate = circuit_.gate(g);
+        std::vector<NetId> free;  // unknown distinct nets, output first
+        const auto val_of = [&](NetId net) {
+            if (net == over_net) return over_val;
+            return static_cast<int>(vals[net]);
+        };
+        const auto note_free = [&](NetId net) {
+            if (val_of(net) >= 0) return;
+            for (const NetId f : free)
+                if (f == net) return;
+            free.push_back(net);
+        };
+        note_free(g);
+        for (const NetId in : gate.fanin) note_free(in);
+        if (free.size() > 20) {
+            ok = false;
+            return false;
+        }
+        std::vector<std::uint64_t> words(gate.fanin.size());
+        for (std::uint64_t m = 0; m < (std::uint64_t{1} << free.size());
+             ++m) {
+            const auto bit_of = [&](NetId net) -> std::uint64_t {
+                const int v = val_of(net);
+                if (v >= 0) return static_cast<std::uint64_t>(v);
+                for (std::size_t i = 0; i < free.size(); ++i)
+                    if (free[i] == net) return (m >> i) & 1u;
+                return 0;  // unreachable
+            };
+            for (std::size_t i = 0; i < gate.fanin.size(); ++i)
+                words[i] = bit_of(gate.fanin[i]);
+            const std::uint64_t out =
+                netlist::eval_gate(gate.type, words) & 1u;
+            if (out == bit_of(g)) return false;  // satisfiable
+        }
+        return true;
+    }
+
+    /// Validates one derivation chain under `vals` (mutated in place).
+    /// Sets `conflicted` when the chain establishes a contradiction of
+    /// its own assumptions.  Nothing may follow a conflict step.
+    bool replay(const std::vector<ProofStep>& chain, Literal assumption,
+                std::vector<std::int8_t>& vals, bool& conflicted,
+                int depth, std::string* why) {
+        conflicted = false;
+        if (depth > 4) return fail(why, "chain nesting too deep");
+        if (chain.empty() || chain.front().kind != StepKind::Assume ||
+            !(chain.front().lit == assumption))
+            return fail(why, "chain must open with its assumption");
+        if (assumption.net >= n_)
+            return fail(why, "assumption names an unknown net");
+        if (vals[assumption.net] >= 0 &&
+            vals[assumption.net] != (assumption.value ? 1 : 0)) {
+            // The assumption contradicts the enclosing context: this half
+            // of the split is vacuous, so the rest of its chain (recorded
+            // in a context where the net was still free) is irrelevant.
+            conflicted = true;
+            return true;
+        }
+        vals[assumption.net] = assumption.value ? 1 : 0;
+
+        for (std::size_t si = 1; si < chain.size(); ++si) {
+            const ProofStep& step = chain[si];
+            if (conflicted)
+                return fail(why, "steps after a conflict");
+            switch (step.kind) {
+                case StepKind::Assume:
+                    return fail(why, "assumption mid-chain");
+                case StepKind::Implied: {
+                    if (step.gate >= n_ ||
+                        circuit_.gate(step.gate).type == GateType::Input)
+                        return fail(why, "implied step names no gate");
+                    if (step.lit.net >= n_)
+                        return fail(why, "implied literal names no net");
+                    bool ok = true;
+                    // Forced iff the opposite value is locally
+                    // unsatisfiable at the named gate.
+                    if (!locally_unsat(step.gate, vals, step.lit.net,
+                                       step.lit.value ? 0 : 1, ok))
+                        return fail(why, ok ? "literal not forced by gate"
+                                            : "gate too wide to check");
+                    if (!record(step.lit, vals, why)) return false;
+                    break;
+                }
+                case StepKind::Conflict: {
+                    if (step.gate >= n_ ||
+                        circuit_.gate(step.gate).type == GateType::Input)
+                        return fail(why, "conflict step names no gate");
+                    bool ok = true;
+                    if (!locally_unsat(step.gate, vals, kNoNet, 0, ok))
+                        return fail(why, ok ? "gate not in conflict"
+                                            : "gate too wide to check");
+                    conflicted = true;
+                    break;
+                }
+                case StepKind::Learned: {
+                    if (step.split >= n_)
+                        return fail(why, "split names no net");
+                    std::vector<std::int8_t> v0 = vals;
+                    std::vector<std::int8_t> v1 = vals;
+                    bool c0 = false;
+                    bool c1 = false;
+                    if (!replay(step.branch0, Literal{step.split, false},
+                                v0, c0, depth + 1, why) ||
+                        !replay(step.branch1, Literal{step.split, true},
+                                v1, c1, depth + 1, why))
+                        return false;
+                    if (c0 && c1) {
+                        conflicted = true;  // exhaustive split refuted
+                        break;
+                    }
+                    for (const Literal& l : step.lits) {
+                        if (l.net >= n_)
+                            return fail(why,
+                                        "learned literal names no net");
+                        const std::int8_t want = l.value ? 1 : 0;
+                        if (!(c0 || v0[l.net] == want) ||
+                            !(c1 || v1[l.net] == want))
+                            return fail(
+                                why, "literal not derived in both halves");
+                        if (!record(l, vals, why)) return false;
+                    }
+                    break;
+                }
+            }
+        }
+        return true;
+    }
+
+    bool record(Literal lit, std::vector<std::int8_t>& vals,
+                std::string* why) {
+        const std::int8_t v = lit.value ? 1 : 0;
+        if (vals[lit.net] >= 0 && vals[lit.net] != v)
+            return fail(why, "derived literal contradicts the chain");
+        vals[lit.net] = v;
+        return true;
+    }
+
+    /// Exact cone-aware propagation cut, re-derived from the chain's
+    /// assignments alone: no primary output may land in the set of nets
+    /// that can differ between the good and the faulty machine.
+    bool blocked(const gatesim::StuckAtFault& f,
+                 const std::vector<std::int8_t>& vals, std::string* why) {
+        NetId seed = f.net;
+        if (!f.is_stem()) {
+            const netlist::Gate& r = circuit_.gate(f.reader);
+            const int c = controlling_value(r.type);
+            for (std::size_t q = 0; q < r.fanin.size(); ++q) {
+                if (static_cast<int>(q) == f.pin) continue;
+                if (c >= 0 && vals[r.fanin[q]] == c)
+                    return true;  // entry gate pinned in both machines
+            }
+            seed = f.reader;
+        }
+        if (circuit_.is_output(seed))
+            return fail(why, "fault effect reaches an output directly");
+        std::vector<std::uint8_t> in_d(n_, 0);
+        in_d[seed] = 1;
+        for (NetId g = seed + 1; g < n_; ++g) {
+            const netlist::Gate& gate = circuit_.gate(g);
+            if (gate.type == GateType::Input) continue;
+            bool any_d = false;
+            for (const NetId in : gate.fanin)
+                if (in_d[in]) {
+                    any_d = true;
+                    break;
+                }
+            if (!any_d) continue;
+            const int c = controlling_value(gate.type);
+            bool cut = false;
+            if (c >= 0)
+                for (const NetId in : gate.fanin)
+                    if (!in_d[in] && vals[in] == c) {
+                        cut = true;
+                        break;
+                    }
+            if (cut) continue;
+            if (circuit_.is_output(g))
+                return fail(why, "a propagation path is not blocked");
+            in_d[g] = 1;
+        }
+        return true;
+    }
+
+    bool check_branch(const UntestableProof& proof,
+                      const BranchEvidence& e, bool pivot_value,
+                      std::string* why) {
+        if (!(e.assumption == Literal{proof.pivot, pivot_value}))
+            return fail(why, "branch assumes the wrong pivot literal");
+        if (!e.chain) return fail(why, "branch carries no chain");
+        std::vector<std::int8_t> vals(n_, -1);
+        bool conflicted = false;
+        if (!replay(*e.chain, e.assumption, vals, conflicted, 0, why))
+            return false;
+        if (conflicted) return true;  // vacuous: assumption unsatisfiable
+        switch (e.reason) {
+            case BranchReason::Conflict:
+                return fail(why, "conflict claimed but chain is consistent");
+            case BranchReason::Unexcitable:
+                if (vals[proof.fault.net] ==
+                    (proof.fault.stuck_value ? 1 : 0))
+                    return true;
+                return fail(why, "site not forced to the stuck value");
+            case BranchReason::Blocked:
+                return blocked(proof.fault, vals, why);
+        }
+        return fail(why, "unknown branch reason");
+    }
+
+    bool check(const UntestableProof& proof, std::string* why) {
+        const gatesim::StuckAtFault& f = proof.fault;
+        if (f.net >= n_) return fail(why, "fault names no net");
+        if (!f.is_stem()) {
+            if (f.reader >= n_ || f.pin < 0 ||
+                static_cast<std::size_t>(f.pin) >=
+                    circuit_.gate(f.reader).fanin.size() ||
+                circuit_.gate(f.reader).fanin[static_cast<std::size_t>(
+                    f.pin)] != f.net)
+                return fail(why, "fault pin does not read the fault net");
+        }
+        if (proof.pivot >= n_) return fail(why, "pivot names no net");
+        return check_branch(proof, proof.b0, false, why) &&
+               check_branch(proof, proof.b1, true, why);
+    }
+
+private:
+    const Circuit& circuit_;
+    const NetId n_;
+};
+
+}  // namespace
+
+bool check_proof(const netlist::Circuit& circuit,
+                 const UntestableProof& proof, std::string* why) {
+    if (why) why->clear();
+    return Checker(circuit).check(proof, why);
+}
+
+std::string proof_summary(const netlist::Circuit& circuit,
+                          const UntestableProof& proof) {
+    const auto reason = [](const BranchEvidence& e) {
+        switch (e.reason) {
+            case BranchReason::Conflict:
+                return "conflict";
+            case BranchReason::Unexcitable:
+                return "unexcitable";
+            case BranchReason::Blocked:
+                return "blocked";
+        }
+        return "?";
+    };
+    return gatesim::fault_name(circuit, proof.fault) +
+           " untestable (pivot " + circuit.gate(proof.pivot).name + ": 0=>" +
+           reason(proof.b0) + ", 1=>" + reason(proof.b1) + ")";
+}
+
+}  // namespace dlp::analysis

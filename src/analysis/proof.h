@@ -1,0 +1,111 @@
+// Machine-checkable untestability proofs.
+//
+// The static analysis pass (untestable.h) proves single stuck-at faults
+// untestable without simulation.  Every verdict ships with a proof object
+// that an independent checker (check_proof) can replay using nothing but
+// the circuit structure and gate semantics — the checker shares no
+// deduction code with the implication engine that produced the proof, so a
+// bug in the engine cannot silently certify itself.
+//
+// Proof shape.  A proof is a case split on one *pivot* net p: any input
+// vector drives p to 0 or to 1, and the proof carries one evidence branch
+// per value.  A branch assumes p = v, derives further net values by a
+// chain of implication steps, and then shows the fault cannot be detected
+// under the assumption for one of three reasons:
+//   * Conflict    — p = v is contradictory, so no vector sets p = v and
+//                   the branch is vacuously detection-free;
+//   * Unexcitable — the chain forces the fault site to its stuck value,
+//                   so the fault is never activated;
+//   * Blocked     — every path from the fault site to a primary output is
+//                   cut by a side input that the chain forces to the
+//                   gate's controlling value *outside* the fault's fanout
+//                   cone (inside the cone a side input may carry a fault
+//                   effect itself, so it cannot be trusted to block).
+// If both branches hold, no vector detects the fault.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gatesim/faults.h"
+#include "netlist/circuit.h"
+
+namespace dlp::analysis {
+
+using netlist::NetId;
+
+/// A net/value pair ("net carries value in the good machine").
+struct Literal {
+    NetId net = netlist::kNoNet;
+    bool value = false;
+
+    bool operator==(const Literal&) const = default;
+};
+
+enum class StepKind : std::uint8_t {
+    Assume,   ///< the branch assumption (first step of a chain)
+    Implied,  ///< `lit` is forced by `gate`'s semantics given prior steps
+    Learned,  ///< `lit` holds in both halves of a case split on `split`
+    Conflict  ///< `gate`'s local constraints are unsatisfiable
+};
+
+/// One derivation step.  A chain is a vector of steps replayed in order;
+/// Learned steps carry their two sub-derivations inline (branch0 assumes
+/// `split` = 0, branch1 assumes `split` = 1) and list every literal the
+/// split established in `lits` — each must hold in both non-conflicting
+/// halves.  A Learned step with no `lits` whose both sub-chains end in a
+/// conflict establishes a conflict of the outer chain.
+struct ProofStep {
+    StepKind kind = StepKind::Implied;
+    Literal lit;  ///< derived literal (Assume/Implied)
+    NetId gate = netlist::kNoNet;   ///< Implied/Conflict: the forcing gate
+    NetId split = netlist::kNoNet;  ///< Learned: the case-split net
+    std::vector<Literal> lits;      ///< Learned: literals established
+    std::vector<ProofStep> branch0;
+    std::vector<ProofStep> branch1;
+};
+
+enum class BranchReason : std::uint8_t { Conflict, Unexcitable, Blocked };
+
+/// Evidence that the fault is undetectable whenever `assumption` holds.
+/// The chain is shared: every fault a pivot proves reuses the same two
+/// closure derivations (immutable once published).
+struct BranchEvidence {
+    Literal assumption;
+    /// Derivation chain, starting with the Assume step.
+    std::shared_ptr<const std::vector<ProofStep>> chain;
+    BranchReason reason = BranchReason::Conflict;
+    /// For Blocked: the forced controlling side inputs that cut the
+    /// propagation paths.  Informational (diagnostics name them); the
+    /// checker re-derives the blocking cut from the chain itself.
+    std::vector<Literal> blockers;
+};
+
+/// A complete untestability proof: a case split on `pivot` with one
+/// evidence branch per value (b0 assumes pivot = 0, b1 assumes pivot = 1).
+struct UntestableProof {
+    gatesim::StuckAtFault fault;
+    NetId pivot = netlist::kNoNet;
+    BranchEvidence b0;
+    BranchEvidence b1;
+};
+
+/// Independently verifies `proof` against the circuit: replays both
+/// chains step by step (each Implied step must be forced by its gate's
+/// truth table, each Conflict step locally unsatisfiable, each Learned
+/// step validated recursively in both halves of its split) and then
+/// checks the claimed branch reason, re-deriving the fanout-cone-aware
+/// propagation cut for Blocked branches from scratch.  Returns true iff
+/// the proof is valid; on failure `why` (when non-null) names the first
+/// offending step.
+bool check_proof(const netlist::Circuit& circuit,
+                 const UntestableProof& proof, std::string* why = nullptr);
+
+/// One-line human-readable rendering, e.g.
+/// "N22/SA0 untestable (pivot N7: 0=>blocked, 1=>unexcitable)".
+std::string proof_summary(const netlist::Circuit& circuit,
+                          const UntestableProof& proof);
+
+}  // namespace dlp::analysis

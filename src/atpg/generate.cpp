@@ -51,10 +51,14 @@ TestGenResult generate_test_set(const Circuit& circuit,
     TestGenResult result;
     const int ndetect = std::max(1, options.ndetect);
     result.ndetect = ndetect;
+    if (!options.untestable.empty() &&
+        options.untestable.size() != faults.size())
+        throw std::invalid_argument(
+            "generate_test_set: untestable mask size mismatch");
     const std::unique_ptr<sim::Session> session =
         sim::resolve_engine(options.engine)
             .open(circuit, std::move(faults), options.parallel,
-                  sim::SessionOptions{ndetect});
+                  sim::SessionOptions{ndetect, options.untestable});
     sim::Session& sim = *session;
     gatesim::RandomPatternGenerator rng(options.seed);
     const support::RunBudget& budget = options.budget;
@@ -97,6 +101,16 @@ TestGenResult generate_test_set(const Circuit& circuit,
     // fault, or the generated sequence would diverge from the unbounded
     // run's); faults never reached stay Undetected.
     result.status.assign(sim.faults().size(), FaultStatus::Undetected);
+    // Statically proven-untestable faults are settled before any PODEM
+    // targeting: Redundant upfront, with neither a search nor an x-fill
+    // draw, so the corrected run spends its randomness only on faults that
+    // can still matter.
+    if (!options.untestable.empty())
+        for (std::size_t fi = 0; fi < result.status.size(); ++fi)
+            if (options.untestable[fi]) {
+                result.status[fi] = FaultStatus::Redundant;
+                ++result.redundant;
+            }
     if (result.stop == support::StopReason::None) {
         // Per-target counters: each PODEM search is one deterministic unit
         // (fixed fault order + x-fill), so totals are thread-count-invariant.
@@ -109,6 +123,8 @@ TestGenResult generate_test_set(const Circuit& circuit,
         Podem podem(circuit, compute_testability(circuit));
         for (std::size_t fi : sim.undetected()) {
             if (sim.first_detected_at()[fi] >= 0) continue;  // dropped
+            if (result.status[fi] == FaultStatus::Redundant)
+                continue;  // statically proven untestable: already settled
             const support::StopReason stop = budget.check();
             if (stop != support::StopReason::None) {
                 result.stop = stop;

@@ -62,6 +62,13 @@ struct TestGenOptions {
     /// backtrack; `budget.max_vectors` caps the generated sequence and
     /// `budget.atpg_backtracks` (when > 0) overrides `backtrack_limit`.
     support::RunBudget budget;
+    /// Statically proven-untestable marks (parallel to the fault list;
+    /// empty = no static analysis).  Marked faults are recorded Redundant
+    /// upfront — no PODEM search, no x-fill draw — and excluded from the
+    /// embedded simulation, so coverage() (detected / (total - redundant))
+    /// is the testability-corrected curve.  Empty marks reproduce the
+    /// classic run byte for byte.
+    std::vector<std::uint8_t> untestable;
 };
 
 /// Final status of one fault after test generation.

@@ -172,10 +172,15 @@ std::vector<gatesim::StuckAtFault> parse_faults(const std::string& text) {
 
 std::string serialize_tests(const flow::ExperimentRunner::TestSet& t) {
     // Classic single-detection test sets keep the version-1 byte layout;
-    // only n-detect sets (which carry extra tables) emit version 2.
-    const bool v2 = t.tests.ndetect > 1;
+    // n-detect sets (which carry extra tables) emit version 2, and sets
+    // built with untestability marks (which carry the uncorrected curve)
+    // emit version 3 — which includes the version-2 tables, trivial or
+    // not, so each version is a strict extension of the last.
+    const int version =
+        !t.t_curve_raw.empty() ? 3 : (t.tests.ndetect > 1 ? 2 : 1);
+    const bool v2 = version >= 2;
     std::ostringstream out;
-    out << (v2 ? "dlproj-tests 2\n" : "dlproj-tests 1\n");
+    out << "dlproj-tests " << version << "\n";
     out << "stuck " << t.stuck.size() << "\n";
     for (const auto& s : t.stuck) {
         const long long reader =
@@ -216,12 +221,13 @@ std::string serialize_tests(const flow::ExperimentRunner::TestSet& t) {
     for (const auto s : t.tests.status) out << " " << static_cast<int>(s);
     out << "\n";
     put_curve(out, "t_curve", t.t_curve);
+    if (version >= 3) put_curve(out, "t_curve_raw", t.t_curve_raw);
     return out.str();
 }
 
 flow::ExperimentRunner::TestSet parse_tests(const std::string& text) {
     Reader r(text);
-    const int version = r.versioned_magic("dlproj-tests", 2);
+    const int version = r.versioned_magic("dlproj-tests", 3);
     flow::ExperimentRunner::TestSet t;
     const long long nstuck = r.field("stuck");
     t.stuck.resize(static_cast<std::size_t>(nstuck));
@@ -284,6 +290,7 @@ flow::ExperimentRunner::TestSet parse_tests(const std::string& text) {
         t.tests.status.push_back(static_cast<atpg::FaultStatus>(s));
     }
     t.t_curve = r.curve("t_curve");
+    if (version >= 3) t.t_curve_raw = r.curve("t_curve_raw");
     return t;
 }
 
@@ -319,9 +326,10 @@ flow::ExperimentRunner::SimulationData parse_simulation(
 }
 
 std::string serialize_cell(const CellResult& c) {
-    const bool v2 = c.ndetect > 1;
+    const int version = c.analysis ? 3 : (c.ndetect > 1 ? 2 : 1);
+    const bool v2 = version >= 2;
     std::ostringstream out;
-    out << (v2 ? "dlproj-cell 2\n" : "dlproj-cell 1\n");
+    out << "dlproj-cell " << version << "\n";
     out << "circuit " << c.circuit << "\n";
     out << "rules " << c.rules << "\n";
     out << "atpg " << c.atpg << "\n";
@@ -345,9 +353,16 @@ std::string serialize_cell(const CellResult& c) {
         out << "avg_case_coverage " << double_hex(c.avg_case_coverage)
             << "\n";
     }
+    if (version >= 3) {
+        out << "untestable_faults " << c.untestable_faults << "\n";
+        out << "fit_raw_r " << double_hex(c.fit_raw_r) << "\n";
+        out << "fit_raw_theta_max " << double_hex(c.fit_raw_theta_max)
+            << "\n";
+    }
     out << "interruption " << (c.interruption.empty() ? "-" : c.interruption)
         << "\n";
     put_curve(out, "t_curve", c.t_curve);
+    if (version >= 3) put_curve(out, "t_curve_raw", c.t_curve_raw);
     put_curve(out, "theta_curve", c.theta_curve);
     put_curve(out, "gamma_curve", c.gamma_curve);
     put_curve(out, "theta_iddq_curve", c.theta_iddq_curve);
@@ -356,7 +371,7 @@ std::string serialize_cell(const CellResult& c) {
 
 CellResult parse_cell(const std::string& text) {
     Reader r(text);
-    const int version = r.versioned_magic("dlproj-cell", 2);
+    const int version = r.versioned_magic("dlproj-cell", 3);
     CellResult c;
     c.circuit = r.sfield("circuit");
     c.rules = r.sfield("rules");
@@ -381,9 +396,17 @@ CellResult parse_cell(const std::string& text) {
         c.worst_case_coverage = r.dfield("worst_case_coverage");
         c.avg_case_coverage = r.dfield("avg_case_coverage");
     }
+    if (version >= 3) {
+        c.analysis = true;
+        c.untestable_faults =
+            static_cast<std::size_t>(r.field("untestable_faults"));
+        c.fit_raw_r = r.dfield("fit_raw_r");
+        c.fit_raw_theta_max = r.dfield("fit_raw_theta_max");
+    }
     c.interruption = r.sfield("interruption");
     if (c.interruption == "-") c.interruption.clear();
     c.t_curve = r.curve("t_curve");
+    if (version >= 3) c.t_curve_raw = r.curve("t_curve_raw");
     c.theta_curve = r.curve("theta_curve");
     c.gamma_curve = r.curve("gamma_curve");
     c.theta_iddq_curve = r.curve("theta_iddq_curve");
@@ -402,6 +425,67 @@ CellResult parse_cell(const std::string& text) {
         c.ndetect_min = cov == 1.0 ? 1 : 0;
     }
     return c;
+}
+
+std::string serialize_analysis(
+    const flow::ExperimentRunner::AnalysisData& a) {
+    std::ostringstream out;
+    out << "dlproj-analysis 1\n";
+    out << "stuck " << a.stuck.size() << "\n";
+    for (const auto& s : a.stuck) {
+        const long long reader =
+            s.is_stem() ? -1 : static_cast<long long>(s.reader);
+        out << s.net << " " << reader << " " << s.pin << " "
+            << (s.stuck_value ? 1 : 0) << "\n";
+    }
+    out << "untestable " << a.untestable.size();
+    for (const auto m : a.untestable) out << " " << static_cast<int>(m);
+    out << "\n";
+    out << "stop " << static_cast<int>(a.stop) << "\n";
+    out << "pivots_done " << a.stats.pivots_done << "\n";
+    out << "pivots_total " << a.stats.pivots_total << "\n";
+    out << "implications " << a.stats.implications << "\n";
+    out << "learned " << a.stats.learned << "\n";
+    out << "constant_lines " << a.stats.constant_lines << "\n";
+    out << "proofs " << a.stats.proofs << "\n";
+    return out.str();
+}
+
+flow::ExperimentRunner::AnalysisData parse_analysis(
+    const std::string& text) {
+    Reader r(text);
+    r.magic("dlproj-analysis 1");
+    flow::ExperimentRunner::AnalysisData a;
+    const long long nstuck = r.field("stuck");
+    a.stuck.resize(static_cast<std::size_t>(nstuck));
+    for (auto& f : a.stuck) {
+        long long net = 0, reader = 0, pin = 0, sv = 0;
+        if (!(r.stream() >> net >> reader >> pin >> sv))
+            bad("truncated fault list");
+        f.net = static_cast<netlist::NetId>(net);
+        f.reader = reader < 0 ? netlist::kNoNet
+                              : static_cast<netlist::NetId>(reader);
+        f.pin = static_cast<int>(pin);
+        f.stuck_value = sv != 0;
+    }
+    const std::vector<int> marks = r.ints("untestable");
+    if (marks.size() != a.stuck.size())
+        bad("untestable mask size mismatch");
+    a.untestable.reserve(marks.size());
+    for (const int m : marks) {
+        if (m != 0 && m != 1) bad("bad untestable mark");
+        a.untestable.push_back(static_cast<std::uint8_t>(m));
+    }
+    a.stop = stop_from_int(r.field("stop"));
+    a.stats.pivots_done = static_cast<std::size_t>(r.field("pivots_done"));
+    a.stats.pivots_total = static_cast<std::size_t>(r.field("pivots_total"));
+    a.stats.implications =
+        static_cast<std::uint64_t>(r.field("implications"));
+    a.stats.learned = static_cast<std::uint64_t>(r.field("learned"));
+    a.stats.constant_lines =
+        static_cast<std::size_t>(r.field("constant_lines"));
+    a.stats.proofs = static_cast<std::size_t>(r.field("proofs"));
+    return a;
 }
 
 }  // namespace dlp::campaign

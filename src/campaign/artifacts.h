@@ -13,9 +13,11 @@
 //
 // n-detection cells (ndetect > 1) serialize as version 2 of the tests/cell
 // formats, which append the detection-count tables and quality figures;
-// classic cells keep emitting version 1 byte for byte, so caches warmed
-// before the n-detect axis existed stay valid and n=1 artifacts stay
-// byte-identical across the change.  Parsers accept both versions.
+// analysis cells (untestability analysis on) serialize as version 3, which
+// additionally appends the uncorrected coverage curve and the raw fit.
+// Classic cells keep emitting version 1 byte for byte, so caches warmed
+// before either axis existed stay valid and classic artifacts stay
+// byte-identical across the changes.  Parsers accept all versions.
 #pragma once
 
 #include <string>
@@ -57,11 +59,21 @@ struct CellResult {
     double worst_case_coverage = 0.0;  ///< frac of faults at the target
     double avg_case_coverage = 0.0;    ///< mean min(count, n)/n
 
+    // Static untestability analysis (src/analysis).  Only serialized and
+    // reported for analysis cells (v3); classic cells leave the defaults.
+    bool analysis = false;      ///< the analyze() stage ran for this cell
+    std::size_t untestable_faults = 0;  ///< faults proven untestable
+    double fit_raw_r = 0.0;             ///< eq (11) fit of the raw curve
+    double fit_raw_theta_max = 0.0;
+
     /// "" for a complete run, else "<stage>:<reason>" (e.g. a per-cell
     /// vector budget: "switch-sim:VectorBudget").
     std::string interruption;
 
-    flow::CoverageCurve t_curve;
+    flow::CoverageCurve t_curve;  ///< corrected when analysis ran
+    /// Uncorrected stuck-at coverage (detected / |universe|); empty unless
+    /// the analysis ran.
+    flow::CoverageCurve t_curve_raw;
     flow::CoverageCurve theta_curve;
     flow::CoverageCurve gamma_curve;
     flow::CoverageCurve theta_iddq_curve;
@@ -84,5 +96,12 @@ flow::ExperimentRunner::SimulationData parse_simulation(
 
 std::string serialize_cell(const CellResult& c);
 CellResult parse_cell(const std::string& text);
+
+/// The analysis-stage artifact: collapsed universe + untestability marks +
+/// work counters.  Proof objects are deliberately NOT serialized (they are
+/// bulky and only the marks/stats feed the downstream stages); a parsed
+/// artifact carries an empty proof list.
+std::string serialize_analysis(const flow::ExperimentRunner::AnalysisData& a);
+flow::ExperimentRunner::AnalysisData parse_analysis(const std::string& text);
 
 }  // namespace dlp::campaign

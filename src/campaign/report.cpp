@@ -72,6 +72,9 @@ std::string report_json(const CampaignReport& report) {
         out << "      \"atpg\": \"" << json_escape(c.atpg) << "\",\n";
         if (report.ndetect_axis)
             out << "      \"ndetect\": " << c.ndetect << ",\n";
+        if (report.analysis_axis)
+            out << "      \"analysis\": " << (c.analysis ? "true" : "false")
+                << ",\n";
         out << "      \"mapped_gates\": " << c.mapped_gates << ",\n";
         out << "      \"stuck_faults\": " << c.stuck_faults << ",\n";
         out << "      \"realistic_faults\": " << c.realistic_faults << ",\n";
@@ -97,9 +100,17 @@ std::string report_json(const CampaignReport& report) {
                 << num(c.worst_case_coverage) << ", \"avg_case_coverage\": "
                 << num(c.avg_case_coverage) << ", \"dl_ppm\": "
                 << num(dl_ppm(c)) << "},\n";
+        if (report.analysis_axis)
+            out << "      \"testability\": {\"untestable_faults\": "
+                << c.untestable_faults << ", \"t_raw_final\": "
+                << num(c.t_curve_raw.final()) << ", \"fit_raw_r\": "
+                << num(c.fit_raw_r) << ", \"fit_raw_theta_max\": "
+                << num(c.fit_raw_theta_max) << "},\n";
         out << "      \"interruption\": \"" << json_escape(c.interruption)
             << "\",\n";
         put_curve_json(out, "t_curve", c.t_curve);
+        if (report.analysis_axis)
+            put_curve_json(out, "t_curve_raw", c.t_curve_raw);
         put_curve_json(out, "theta_curve", c.theta_curve);
         put_curve_json(out, "gamma_curve", c.gamma_curve);
         put_curve_json(out, "theta_iddq_curve", c.theta_iddq_curve,
@@ -116,6 +127,7 @@ std::string report_csv(const CampaignReport& report, bool header) {
     if (header) {
         out << "index,circuit,rules,seed,atpg,";
         if (report.ndetect_axis) out << "ndetect,";
+        if (report.analysis_axis) out << "analysis,";
         out << "mapped_gates,stuck_faults,"
                "realistic_faults,vectors,yield,t_final,theta_final,"
                "gamma_final,theta_iddq_final,fit_r,fit_theta_max,"
@@ -123,12 +135,16 @@ std::string report_csv(const CampaignReport& report, bool header) {
         if (report.ndetect_axis)
             out << "min_detections,mean_detections,worst_case_coverage,"
                    "avg_case_coverage,dl_ppm,";
+        if (report.analysis_axis)
+            out << "untestable_faults,t_raw_final,fit_raw_r,"
+                   "fit_raw_theta_max,";
         out << "interruption\n";
     }
     for (const CellResult& c : report.cells) {
         out << c.index << "," << c.circuit << "," << c.rules << "," << c.seed
             << "," << c.atpg << ",";
         if (report.ndetect_axis) out << c.ndetect << ",";
+        if (report.analysis_axis) out << (c.analysis ? "on" : "off") << ",";
         out << c.mapped_gates << ","
             << c.stuck_faults << "," << c.realistic_faults << ","
             << c.vector_count << "," << num(c.yield) << ","
@@ -140,6 +156,10 @@ std::string report_csv(const CampaignReport& report, bool header) {
             out << c.ndetect_min << "," << num(c.ndetect_mean) << ","
                 << num(c.worst_case_coverage) << ","
                 << num(c.avg_case_coverage) << "," << num(dl_ppm(c)) << ",";
+        if (report.analysis_axis)
+            out << c.untestable_faults << "," << num(c.t_curve_raw.final())
+                << "," << num(c.fit_raw_r) << ","
+                << num(c.fit_raw_theta_max) << ",";
         out << c.interruption << "\n";
     }
     return out.str();
@@ -159,6 +179,8 @@ std::string stats_json(const CampaignStats& s) {
     out << "  \"sim_misses\": " << s.sim_misses << ",\n";
     out << "  \"faults_hits\": " << s.faults_hits << ",\n";
     out << "  \"faults_misses\": " << s.faults_misses << ",\n";
+    out << "  \"analysis_hits\": " << s.analysis_hits << ",\n";
+    out << "  \"analysis_misses\": " << s.analysis_misses << ",\n";
     out << "  \"store_corrupt\": " << s.store_corrupt << ",\n";
     out << "  \"stop\": \"" << support::stop_reason_name(s.stop) << "\"\n";
     out << "}\n";

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/untestable.h"
 #include "extract/rules_parser.h"
 #include "lint/checks.h"
 #include "netlist/bench_parser.h"
@@ -24,21 +25,30 @@ bool is_campaign_stop(support::StopReason reason) {
 /// pipeline changes can invalidate old caches by bumping it; doubles are
 /// encoded by bit pattern so a key never aliases across distinct values.
 struct CellKeys {
-    std::string faults;  ///< collapsed fault universe
-    std::string tests;   ///< + ATPG config, seed, vector budget
-    std::string sim;     ///< + rule deck, yield scaling, weighting
-    std::string cell;    ///< fitted-cell result (same inputs as sim)
+    std::string faults;    ///< collapsed fault universe
+    std::string analysis;  ///< untestability marks (analysis cells only)
+    std::string tests;     ///< + ATPG config, seed, vector budget
+    std::string sim;       ///< + rule deck, yield scaling, weighting
+    std::string cell;      ///< fitted-cell result (same inputs as sim)
 };
 
 CellKeys make_keys(const CampaignSpec& spec, const Cell& cell,
                    const std::string& bench_hash,
                    const std::string& rules_hash,
-                   const atpg::TestGenOptions& atpg) {
+                   const atpg::TestGenOptions& atpg, bool analysis) {
     CellKeys k;
     {
         std::ostringstream o;
         o << "dlproj-key faults 1\n" << "bench " << bench_hash << "\n";
         k.faults = o.str();
+    }
+    {
+        // Keyed by the circuit alone: the marks are a property of its
+        // structure, so every analysis cell of a circuit shares one
+        // artifact across rules/seeds/ATPG variants.
+        std::ostringstream o;
+        o << "dlproj-key analysis 1\n" << "bench " << bench_hash << "\n";
+        k.analysis = o.str();
     }
     {
         std::ostringstream o;
@@ -58,6 +68,10 @@ CellKeys make_keys(const CampaignSpec& spec, const Cell& cell,
             o << "ndetect " << atpg.ndetect << "\n"
               << "ndetect_mix " << atpg::ndetect_mix_name(atpg.ndetect_mix)
               << "\n";
+        // Likewise for the untestability analysis: marks change the test
+        // set (proven faults settle Redundant), so only analysis cells key
+        // on it and classic cells keep hitting pre-existing caches.
+        if (analysis) o << "analysis on\n";
         k.tests = o.str();
     }
     {
@@ -73,7 +87,7 @@ CellKeys make_keys(const CampaignSpec& spec, const Cell& cell,
     return k;
 }
 
-CellResult make_cell_result(const Cell& cell,
+CellResult make_cell_result(const Cell& cell, bool analysis,
                             const flow::ExperimentResult& r) {
     CellResult c;
     c.index = cell.index;
@@ -96,6 +110,16 @@ CellResult make_cell_result(const Cell& cell,
     c.ndetect_mean = r.ndetect.mean_detections;
     c.worst_case_coverage = r.ndetect.worst_case_coverage;
     c.avg_case_coverage = r.ndetect.avg_case_coverage;
+    c.analysis = analysis;
+    // Only analysis cells carry the raw figures: ProposedFit defaults are
+    // not zero, and copying them into an off cell would make a fresh cell
+    // differ from a cache-parsed v1 cell.
+    if (analysis) {
+        c.untestable_faults = r.untestable_faults;
+        c.fit_raw_r = r.fit_raw.r;
+        c.fit_raw_theta_max = r.fit_raw.theta_max;
+        c.t_curve_raw = r.t_curve_raw;
+    }
     if (r.interruption)
         c.interruption =
             r.interruption->stage + ":" +
@@ -122,6 +146,7 @@ CampaignReport CampaignRunner::run() {
     CampaignReport rep;
     rep.name = spec_.name;
     rep.ndetect_axis = spec_.has_ndetect_axis();
+    rep.analysis_axis = spec_.has_analysis_axis();
     rep.stats.cells_total = spec_.cell_count();
     const std::vector<std::size_t> cells =
         shard_cells(rep.stats.cells_total, options_.shard);
@@ -159,6 +184,7 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
                          std::to_string(cell.seed) + ", atpg " + cell.atpg;
         if (cell.ndetect != 1)
             id += ", ndetect " + std::to_string(cell.ndetect);
+        if (cell.analysis) id += ", analysis on";
         return id + ")";
     };
 
@@ -177,10 +203,15 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
     atpg::TestGenOptions atpg_opts = variant.options;
     atpg_opts.seed = cell.seed;
     atpg_opts.ndetect = cell.ndetect;
+    // The DLPROJ_ANALYSIS kill switch applies BEFORE keying: with the
+    // stage disabled the cell computes — and must cache — as a classic
+    // cell, not poison the analysis-keyed artifacts with unanalyzed data.
+    const bool analysis_on =
+        cell.analysis && analysis::analysis_enabled_from_env();
     const std::string bench_hash = hex64(fnv1a64(netlist::to_bench(circuit)));
     const std::string rules_hash = hex64(fnv1a64(extract::to_rules(defects)));
     const CellKeys keys =
-        make_keys(spec_, cell, bench_hash, rules_hash, atpg_opts);
+        make_keys(spec_, cell, bench_hash, rules_hash, atpg_opts, analysis_on);
 
     // Whole-cell hit: skip everything.
     if (auto hit = store.get("cell", keys.cell)) {
@@ -215,10 +246,26 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
     opt.budget = options_.budget;
     opt.budget.max_vectors = spec_.max_vectors;
     opt.lint_enabled = spec_.lint;
+    opt.analysis = analysis_on;
     flow::ExperimentRunner runner(std::move(circuit), std::move(opt));
     runner.set_progress(options_.progress);
 
-    // Seed the runner with any cached stage artifacts.
+    // Seed the runner with any cached stage artifacts.  The analysis
+    // artifact goes in first: inject_analysis drops downstream artifacts,
+    // so injecting it after the test set would discard the test set.
+    bool analysis_injected = false;
+    if (analysis_on) {
+        if (auto hit = store.get("analysis", keys.analysis)) {
+            try {
+                runner.inject_analysis(parse_analysis(*hit));
+                analysis_injected = true;
+                ++rep.stats.analysis_hits;
+            } catch (const std::exception&) {
+            }
+        }
+        if (!analysis_injected && store.enabled())
+            ++rep.stats.analysis_misses;
+    }
     bool tests_injected = false;
     if (auto hit = store.get("tests", keys.tests)) {
         try {
@@ -258,6 +305,20 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
         // Stage by stage, committing each freshly computed artifact as
         // soon as its stage completes: an interrupted campaign resumes
         // from the last committed artifact.
+        //
+        // The analysis stage runs even when the test set was injected:
+        // fit() reads its counters for the cell result, and recomputing
+        // (or re-hitting) it keeps a partially warm cell byte-identical
+        // to a cold one.
+        if (analysis_on) {
+            const flow::ExperimentRunner::AnalysisData& a = runner.analyze();
+            if (is_campaign_stop(a.stop)) {
+                rep.stats.stop = a.stop;
+                return false;
+            }
+            if (!analysis_injected)
+                store.put("analysis", keys.analysis, serialize_analysis(a));
+        }
         const flow::ExperimentRunner::TestSet& t = runner.generate_tests();
         if (is_campaign_stop(t.tests.stop)) {
             rep.stats.stop = t.tests.stop;
@@ -279,7 +340,7 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
             rep.stats.stop = res.interruption->reason;
             return false;
         }
-        CellResult r = make_cell_result(cell, res);
+        CellResult r = make_cell_result(cell, analysis_on, res);
         store.put("cell", keys.cell, serialize_cell(r));
         rep.cells.push_back(std::move(r));
         return true;

@@ -60,6 +60,8 @@ struct CampaignStats {
     std::size_t sim_misses = 0;
     std::size_t faults_hits = 0;
     std::size_t faults_misses = 0;
+    std::size_t analysis_hits = 0;  ///< untestability-analysis artifacts
+    std::size_t analysis_misses = 0;
     std::size_t store_corrupt = 0;  ///< objects rejected by hash check
     /// Why the campaign stopped early (None = ran to completion).
     support::StopReason stop = support::StopReason::None;
@@ -74,6 +76,9 @@ struct CampaignReport {
     /// Report emitters add the per-n quality columns only then, so
     /// classic campaigns keep their exact report bytes.
     bool ndetect_axis = false;
+    /// True when the spec turns the untestability analysis on anywhere;
+    /// report emitters add the corrected-vs-raw columns only then.
+    bool analysis_axis = false;
     CampaignStats stats;
 };
 

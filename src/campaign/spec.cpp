@@ -92,12 +92,15 @@ int int_suffix(const std::string& name, const char* prefix) {
 }  // namespace
 
 Cell cell_at(const CampaignSpec& spec, std::size_t index) {
+    const std::size_t nz = spec.analysis.size();
     const std::size_t nn = spec.ndetect.size();
     const std::size_t na = spec.atpg.size();
     const std::size_t ns = spec.seeds.size();
     const std::size_t nr = spec.rules.size();
     Cell c;
     c.index = index;
+    c.analysis = spec.analysis[index % nz] != 0;
+    index /= nz;
     c.ndetect = spec.ndetect[index % nn];
     index /= nn;
     c.atpg = spec.atpg[index % na].name;
@@ -194,6 +197,12 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
                 }
                 if (spec.ndetect.empty())
                     fail(line, "[grid] ndetect is empty");
+            } else if (key == "analysis") {
+                spec.analysis.clear();
+                for (const std::string& v : split_list(value))
+                    spec.analysis.push_back(parse_bool(v, line) ? 1 : 0);
+                if (spec.analysis.empty())
+                    fail(line, "[grid] analysis is empty");
             } else
                 fail(line, "unknown [grid] key '" + key + "'");
         } else if (section.rfind("atpg.", 0) == 0) {

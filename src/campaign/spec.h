@@ -14,6 +14,7 @@
 //   seeds = 1, 2
 //   atpg = quick
 //   ndetect = 1, 2, 4, 8       # optional n-detection axis (default: 1)
+//   analysis = off, on         # optional untestability-analysis axis
 //
 //   [atpg.quick]               # one section per named ATPG variant
 //   max_random = 256
@@ -25,9 +26,10 @@
 // alu<N>, hamming<N>) or to a .bench file path; rule decks resolve to the
 // DefectStatistics presets (bridging, open, uniform) or to a .rules file
 // path.  Cells enumerate in row-major grid order — circuit outermost, then
-// rules, seeds, ATPG variant, n-detection target — which is also the
-// shard-partitioning and report order.  The ndetect axis is innermost, so
-// a spec without one enumerates exactly as before it existed.
+// rules, seeds, ATPG variant, n-detection target, analysis setting — which
+// is also the shard-partitioning and report order.  The newest axis is
+// always innermost, so a spec without one enumerates exactly as before it
+// existed.
 #pragma once
 
 #include <cstdint>
@@ -68,16 +70,28 @@ struct CampaignSpec {
     /// serialize, and report byte-identically to a spec that predates the
     /// axis.
     std::vector<int> ndetect{1};
+    /// Static untestability-analysis settings (0 = off, 1 = on; the flow's
+    /// analyze() stage per cell).  The default {0} is the classic grid;
+    /// its cells hash, serialize, and report byte-identically to a spec
+    /// that predates the axis.
+    std::vector<int> analysis{0};
 
     std::size_t cell_count() const {
         return circuits.size() * rules.size() * seeds.size() * atpg.size() *
-               ndetect.size();
+               ndetect.size() * analysis.size();
     }
     /// True when the grid actually sweeps n (any target != 1): reports add
     /// the per-n quality columns only for such campaigns.
     bool has_ndetect_axis() const {
         for (int n : ndetect)
             if (n != 1) return true;
+        return false;
+    }
+    /// True when any cell runs the untestability analysis: reports add the
+    /// corrected-vs-raw columns only for such campaigns.
+    bool has_analysis_axis() const {
+        for (int a : analysis)
+            if (a != 0) return true;
         return false;
     }
 };
@@ -90,6 +104,7 @@ struct Cell {
     std::uint64_t seed = 1;
     std::string atpg;  ///< variant name
     int ndetect = 1;   ///< n-detection target
+    bool analysis = false;  ///< untestability-analysis setting
 };
 
 /// The cell at row-major grid `index` (< spec.cell_count()).

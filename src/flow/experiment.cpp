@@ -141,6 +141,9 @@ ExperimentRunner::ExperimentRunner(netlist::Circuit circuit,
     // an explicit lint_enabled=false in the options always wins.
     if (options_.lint_enabled)
         options_.lint_enabled = lint::lint_enabled_from_env();
+    // DLPROJ_ANALYSIS=0/off disables the untestability stage the same way.
+    if (options_.analysis)
+        options_.analysis = analysis::analysis_enabled_from_env();
 }
 
 lint::LintReport ExperimentRunner::lint_report() const {
@@ -212,12 +215,17 @@ void ExperimentRunner::invalidate_all() {
     extraction_dirty_ = true;
     circuit_lint_.reset();
     injected_stuck_.reset();
-    invalidate_tests();
+    invalidate_analysis();
 }
 
 void ExperimentRunner::inject_collapsed_faults(
     std::vector<gatesim::StuckAtFault> stuck) {
     injected_stuck_ = std::move(stuck);
+    invalidate_analysis();
+}
+
+void ExperimentRunner::inject_analysis(AnalysisData analysis) {
+    analysis_ = std::move(analysis);
     invalidate_tests();
 }
 
@@ -236,6 +244,11 @@ void ExperimentRunner::invalidate_extraction() {
     extraction_dirty_ = true;
     rules_lint_.reset();
     invalidate_simulation();
+}
+
+void ExperimentRunner::invalidate_analysis() {
+    analysis_.reset();
+    invalidate_tests();
 }
 
 void ExperimentRunner::invalidate_tests() {
@@ -302,6 +315,43 @@ const ExperimentRunner::PreparedDesign& ExperimentRunner::prepare() {
     return *prepared_;
 }
 
+const ExperimentRunner::AnalysisData& ExperimentRunner::analyze() {
+    DLP_OBS_COUNTER(c_hit, "flow.analyze.cache_hit");
+    DLP_OBS_COUNTER(c_miss, "flow.analyze.cache_miss");
+    if (analysis_) DLP_OBS_ADD(c_hit, 1);
+    if (!analysis_) {
+        DLP_OBS_ADD(c_miss, 1);
+        const PreparedDesign& p = prepare();
+        DLP_OBS_SPAN(stage_span, "flow.analyze");
+        report("analysis", 0, 1);
+        AnalysisData a;
+        a.stuck = injected_stuck_
+                      ? *injected_stuck_
+                      : gatesim::collapse_faults(
+                            p.mapped, gatesim::full_fault_universe(p.mapped));
+        analysis::AnalysisOptions opts = options_.analysis_options;
+        opts.budget = options_.budget;
+        analysis::AnalysisResult r =
+            analysis::find_untestable(p.mapped, a.stuck, opts);
+        a.untestable = std::move(r.untestable);
+        a.proofs = std::move(r.proofs);
+        a.stats = r.stats;
+        a.stop = r.stop;
+        DLP_OBS_SPAN_NOTE(stage_span,
+                          std::to_string(a.stats.proofs) + " of " +
+                              std::to_string(a.stuck.size()) +
+                              " faults proven untestable");
+        if (a.stop != support::StopReason::None)
+            DLP_OBS_SPAN_NOTE(
+                stage_span,
+                "interrupted: " +
+                    std::string(support::stop_reason_name(a.stop)));
+        report("analysis", 1, 1);
+        analysis_ = std::move(a);
+    }
+    return *analysis_;
+}
+
 const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
     DLP_OBS_COUNTER(c_hit, "flow.generate_tests.cache_hit");
     DLP_OBS_COUNTER(c_miss, "flow.generate_tests.cache_miss");
@@ -309,13 +359,18 @@ const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
     if (!tests_) {
         DLP_OBS_ADD(c_miss, 1);
         const PreparedDesign& p = prepare();
+        // The analysis stage runs first when enabled: its marks settle
+        // proven-untestable faults before ATPG ever targets them.
+        const AnalysisData* a = options_.analysis ? &analyze() : nullptr;
         DLP_OBS_SPAN(stage_span, "flow.generate_tests");
         TestSet t;
         report("atpg", 0, 1);
-        t.stuck = injected_stuck_
-                      ? *injected_stuck_
-                      : gatesim::collapse_faults(
-                            p.mapped, gatesim::full_fault_universe(p.mapped));
+        t.stuck = a ? a->stuck
+                    : (injected_stuck_
+                           ? *injected_stuck_
+                           : gatesim::collapse_faults(
+                                 p.mapped,
+                                 gatesim::full_fault_universe(p.mapped)));
         // Cross-validate the collapse before spending ATPG time on it: a
         // lost or duplicated equivalence class would skew every weighted
         // coverage ratio downstream.
@@ -337,22 +392,30 @@ const ExperimentRunner::TestSet& ExperimentRunner::generate_tests() {
         atpg_opts.engine = options_.engine;
         atpg_opts.parallel = options_.parallel;
         atpg_opts.budget = options_.budget;
+        if (a) atpg_opts.untestable = a->untestable;
         t.tests = atpg::generate_test_set(p.mapped, t.stuck, atpg_opts);
         report("atpg", 1, 1);
 
         // T(k) over the full sequence, from the ATPG detection table.  Like
         // the paper, proven-redundant faults are neglected (fault
-        // efficiency).
+        // efficiency); with the analysis stage on, the statically proven
+        // faults join the redundant set, so this curve is the testability-
+        // corrected one and the raw (no-exclusion) curve rides alongside.
         const double testable =
             static_cast<double>(t.stuck.size() - t.tests.redundant);
+        const double total = static_cast<double>(t.stuck.size());
         std::vector<int> hits(t.tests.vectors.size() + 1, 0);
         for (int at : t.tests.first_detected_at)
             if (at >= 1) ++hits[static_cast<size_t>(at)];
         t.t_curve.values.resize(t.tests.vectors.size());
+        if (a) t.t_curve_raw.values.resize(t.tests.vectors.size());
         double cum = 0;
         for (size_t k = 1; k <= t.tests.vectors.size(); ++k) {
             cum += hits[k];
             t.t_curve.values[k - 1] = testable == 0.0 ? 0.0 : cum / testable;
+            if (a)
+                t.t_curve_raw.values[k - 1] =
+                    total == 0.0 ? 0.0 : cum / total;
         }
         if (t.tests.stop != support::StopReason::None)
             DLP_OBS_SPAN_NOTE(
@@ -436,10 +499,18 @@ const ExperimentResult& ExperimentRunner::fit() {
         r.weight_by_class = p.weight_by_class;
         r.fault_weights = p.extraction.weights();
         r.t_curve = t.t_curve;
+        r.t_curve_raw = t.t_curve_raw;
         r.theta_curve = d.theta_curve;
         r.gamma_curve = d.gamma_curve;
         r.theta_iddq_curve = d.theta_iddq_curve;
         r.lint = lint_report();
+        // Analysis-stage outcome; read from the cached optional (never
+        // recomputed here) so an injected test set without an injected
+        // analysis artifact still fits, just without the counters.
+        if (analysis_) {
+            r.untestable_faults = analysis_->stats.proofs;
+            r.analysis_stats = analysis_->stats;
+        }
 
         // n-detection quality of the stuck-at set: grade the per-fault
         // detection counts against the ATPG target, excluding redundant
@@ -454,8 +525,13 @@ const ExperimentResult& ExperimentRunner::fit() {
         }
 
         // Record where a budget stopped the run (earliest stage wins; a
-        // sticky stop in ATPG also stops the later stages immediately).
-        if (t.tests.stop != support::StopReason::None) {
+        // sticky stop in analysis or ATPG also stops the later stages
+        // immediately).
+        if (analysis_ && analysis_->stop != support::StopReason::None) {
+            r.interruption = ExperimentResult::Interruption{
+                "analysis", analysis_->stop, analysis_->stats.pivots_done,
+                analysis_->stats.pivots_total};
+        } else if (t.tests.stop != support::StopReason::None) {
             r.interruption = ExperimentResult::Interruption{
                 "atpg", t.tests.stop, t.stuck.size() - t.tests.untargeted,
                 t.stuck.size()};
@@ -480,6 +556,8 @@ const ExperimentResult& ExperimentRunner::fit() {
             const double dl = model::weighted_dl(r.yield, r.theta_curve[i]);
             r.dl_vs_t.push_back({r.t_curve[i], dl});
             r.dl_vs_gamma.push_back({r.gamma_curve[i], dl});
+            if (i < r.t_curve_raw.size())
+                r.dl_vs_t_raw.push_back({r.t_curve_raw[i], dl});
         }
 
         // Fits: eq (11) parameters and the coverage-law susceptibilities,
@@ -489,6 +567,13 @@ const ExperimentResult& ExperimentRunner::fit() {
             r.fit = model::fit_proposed_model(r.yield, r.dl_vs_t);
         } catch (const std::exception&) {
             r.fit = {};
+        }
+        if (!r.dl_vs_t_raw.empty()) {
+            try {
+                r.fit_raw = model::fit_proposed_model(r.yield, r.dl_vs_t_raw);
+            } catch (const std::exception&) {
+                r.fit_raw = {};
+            }
         }
         {
             std::vector<model::CoveragePoint> t_pts;

@@ -13,6 +13,7 @@
 
 #include <optional>
 
+#include "analysis/untestable.h"
 #include "atpg/generate.h"
 #include "extract/extractor.h"
 #include "layout/place_route.h"
@@ -67,6 +68,18 @@ struct ExperimentOptions {
     /// process-wide when this flag is left true.
     bool lint_enabled = true;
     lint::LintOptions lint;  ///< suppression string + check thresholds
+    /// Static untestability analysis (src/analysis): when true, an
+    /// analyze() stage between prepare() and generate_tests() runs the
+    /// implication-based untestable-fault identifier over the collapsed
+    /// stuck-at universe.  Proven faults are settled Redundant upfront in
+    /// ATPG (no PODEM targeting, no simulation), so t_curve becomes the
+    /// testability-corrected curve; the uncorrected curve and its fit are
+    /// reported alongside (t_curve_raw / fit_raw / dl_vs_t_raw) to expose
+    /// the paper's silent bias.  DLPROJ_ANALYSIS=0/off disables the stage
+    /// process-wide when this flag is left true.
+    bool analysis = false;
+    /// Knobs for the analysis stage (its budget is overridden by `budget`).
+    analysis::AnalysisOptions analysis_options;
 };
 
 /// A coverage-vs-test-length curve: values[k-1] = coverage after k vectors.
@@ -112,7 +125,12 @@ struct ExperimentResult {
     std::vector<double> fault_weights;  ///< per realistic fault (scaled)
 
     // Coverage curves, index k-1 = after k vectors.
-    CoverageCurve t_curve;      ///< stuck-at T(k)
+    CoverageCurve t_curve;      ///< stuck-at T(k); testability-corrected
+                                ///< when the analysis stage ran
+    /// Uncorrected stuck-at coverage detected / |universe| (no redundancy
+    /// exclusion — the paper's silent bias).  Only computed when the
+    /// analysis stage ran; empty otherwise.
+    CoverageCurve t_curve_raw;
     CoverageCurve theta_curve;  ///< weighted realistic theta(k)
     CoverageCurve gamma_curve;  ///< unweighted realistic Gamma(k)
     /// theta(k) when static voltage testing is complemented by IDDQ
@@ -122,11 +140,21 @@ struct ExperimentResult {
     // Defect-level points (T(k), DL(theta(k))) and (Gamma(k), DL(theta(k))).
     std::vector<model::FalloutPoint> dl_vs_t;
     std::vector<model::FalloutPoint> dl_vs_gamma;
+    /// DL(theta(k)) against the uncorrected T(k) (analysis stage only).
+    std::vector<model::FalloutPoint> dl_vs_t_raw;
 
     // Fits.
     model::ProposedFit fit;           ///< (R, theta_max) of eq (11)
+    /// Eq (11) fit against the uncorrected curve (analysis stage only);
+    /// comparing fit_raw.R to fit.R quantifies the redundancy bias.
+    model::ProposedFit fit_raw;
     model::CoverageLaw t_law;         ///< fitted stuck-at susceptibility
     model::CoverageLaw theta_law;     ///< fitted realistic susceptibility
+
+    /// Faults proven untestable by the analysis stage (0 when it did not
+    /// run), plus the stage's work counters.
+    std::size_t untestable_faults = 0;
+    analysis::AnalysisStats analysis_stats;
 
     /// n-detection quality of the stuck-at test set, graded against the
     /// options.atpg.ndetect target over testable (non-redundant) faults
@@ -149,6 +177,9 @@ struct ExperimentResult {
 /// Stages form a dependency chain; calling a later stage runs the earlier
 /// ones on demand:
 ///   prepare()        techmap -> layout -> switch netlist -> extraction
+///   analyze()        static implication analysis -> untestability marks
+///                    (optional; run by generate_tests() when
+///                    options().analysis is set)
 ///   generate_tests() collapsed stuck-at universe -> ATPG vectors -> T(k)
 ///   simulate()       switch-level fault simulation -> theta/Gamma curves
 ///   fit()            DL points, eq (11) and coverage-law fits -> result
@@ -188,10 +219,20 @@ public:
         double raw_total_weight = 0.0;
         std::map<std::string, double> weight_by_class;  ///< pre-scaling
     };
+    struct AnalysisData {
+        std::vector<gatesim::StuckAtFault> stuck;  ///< collapsed universe
+        std::vector<std::uint8_t> untestable;  ///< parallel marks
+        std::vector<analysis::UntestableProof> proofs;
+        analysis::AnalysisStats stats;
+        /// Budget outcome: marks cover the exact pivot prefix the stage
+        /// completed (stats.pivots_done of stats.pivots_total).
+        support::StopReason stop = support::StopReason::None;
+    };
     struct TestSet {
         std::vector<gatesim::StuckAtFault> stuck;  ///< collapsed universe
         atpg::TestGenResult tests;
-        CoverageCurve t_curve;
+        CoverageCurve t_curve;  ///< corrected when analysis marks were used
+        CoverageCurve t_curve_raw;  ///< uncorrected; empty unless analysis
     };
     struct SimulationData {
         CoverageCurve theta_curve;
@@ -207,6 +248,10 @@ public:
     };
 
     const PreparedDesign& prepare();
+    /// Static untestability analysis over the collapsed universe of the
+    /// mapped circuit.  generate_tests() runs it on demand when
+    /// options().analysis is set; calling it directly always analyzes.
+    const AnalysisData& analyze();
     const TestSet& generate_tests();
     const SimulationData& simulate();
     const ExperimentResult& fit();
@@ -224,6 +269,10 @@ public:
     /// the collapse but still run ATPG (and, when the lint gate is on,
     /// still cross-validate the injected list against the circuit).
     void inject_collapsed_faults(std::vector<gatesim::StuckAtFault> stuck);
+    /// Seeds the analysis artifact (collapsed universe + untestability
+    /// marks); generate_tests() will consume the marks without re-running
+    /// the implication engine.
+    void inject_analysis(AnalysisData analysis);
     /// Seeds the whole test-generation artifact (fault list, vectors,
     /// T(k)).  The faults lint sweep is not re-run: the artifact was
     /// linted when first computed from the same inputs.
@@ -241,6 +290,7 @@ public:
     /// every stage downstream of the named one.
     void invalidate_all();         ///< techmap/layout options changed
     void invalidate_extraction();  ///< defect stats / extract options
+    void invalidate_analysis();    ///< analysis options changed
     void invalidate_tests();       ///< ATPG options changed
     void invalidate_simulation();  ///< sim params / weighted / parallel
 
@@ -271,6 +321,7 @@ private:
     std::optional<std::vector<gatesim::StuckAtFault>> injected_stuck_;
     std::optional<PreparedDesign> prepared_;
     bool extraction_dirty_ = true;  ///< prepared_'s extraction needs redo
+    std::optional<AnalysisData> analysis_;
     std::optional<TestSet> tests_;
     std::optional<SimulationData> sim_data_;
     std::optional<ExperimentResult> result_;

@@ -94,7 +94,8 @@ class PpsfpSession final : public Session {
 public:
     PpsfpSession(const Circuit& circuit, std::vector<StuckAtFault> faults,
                  parallel::ParallelOptions parallel, SessionOptions options)
-        : sim_(circuit, std::move(faults), parallel, options.ndetect) {}
+        : sim_(circuit, std::move(faults), parallel, options.ndetect,
+               std::move(options.untestable)) {}
 
     std::span<const StuckAtFault> faults() const override {
         return sim_.faults();
@@ -135,7 +136,11 @@ public:
                  SessionOptions options)
         : circuit_(circuit),
           faults_(std::move(faults)),
-          ndetect_(std::max(1, options.ndetect)) {
+          ndetect_(std::max(1, options.ndetect)),
+          untestable_(std::move(options.untestable)) {
+        if (!untestable_.empty() && untestable_.size() != faults_.size())
+            throw std::invalid_argument(
+                "NaiveSession: untestable mask size mismatch");
         detected_at_.assign(faults_.size(), -1);
         counts_.assign(faults_.size(), 0);
         nth_at_.assign(faults_.size(), -1);
@@ -175,6 +180,8 @@ public:
                 good[k] = good_outputs(vectors[base + k]);
             for (std::size_t fi = 0; fi < faults_.size(); ++fi) {
                 if (counts_[fi] >= ndetect_) continue;  // fault dropping
+                if (!untestable_.empty() && untestable_[fi])
+                    continue;  // statically proven undetectable
                 for (std::size_t k = 0; k < take; ++k)
                     if (faulty_outputs(vectors[base + k], faults_[fi]) !=
                         good[k]) {
@@ -236,6 +243,7 @@ private:
     const Circuit& circuit_;
     std::vector<StuckAtFault> faults_;
     const int ndetect_;
+    std::vector<std::uint8_t> untestable_;  ///< skip mask (empty = none)
     std::vector<int> detected_at_;
     std::vector<int> counts_;  ///< detections so far, saturated at ndetect_
     std::vector<int> nth_at_;  ///< vector index reaching the target; -1 below
@@ -300,7 +308,8 @@ public:
         parallel::ParallelOptions parallel,
         SessionOptions options) const override {
         return std::make_unique<gatesim::LevelizedFaultSimulator>(
-            circuit, std::move(faults), parallel, options.ndetect);
+            circuit, std::move(faults), parallel, options.ndetect,
+            std::move(options.untestable));
     }
 };
 

@@ -23,6 +23,7 @@
 // default ("levelized").  Unknown names throw with the registered list.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -44,6 +45,13 @@ struct SessionOptions {
     /// Reddy n-detection test sets).  1 recovers the classic single-
     /// detection behavior exactly — same dropping, same work, same bytes.
     int ndetect = 1;
+    /// Optional per-fault untestability marks (parallel to the fault list;
+    /// empty = no marks).  A marked fault is proven undetectable by the
+    /// static analysis pass (analysis::find_untestable) and is never
+    /// simulated: its detection index stays -1 and its count stays 0, for
+    /// every engine.  The marks only *skip* work — they never preset
+    /// counts — so detection_counts()/coverage stay honest.
+    std::vector<std::uint8_t> untestable;
 };
 
 /// A fault-simulation run over one (circuit, stuck-at fault list) pair.

@@ -11,11 +11,16 @@ namespace dlp::gatesim {
 
 FaultSimulator::FaultSimulator(const Circuit& circuit,
                                std::vector<StuckAtFault> faults,
-                               parallel::ParallelOptions parallel, int ndetect)
+                               parallel::ParallelOptions parallel, int ndetect,
+                               std::vector<std::uint8_t> untestable)
     : circuit_(circuit),
       faults_(std::move(faults)),
       ndetect_(std::max(1, ndetect)),
+      untestable_(std::move(untestable)),
       parallel_(parallel) {
+    if (!untestable_.empty() && untestable_.size() != faults_.size())
+        throw std::invalid_argument(
+            "FaultSimulator: untestable mask size mismatch");
     detected_at_.assign(faults_.size(), -1);
     counts_.assign(faults_.size(), 0);
     nth_at_.assign(faults_.size(), -1);
@@ -83,6 +88,8 @@ support::ApplyResult FaultSimulator::apply(std::span<const Vector> vectors,
                 auto& [fwords, operands] = scratch[static_cast<size_t>(w)];
                 for (size_t fi = fb; fi < fe; ++fi) {
                     if (counts_[fi] >= ndetect_) continue;  // fault dropping
+                    if (!untestable_.empty() && untestable_[fi])
+                        continue;  // statically proven undetectable
                     const StuckAtFault& fault = faults_[fi];
                     const std::uint64_t stuck_word =
                         fault.stuck_value ? ~0ULL : 0ULL;

@@ -13,6 +13,7 @@
 // serial path for any worker count.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -27,8 +28,12 @@ class FaultSimulator {
 public:
     /// `ndetect` is the n-detection target: a fault is dropped only after
     /// `ndetect` vector positions have detected it (1 = classic behavior).
+    /// `untestable` (parallel to `faults`; empty = none) marks statically
+    /// proven-untestable faults that are never simulated — their detection
+    /// index stays -1 and their count 0.
     FaultSimulator(const Circuit& circuit, std::vector<StuckAtFault> faults,
-                   parallel::ParallelOptions parallel = {}, int ndetect = 1);
+                   parallel::ParallelOptions parallel = {}, int ndetect = 1,
+                   std::vector<std::uint8_t> untestable = {});
 
     /// Worker count for subsequent apply() calls (0 = scoped/env default).
     void set_parallel(parallel::ParallelOptions parallel) {
@@ -84,6 +89,7 @@ private:
     std::vector<int> detected_at_;
     std::vector<int> counts_;  ///< detections so far, saturated at ndetect_
     std::vector<int> nth_at_;  ///< vector index reaching the target; -1 below
+    std::vector<std::uint8_t> untestable_;  ///< skip mask (empty = none)
     int vectors_applied_ = 0;
     std::size_t detected_count_ = 0;
     parallel::ParallelOptions parallel_;

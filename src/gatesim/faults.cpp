@@ -4,6 +4,7 @@
 #include <map>
 #include <numeric>
 #include <optional>
+#include <stdexcept>
 #include <tuple>
 
 namespace dlp::gatesim {
@@ -160,6 +161,36 @@ std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,
     for (size_t i = 0; i < faults.size(); ++i)
         if (best_of_class[cls[i]] == i) collapsed.push_back(faults[i]);
     return collapsed;
+}
+
+std::vector<std::uint8_t> expand_untestable_marks(
+    const Circuit& circuit, std::span<const StuckAtFault> universe,
+    std::span<const StuckAtFault> collapsed,
+    std::span<const std::uint8_t> collapsed_marks) {
+    if (collapsed_marks.size() != collapsed.size())
+        throw std::invalid_argument(
+            "expand_untestable_marks: mask size mismatch");
+    const auto cls = equivalence_classes(circuit, universe);
+    const size_t nclasses =
+        cls.empty() ? 0 : *std::max_element(cls.begin(), cls.end()) + 1;
+    std::map<FaultKey, size_t> index;
+    for (size_t i = 0; i < universe.size(); ++i)
+        index[key_of(universe[i])] = i;
+
+    std::vector<std::uint8_t> class_marked(nclasses, 0);
+    for (size_t j = 0; j < collapsed.size(); ++j) {
+        if (!collapsed_marks[j]) continue;
+        const auto it = index.find(key_of(collapsed[j]));
+        if (it == index.end())
+            throw std::invalid_argument(
+                "expand_untestable_marks: marked fault '" +
+                fault_name(circuit, collapsed[j]) + "' not in the universe");
+        class_marked[cls[it->second]] = 1;
+    }
+    std::vector<std::uint8_t> out(universe.size(), 0);
+    for (size_t i = 0; i < universe.size(); ++i)
+        out[i] = class_marked[cls[i]];
+    return out;
 }
 
 }  // namespace dlp::gatesim

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,5 +51,16 @@ std::vector<std::size_t> equivalence_classes(
 /// Equivalence-collapsed fault list (a representative per class).
 std::vector<StuckAtFault> collapse_faults(const Circuit& circuit,
                                           std::vector<StuckAtFault> faults);
+
+/// Expands untestability marks from a collapsed list onto `universe`:
+/// result[i] is 1 iff universe[i] is structurally equivalent to a marked
+/// collapsed fault.  Sound because equivalent faults are detected by
+/// exactly the same vectors — an untestable representative makes its whole
+/// class untestable.  `collapsed_marks` is parallel to `collapsed`; every
+/// marked collapsed fault must appear in `universe` (throws otherwise).
+std::vector<std::uint8_t> expand_untestable_marks(
+    const Circuit& circuit, std::span<const StuckAtFault> universe,
+    std::span<const StuckAtFault> collapsed,
+    std::span<const std::uint8_t> collapsed_marks);
 
 }  // namespace dlp::gatesim

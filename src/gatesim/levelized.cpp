@@ -159,12 +159,17 @@ void simulate_block_levelized(const LevelizedCircuit& lc,
 
 LevelizedFaultSimulator::LevelizedFaultSimulator(
     const Circuit& circuit, std::vector<StuckAtFault> faults,
-    parallel::ParallelOptions parallel, int ndetect)
+    parallel::ParallelOptions parallel, int ndetect,
+    std::vector<std::uint8_t> untestable)
     : circuit_(circuit),
       lc_(levelize(circuit)),
       faults_(std::move(faults)),
       ndetect_(std::max(1, ndetect)),
+      untestable_(std::move(untestable)),
       parallel_(parallel) {
+    if (!untestable_.empty() && untestable_.size() != faults_.size())
+        throw std::invalid_argument(
+            "LevelizedFaultSimulator: untestable mask size mismatch");
     detected_at_.assign(faults_.size(), -1);
     counts_.assign(faults_.size(), 0);
     nth_at_.assign(faults_.size(), -1);
@@ -330,6 +335,8 @@ support::ApplyResult LevelizedFaultSimulator::apply(
                 Scratch& s = scratch[static_cast<std::size_t>(w)];
                 for (std::size_t fi = fb; fi < fe; ++fi) {
                     if (counts_[fi] >= ndetect_) continue;  // fault dropping
+                    if (!untestable_.empty() && untestable_[fi])
+                        continue;  // statically proven undetectable
                     const StuckAtFault& fault = faults_[fi];
                     if (fault.is_stem()) {
                         // Not excited in any valid lane: no propagation

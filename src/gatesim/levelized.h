@@ -91,10 +91,13 @@ class LevelizedFaultSimulator final : public sim::Session {
 public:
     /// `ndetect` is the n-detection target: a fault is dropped only after
     /// `ndetect` vector positions have detected it (1 = classic behavior).
+    /// `untestable` (parallel to `faults`; empty = none) marks statically
+    /// proven-untestable faults that are never simulated.
     LevelizedFaultSimulator(const Circuit& circuit,
                             std::vector<StuckAtFault> faults,
                             parallel::ParallelOptions parallel = {},
-                            int ndetect = 1);
+                            int ndetect = 1,
+                            std::vector<std::uint8_t> untestable = {});
 
     std::span<const StuckAtFault> faults() const override { return faults_; }
     std::span<const int> first_detected_at() const override {
@@ -135,6 +138,7 @@ private:
     std::vector<int> detected_at_;
     std::vector<int> counts_;  ///< detections so far, saturated at ndetect_
     std::vector<int> nth_at_;  ///< vector index reaching the target; -1 below
+    std::vector<std::uint8_t> untestable_;  ///< skip mask (empty = none)
     int vectors_applied_ = 0;
     parallel::ParallelOptions parallel_;
 };

@@ -453,6 +453,36 @@ void lint_faults(const netlist::Circuit& circuit,
     }
 }
 
+void lint_redundant_logic(const netlist::Circuit& circuit,
+                          std::span<const gatesim::StuckAtFault> collapsed,
+                          DiagnosticEngine& engine,
+                          const analysis::AnalysisOptions& options) {
+    const analysis::AnalysisResult result =
+        analysis::find_untestable(circuit, collapsed, options);
+    for (const analysis::UntestableProof& proof : result.proofs)
+        engine.report(Severity::Warning, "circuit-redundant-logic",
+                      analysis::proof_summary(circuit, proof) +
+                      "; the line is redundant logic (removable without "
+                      "changing any output)",
+                      {}, gatesim::fault_name(circuit, proof.fault));
+    if (result.stats.proofs > 0 && !collapsed.empty())
+        engine.report(Severity::Info, "circuit-redundant-logic",
+                      std::to_string(result.stats.proofs) + " of " +
+                      std::to_string(collapsed.size()) +
+                      " collapsed faults proven untestable by static "
+                      "implication analysis (" +
+                      std::to_string(result.stats.constant_lines) +
+                      " constant lines)");
+    if (result.stop != support::StopReason::None)
+        engine.report(Severity::Info, "circuit-redundant-logic",
+                      "analysis interrupted (" +
+                      std::string(support::stop_reason_name(result.stop)) +
+                      ") after " +
+                      std::to_string(result.stats.pivots_done) + " of " +
+                      std::to_string(result.stats.pivots_total) +
+                      " pivots; findings cover the completed prefix");
+}
+
 LintReport make_report(const DiagnosticEngine& engine) {
     return {engine.diagnostics(), engine.errors(), engine.warnings(),
             engine.infos(), engine.suppressed()};

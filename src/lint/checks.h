@@ -28,6 +28,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/untestable.h"
 #include "extract/defect_stats.h"
 #include "gatesim/faults.h"
 #include "lint/diagnostics.h"
@@ -68,6 +69,20 @@ void lint_rules(const extract::DefectStatistics& stats,
 void lint_faults(const netlist::Circuit& circuit,
                  std::span<const gatesim::StuckAtFault> collapsed,
                  DiagnosticEngine& engine);
+
+/// Redundant-logic sweep (circuit-redundant-logic): proves faults
+/// untestable with the static implication engine
+/// (analysis::find_untestable) and reports one warning per proof — a
+/// proven-untestable line is redundant logic that silently caps the
+/// attainable coverage and biases the projected DL.  Much deeper than the
+/// SCOAP sweep in lint_faults (which only sees structurally unobservable
+/// sites), and correspondingly more expensive, so it is NOT part of
+/// lint_circuit or the flow lint gate; dlproj_lint exposes it behind
+/// --testability.  `options.budget` bounds the pass.
+void lint_redundant_logic(const netlist::Circuit& circuit,
+                          std::span<const gatesim::StuckAtFault> collapsed,
+                          DiagnosticEngine& engine,
+                          const analysis::AnalysisOptions& options = {});
 
 /// Snapshot of an engine after the sweeps ran, as carried by
 /// flow::ExperimentResult and LintError.

@@ -91,6 +91,7 @@ Request parse_request(std::string_view payload) {
     r.seed = static_cast<std::uint64_t>(require_range(
         doc, "seed", 1, 0, std::numeric_limits<std::int64_t>::max() >> 12));
     r.ndetect = static_cast<int>(require_range(doc, "ndetect", 0, 0, 64));
+    r.analysis = doc.bool_or("analysis", false);
 
     if (r.op == Op::Campaign && r.spec.empty())
         throw ProtocolError("campaign request is missing \"spec\"");
@@ -122,6 +123,7 @@ std::string request_json(const Request& r) {
                 Json::number(static_cast<long long>(r.seed)));
     if (r.ndetect > 0)
         doc.set("ndetect", Json::number(static_cast<long long>(r.ndetect)));
+    if (r.analysis) doc.set("analysis", Json::boolean(true));
     return write_json(doc);
 }
 

@@ -29,6 +29,9 @@
 //   ndetect         project op: n-detection target in [1, 64] (0/absent =
 //                   classic single detection); campaign specs carry their
 //                   own [grid] ndetect axis instead
+//   analysis        project op: true = run the static untestability
+//                   analysis for the cell (default false); campaign specs
+//                   carry their own [grid] analysis axis instead
 //
 // Reply frames:
 //   {"event":"progress","id":...,"stage":...,"done":N,"total":N}
@@ -90,6 +93,10 @@ struct Request {
     std::string rules;    // project
     std::uint64_t seed = 1;
     int ndetect = 0;  ///< project op target; 0 = classic (n = 1)
+    /// project op: run the static untestability analysis (the flow's
+    /// analyze() stage) for the cell; campaign specs carry their own
+    /// [grid] analysis axis instead.
+    bool analysis = false;
 };
 
 /// Parses a request payload; throws ProtocolError (bad JSON, unknown op,

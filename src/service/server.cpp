@@ -436,6 +436,7 @@ void Service::execute_run(const Request& request, int fd) {
             spec.rules = {request.rules};
             spec.seeds = {request.seed};
             if (request.ndetect >= 1) spec.ndetect = {request.ndetect};
+            if (request.analysis) spec.analysis = {1};
         }
         if (request.max_vectors >= 0) spec.max_vectors = request.max_vectors;
         const std::string engine =

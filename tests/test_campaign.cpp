@@ -488,6 +488,180 @@ TEST(CampaignLint, BadCircuitFailsTheGateWithCellIdentity) {
     }
 }
 
+// --- the analysis axis --------------------------------------------------
+
+/// Writes the absorption fixture (y = a OR (a AND b), so y == a and the
+/// AND gate is redundant logic) to a scratch .bench the grid can resolve.
+std::string write_redundant_bench(const std::string& tag) {
+    const std::string dir = scratch_dir("bench_" + tag);
+    fs::create_directories(dir);
+    const std::string path = dir + "/absorption.bench";
+    std::ofstream out(path);
+    out << "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+           "n1 = AND(a, b)\ny = OR(a, n1)\n";
+    return path;
+}
+
+TEST(CampaignAnalysis, SpecAxisParsesAndEnumeratesInnermost) {
+    const CampaignSpec s = parse_campaign_spec(
+        "[grid]\n"
+        "circuits = c17\n"
+        "rules = bridging, uniform\n"
+        "ndetect = 1, 2\n"
+        "analysis = off, on\n");
+    EXPECT_TRUE(s.has_analysis_axis());
+    EXPECT_EQ(s.cell_count(), 1u * 2u * 2u * 2u);
+    // The analysis setting is the innermost axis: it toggles fastest, so
+    // classic specs (default {off}) enumerate exactly as before.
+    EXPECT_FALSE(cell_at(s, 0).analysis);
+    EXPECT_TRUE(cell_at(s, 1).analysis);
+    EXPECT_EQ(cell_at(s, 1).ndetect, 1);
+    EXPECT_EQ(cell_at(s, 2).ndetect, 2);
+    EXPECT_EQ(cell_at(s, 3).rules, "bridging");
+    EXPECT_EQ(cell_at(s, 4).rules, "uniform");
+
+    EXPECT_FALSE(parse_campaign_spec(kSmallSpec).has_analysis_axis());
+    EXPECT_THROW(parse_campaign_spec("[grid]\ncircuits = c17\n"
+                                     "rules = uniform\nanalysis = maybe\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parse_campaign_spec("[grid]\ncircuits = c17\n"
+                                     "rules = uniform\nanalysis =\n"),
+                 std::runtime_error);
+}
+
+TEST(CampaignAnalysis, CellArtifactV3RoundTrip) {
+    // Analysis cells serialize as version 3 and round-trip the raw-curve
+    // figures; classic cells keep the version-1 bytes untouched.
+    CellResult c;
+    c.circuit = "c17";
+    c.rules = "uniform";
+    c.atpg = "default";
+    c.t_curve = flow::CoverageCurve({0.5, 1.0});
+    EXPECT_EQ(serialize_cell(c).substr(0, 13), "dlproj-cell 1");
+
+    c.analysis = true;
+    c.untestable_faults = 3;
+    c.fit_raw_r = 0.25;
+    c.fit_raw_theta_max = 1.5;
+    c.t_curve_raw = flow::CoverageCurve({0.375, 0.75});
+    const std::string text = serialize_cell(c);
+    EXPECT_EQ(text.substr(0, 13), "dlproj-cell 3");
+    const CellResult back = parse_cell(text);
+    EXPECT_TRUE(back.analysis);
+    EXPECT_EQ(back.untestable_faults, 3u);
+    EXPECT_EQ(back.fit_raw_r, 0.25);
+    EXPECT_EQ(back.fit_raw_theta_max, 1.5);
+    ASSERT_EQ(back.t_curve_raw.size(), 2u);
+    EXPECT_EQ(back.t_curve_raw.final(), 0.75);
+    EXPECT_EQ(back.t_curve.final(), 1.0);
+}
+
+TEST(CampaignAnalysis, AnalysisArtifactRoundTrip) {
+    flow::ExperimentRunner::AnalysisData a;
+    a.stuck = {{2, netlist::kNoNet, -1, false},
+               {3, 4, 0, true},
+               {5, 4, 1, false}};
+    a.untestable = {0, 1, 0};
+    a.stats.pivots_done = 7;
+    a.stats.pivots_total = 9;
+    a.stats.implications = 41;
+    a.stats.learned = 5;
+    a.stats.constant_lines = 1;
+    a.stats.proofs = 1;
+    const std::string text = serialize_analysis(a);
+    const auto back = parse_analysis(text);
+    EXPECT_EQ(back.stuck, a.stuck);
+    EXPECT_EQ(back.untestable, a.untestable);
+    EXPECT_EQ(back.stats.pivots_done, 7u);
+    EXPECT_EQ(back.stats.pivots_total, 9u);
+    EXPECT_EQ(back.stats.implications, 41u);
+    EXPECT_EQ(back.stats.learned, 5u);
+    EXPECT_EQ(back.stats.constant_lines, 1u);
+    EXPECT_EQ(back.stats.proofs, 1u);
+    EXPECT_EQ(back.stop, support::StopReason::None);
+    // Proofs are deliberately not serialized: downstream consumers only
+    // need the marks and the stats.
+    EXPECT_TRUE(back.proofs.empty());
+    EXPECT_THROW(parse_analysis("dlproj-analysis 99\n"), std::runtime_error);
+    EXPECT_THROW(parse_analysis("garbage"), std::runtime_error);
+}
+
+TEST(CampaignAnalysis, AxisGridSharesClassicCacheByteIdentically) {
+    // The off cells of an analysis-axis grid carry the same keys and bytes
+    // as a classic campaign's, so a cache warmed without the axis serves
+    // them; the report must not depend on hit-vs-fresh for any cell.
+    CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    spec.circuits = {write_redundant_bench("axis")};
+    spec.rules = {"uniform"};
+    const std::string cache = scratch_dir("analysis_axis");
+    const CampaignReport classic = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(classic.stats.cell_misses, 1u);
+    EXPECT_FALSE(classic.analysis_axis);
+    EXPECT_EQ(classic.stats.analysis_misses, 0u);  // stage never ran
+
+    spec.analysis = {0, 1};
+    const CampaignReport warm = run_campaign(spec, cached_options(cache));
+    EXPECT_TRUE(warm.analysis_axis);
+    EXPECT_EQ(warm.stats.cell_hits, 1u);    // the off cell: classic bytes
+    EXPECT_EQ(warm.stats.cell_misses, 1u);  // the on cell
+    EXPECT_EQ(warm.stats.analysis_misses, 1u);
+    const CampaignReport cold = run_campaign(
+        spec, cached_options(scratch_dir("analysis_axis_cold")));
+    EXPECT_EQ(report_json(warm), report_json(cold));
+    EXPECT_EQ(report_csv(warm), report_csv(cold));
+
+    ASSERT_EQ(warm.cells.size(), 2u);
+    const CellResult& off = warm.cells[0];
+    const CellResult& on = warm.cells[1];
+    EXPECT_FALSE(off.analysis);
+    EXPECT_EQ(off.untestable_faults, 0u);
+    EXPECT_TRUE(off.t_curve_raw.empty());
+    EXPECT_TRUE(on.analysis);
+    // The fixture's redundant AND gate yields untestable faults, and the
+    // corrected coverage diverges from the raw curve in the report.
+    EXPECT_GT(on.untestable_faults, 0u);
+    ASSERT_FALSE(on.t_curve_raw.empty());
+    EXPECT_LT(on.t_curve_raw.final(), on.t_curve.final());
+
+    // A fully warm re-run hits both cells and reproduces the bytes.
+    const CampaignReport rewarm = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(rewarm.stats.cell_hits, 2u);
+    EXPECT_EQ(report_json(rewarm), report_json(warm));
+}
+
+TEST(CampaignAnalysis, EnvKillSwitchCachesAsClassic) {
+    // DLPROJ_ANALYSIS=off is applied before cache keying, so a disabled
+    // analysis cell is the classic cell: same keys, same bytes — and no
+    // v3 artifacts are written that a later enabled run could mistake.
+    CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    spec.circuits = {write_redundant_bench("kill")};
+    spec.rules = {"uniform"};
+    spec.analysis = {1};
+    const std::string cache = scratch_dir("analysis_kill");
+
+    ::setenv("DLPROJ_ANALYSIS", "off", 1);
+    const CampaignReport off = run_campaign(spec, cached_options(cache));
+    ::unsetenv("DLPROJ_ANALYSIS");
+    EXPECT_EQ(off.stats.analysis_misses, 0u);
+    ASSERT_EQ(off.cells.size(), 1u);
+    EXPECT_FALSE(off.cells[0].analysis);
+    EXPECT_EQ(off.cells[0].untestable_faults, 0u);
+
+    // The same cache now serves a classic (no-axis) run byte-identically.
+    CampaignSpec classic = spec;
+    classic.analysis = {0};
+    const CampaignReport warm = run_campaign(classic, cached_options(cache));
+    EXPECT_EQ(warm.stats.cell_hits, 1u);
+
+    // With the switch back on, the enabled cell is a different key — a
+    // miss, not a stale classic hit.
+    const CampaignReport on = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(on.stats.cell_hits, 0u);
+    EXPECT_EQ(on.stats.cell_misses, 1u);
+    EXPECT_TRUE(on.cells[0].analysis);
+    EXPECT_GT(on.cells[0].untestable_faults, 0u);
+}
+
 TEST(CampaignBudget, VectorBudgetIsDeterministicConfigNotAnInterruption) {
     // max_vectors caps every cell identically; it is part of the cache key
     // and the stopped-early curves still cache and reproduce.

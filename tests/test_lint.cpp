@@ -16,6 +16,7 @@
 #include "lint/diagnostics.h"
 #include "netlist/bench_parser.h"
 #include "netlist/builders.h"
+#include "service/json.h"
 
 #ifndef DLPROJ_DATA_DIR
 #define DLPROJ_DATA_DIR "data"
@@ -266,6 +267,51 @@ TEST(Diagnostics, JsonRendererIsWellFormedAndEscapes) {
         << json;
     EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
     EXPECT_EQ(json.find('\n'), std::string::npos) << "raw newline leaked";
+}
+
+TEST(Diagnostics, JsonRoundTripsThroughServiceParser) {
+    // The syntax checker above proves well-formedness; this proves the
+    // *values* survive: decode with the strict RFC 8259 parser the service
+    // daemon uses and compare every field byte for byte.
+    const std::string nasty =
+        "we\"ird\\name\nwith\tcontrol\x01 and \"both\" \\\\ doubled";
+    lint::DiagnosticEngine e;
+    e.report(lint::Severity::Error, "net-undriven",
+             "net '" + nasty + "' has no driver", {nasty + ".bench", 7},
+             nasty);
+    const std::string json = lint::render_json(e.diagnostics());
+    const service::Json doc = service::parse_json(json);
+    const auto& items = doc.get("diagnostics")->items();
+    ASSERT_EQ(items.size(), 1u);
+    const service::Json& d = items[0];
+    EXPECT_EQ(d.get("check")->as_string(), "net-undriven");
+    EXPECT_EQ(d.get("severity")->as_string(), "error");
+    EXPECT_EQ(d.get("object")->as_string(), nasty);
+    EXPECT_EQ(d.get("message")->as_string(), "net '" + nasty + "' has no driver");
+    EXPECT_EQ(d.get("file")->as_string(), nasty + ".bench");
+    EXPECT_EQ(d.get("line")->as_int(), 7);
+    EXPECT_EQ(doc.get("counts")->get("error")->as_int(), 1);
+}
+
+TEST(Diagnostics, JsonRoundTripsAdversarialBenchNetNames) {
+    // End to end through the lenient text scan: a .bench whose net names
+    // carry quotes and backslashes must come back intact after a JSON
+    // encode/decode cycle — the path the --json CLI output takes.
+    lint::DiagnosticEngine e;
+    lint::lint_bench_text(
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, we\"ird\\)\n", "adv\"path\\.bench",
+        e);
+    ASSERT_GT(e.errors(), 0u);
+    const service::Json doc =
+        service::parse_json(lint::render_json(e.diagnostics()));
+    bool found = false;
+    for (const service::Json& d : doc.get("diagnostics")->items()) {
+        if (d.get("check")->as_string() != "net-undriven") continue;
+        found = true;
+        EXPECT_EQ(d.get("object")->as_string(), "we\"ird\\");
+        EXPECT_EQ(d.get("file")->as_string(), "adv\"path\\.bench");
+    }
+    EXPECT_TRUE(found);
 }
 
 // -------------------------------------------------------- bench fixtures

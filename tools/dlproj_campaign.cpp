@@ -24,6 +24,9 @@
 //   --ndetect=LIST    override the spec's [grid] ndetect axis with a
 //                     comma-separated list of targets in [1, 64]
 //                     (e.g. --ndetect=1,2,4,8)
+//   --analysis=LIST   override the spec's [grid] analysis axis with a
+//                     comma-separated list of on/off settings
+//                     (e.g. --analysis=off,on)
 //   --timeout-ms=N    wall-clock budget for the whole campaign; on expiry
 //                     the run stops at the next cell/stage boundary and
 //                     the partial report (an exact prefix) is emitted
@@ -82,7 +85,7 @@ int usage(const char* argv0) {
               << " [--cache-dir=PATH] [--no-cache] [--shard=I/N]"
                  " [--json=PATH] [--csv=PATH] [--stats=PATH] [--engine=NAME]"
                  " [--threads=N] [--max-vectors=N] [--ndetect=LIST]"
-                 " [--timeout-ms=N]"
+                 " [--analysis=LIST] [--timeout-ms=N]"
                  " [--no-recover] [--list] [--quiet] <spec.campaign>\n";
     return 2;
 }
@@ -113,7 +116,8 @@ int main(int argc, char** argv) {
     long long max_vectors = -1;  // <0: keep the spec's value
     long long timeout_ms = 0;    // 0: no campaign-level deadline
     bool no_recover = false;
-    std::string ndetect_list;  // empty: keep the spec's axis
+    std::string ndetect_list;   // empty: keep the spec's axis
+    std::string analysis_list;  // empty: keep the spec's axis
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -141,6 +145,8 @@ int main(int argc, char** argv) {
                 max_vectors = std::stoll(value("--max-vectors="));
             else if (arg.rfind("--ndetect=", 0) == 0)
                 ndetect_list = value("--ndetect=");
+            else if (arg.rfind("--analysis=", 0) == 0)
+                analysis_list = value("--analysis=");
             else if (arg.rfind("--timeout-ms=", 0) == 0)
                 timeout_ms = std::stoll(value("--timeout-ms="));
             else if (arg == "--no-recover")
@@ -194,16 +200,42 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
+    if (!analysis_list.empty()) {
+        spec.analysis.clear();
+        std::istringstream in(analysis_list);
+        std::string item;
+        try {
+            while (std::getline(in, item, ',')) {
+                if (item.empty()) continue;
+                if (item == "on" || item == "true" || item == "1")
+                    spec.analysis.push_back(1);
+                else if (item == "off" || item == "false" || item == "0")
+                    spec.analysis.push_back(0);
+                else
+                    throw std::runtime_error("expected on/off, got '" + item +
+                                             "'");
+            }
+            if (spec.analysis.empty())
+                throw std::runtime_error("empty setting list");
+        } catch (const std::exception& e) {
+            std::cerr << argv[0] << ": bad --analysis list '" << analysis_list
+                      << "': " << e.what() << "\n";
+            return 2;
+        }
+    }
 
     if (list) {
-        // The ndetect column appears only for grids that sweep n, so the
-        // listing of a classic spec keeps its exact bytes.
+        // The ndetect/analysis columns appear only for grids that sweep
+        // them, so the listing of a classic spec keeps its exact bytes.
         const bool show_ndetect = spec.has_ndetect_axis();
+        const bool show_analysis = spec.has_analysis_axis();
         for (std::size_t i = 0; i < spec.cell_count(); ++i) {
             const campaign::Cell c = campaign::cell_at(spec, i);
             std::cout << i << " " << c.circuit << " " << c.rules << " seed="
                       << c.seed << " atpg=" << c.atpg;
             if (show_ndetect) std::cout << " ndetect=" << c.ndetect;
+            if (show_analysis)
+                std::cout << " analysis=" << (c.analysis ? "on" : "off");
             std::cout << "\n";
         }
         return 0;
@@ -291,10 +323,13 @@ int main(int argc, char** argv) {
                   << "/" << s.cells_selected << " cells (of "
                   << s.cells_total << " in the grid), cache " << s.cell_hits
                   << " hit / " << s.cell_misses << " miss";
-        if (s.tests_hits || s.sim_hits || s.faults_hits)
+        if (s.tests_hits || s.sim_hits || s.faults_hits || s.analysis_hits) {
             std::cerr << " (stage hits: " << s.tests_hits << " tests, "
-                      << s.sim_hits << " sim, " << s.faults_hits
-                      << " faults)";
+                      << s.sim_hits << " sim, " << s.faults_hits << " faults";
+            if (s.analysis_hits)
+                std::cerr << ", " << s.analysis_hits << " analysis";
+            std::cerr << ")";
+        }
         if (s.store_corrupt)
             std::cerr << ", " << s.store_corrupt << " corrupt object(s)";
         std::cerr << ", " << wall_ms << " ms";

@@ -20,6 +20,8 @@
 //   --seed=N               project op: ATPG seed (default 1)
 //   --ndetect=N            project op: n-detection target 1..64
 //                          (default 1 = classic single detection)
+//   --analysis             project op: run the static untestability
+//                          analysis for the cell
 //   --linger-ms=N          ping diagnostic: hold the worker N ms
 //   --no-retry-shed        report shed to the caller instead of retrying
 //   --quiet                suppress stderr progress lines
@@ -42,7 +44,7 @@ int usage(const char* argv0) {
         << " [--socket=PATH] [--timeout-ms=N] [--io-timeout-ms=N]"
            " [--retries=N] [--idempotency-key=K] [--engine=NAME]"
            " [--threads=N] [--max-vectors=N] [--seed=N] [--ndetect=N]"
-           " [--linger-ms=N]"
+           " [--analysis] [--linger-ms=N]"
            " [--no-retry-shed] [--quiet]"
            " ping|stats|shutdown|campaign <spec>|project <circuit> <rules>\n";
     return 2;
@@ -94,6 +96,8 @@ int main(int argc, char** argv) {
                 request.seed = std::stoull(value("--seed="));
             else if (arg.rfind("--ndetect=", 0) == 0)
                 request.ndetect = std::stoi(value("--ndetect="));
+            else if (arg == "--analysis")
+                request.analysis = true;
             else if (arg.rfind("--linger-ms=", 0) == 0)
                 request.linger_ms = std::stoll(value("--linger-ms="));
             else if (arg == "--no-retry-shed")

@@ -7,6 +7,11 @@
 //                     ids, trailing '*' wildcard; see docs/LINT.md)
 //   --max-fanin=N     fanin-excessive threshold (default 10)
 //   --werror          exit nonzero on warnings too, not just errors
+//   --testability     additionally run the redundant-logic sweep
+//                     (circuit-redundant-logic): prove faults untestable
+//                     with the static implication engine and warn on each
+//                     proof.  Much deeper than the SCOAP sweep and
+//                     correspondingly slower, hence opt-in.
 //
 // Exit status: 0 clean, 1 findings at the failing severity, 2 usage or I/O
 // error.  `.bench` files get the lenient text scan first; only when that
@@ -31,7 +36,7 @@ namespace {
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " [--json] [--suppress=IDS] [--max-fanin=N] [--werror]"
-                 " <file.bench|file.rules>...\n";
+                 " [--testability] <file.bench|file.rules>...\n";
     return 2;
 }
 
@@ -68,7 +73,8 @@ dlp::lint::SourceLoc loc_from_parse_error(const std::string& file,
 
 void lint_bench_file(const std::string& path, const std::string& text,
                      dlp::lint::DiagnosticEngine& engine,
-                     const dlp::lint::LintOptions& options) {
+                     const dlp::lint::LintOptions& options,
+                     bool testability) {
     const std::size_t errors_before = engine.errors();
     dlp::lint::lint_bench_text(text, path, engine);
     // The strict parser (and the sweeps that need an in-memory circuit)
@@ -82,6 +88,8 @@ void lint_bench_file(const std::string& path, const std::string& text,
         const auto collapsed = dlp::gatesim::collapse_faults(
             circuit, dlp::gatesim::full_fault_universe(circuit));
         dlp::lint::lint_faults(circuit, collapsed, engine);
+        if (testability)
+            dlp::lint::lint_redundant_logic(circuit, collapsed, engine);
     } catch (const std::runtime_error& e) {
         engine.report(dlp::lint::Severity::Error, "bench-syntax", e.what(),
                       loc_from_parse_error(path, e.what()));
@@ -106,6 +114,7 @@ void lint_rules_file(const std::string& path, const std::string& text,
 int main(int argc, char** argv) {
     bool json = false;
     bool werror = false;
+    bool testability = false;
     dlp::lint::LintOptions options;
     std::vector<std::string> files;
 
@@ -115,6 +124,8 @@ int main(int argc, char** argv) {
             json = true;
         } else if (arg == "--werror") {
             werror = true;
+        } else if (arg == "--testability") {
+            testability = true;
         } else if (arg.rfind("--suppress=", 0) == 0) {
             options.suppress = arg.substr(std::strlen("--suppress="));
         } else if (arg.rfind("--max-fanin=", 0) == 0) {
@@ -145,7 +156,7 @@ int main(int argc, char** argv) {
         if (ends_with(path, ".rules"))
             lint_rules_file(path, text, engine);
         else if (ends_with(path, ".bench"))
-            lint_bench_file(path, text, engine, options);
+            lint_bench_file(path, text, engine, options, testability);
         else {
             std::cerr << argv[0] << ": " << path
                       << ": unknown file type (expected .bench or .rules)\n";
