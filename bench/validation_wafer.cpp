@@ -1,13 +1,22 @@
 // Validation: the defect-level equations against die-level Monte Carlo.
 // Eq. (3) DL = 1 - Y^(1-theta) is derived analytically; here 400k dies are
-// diced, defected, tested and shipped, and the observed shipped-defective
-// fraction must land on the formula (and on the negative-binomial
-// generalization when defects cluster).
+// diced, defected, tested and shipped per configuration, and the observed
+// shipped-defective fraction must land on the closed forms — Poisson,
+// negative-binomial (Stapper clustering) and the hierarchical
+// wafer/die/region composition of model/defect_stats_model.h.
+//
+// The per-fault detection verdicts come straight from the flow result's
+// first_detected_at table (1-based vector index, -1 = never detected):
+// "detected within k vectors" is 1 <= at <= k.  Earlier revisions
+// approximated the verdicts with a theta-preserving two-class split in
+// weight order; the real verdicts make the Monte Carlo an end-to-end check
+// of the fault simulation, not just of the equations.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace {
@@ -22,7 +31,9 @@ std::span<const bool> bools(const std::vector<char>& v) {
 
 #include "bench_util.h"
 #include "flow/wafer.h"
+#include "model/defect_stats_model.h"
 #include "model/dl_models.h"
+#include "model/fit.h"
 #include "model/planning.h"
 #include "model/yield.h"
 #include "obs/telemetry.h"
@@ -41,64 +52,140 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
     obs::reset();
     const auto mc_t0 = std::chrono::steady_clock::now();
-    bench::header("Validation: eq. (3) vs die-level Monte Carlo, c432");
+    bench::header("Validation: DL equations vs die-level Monte Carlo, c432");
     std::printf("wafer RNG seed base: %u%s (override: validation_wafer "
                 "<seed>)\n", seed_base,
                 argc > 1 ? " [from command line]" : "");
 
-    // Detection verdicts at a few test-length prefixes.
+    const std::vector<double>& w = r.fault_weights;
+    double total = 0.0;
+    for (double x : w) total += x;
+    const double lambda = model::total_weight_for_yield(r.yield);
+
+    // Real per-fault verdicts at a test-length prefix k, and the weighted
+    // coverage theta they imply.
+    const auto verdicts_at = [&](int k, double& theta) {
+        std::vector<char> det(w.size(), 0);
+        double acc = 0.0;
+        for (size_t j = 0; j < w.size(); ++j) {
+            const int at = r.first_detected_at[j];
+            if (at >= 1 && at <= k) {
+                det[j] = 1;
+                acc += w[j];
+            }
+        }
+        theta = acc / total;
+        return det;
+    };
+
+    const std::vector<int> prefixes = {8, 64, 512, r.vector_count};
+
+    // ---- eq. (3): Poisson dies at a few test-length prefixes -------------
     std::printf("%8s %10s %16s %16s\n", "k", "theta%", "MC DL(ppm)",
                 "eq.3 DL(ppm)");
-    for (int k : {8, 64, 512, r.vector_count}) {
-        const size_t i = static_cast<size_t>(k - 1);
-        const double theta = r.theta_curve[i];
-        // Rebuild per-fault verdicts for this prefix from the flow result:
-        // we only kept curves, so approximate with a two-class split that
-        // preserves theta exactly: mark faults detected in weight order.
-        // (The wafer simulator only consumes weights + verdicts.)
-        std::vector<double> w = r.fault_weights;
-        std::vector<char> det8(w.size(), 0);
-        double need = theta;
-        double acc = 0.0;
-        double total = 0.0;
-        for (double x : w) total += x;
-        for (size_t j = 0; j < w.size() && acc / total < need; ++j) {
-            det8[j] = 1;
-            acc += w[j];
-        }
+    double mc_ppm_k8 = 0.0;
+    for (int k : prefixes) {
+        double theta = 0.0;
+        const std::vector<char> det = verdicts_at(k, theta);
         flow::WaferOptions opt;
         opt.dies = 400000;
         opt.seed = seed_base + static_cast<unsigned>(k);
-        const auto mc = flow::simulate_wafer(w, bools(det8), opt);
+        const auto mc = flow::simulate_wafer(w, bools(det), opt);
+        if (k == 8) mc_ppm_k8 = 1e6 * mc.observed_dl();
         std::printf("%8d %10.2f %16.0f %16.0f\n", k, 100 * theta,
                     1e6 * mc.observed_dl(),
-                    model::to_ppm(model::weighted_dl(r.yield, acc / total)));
+                    model::to_ppm(model::weighted_dl(r.yield, theta)));
     }
 
-    // Clustered dies vs the negative-binomial closed form.
-    std::printf("\nclustering (theta = final, alpha sweep):\n");
-    std::printf("%8s %16s %20s\n", "alpha", "MC DL(ppm)", "clustered eq(ppm)");
-    const double lambda = model::total_weight_for_yield(r.yield);
-    std::vector<double> w = r.fault_weights;
-    std::vector<char> det8(w.size(), 0);
-    double acc = 0.0;
-    double total = 0.0;
-    for (double x : w) total += x;
-    for (size_t j = 0;
-         j < w.size() && acc / total < r.theta_curve.final(); ++j) {
-        det8[j] = 1;
-        acc += w[j];
+    // ---- clustered grid: alpha x coverage vs the closed forms ------------
+    // Every (alpha, k) combination simulates its own 400k dies with the
+    // sampling backend of flow/wafer.cpp and is checked against
+    // DefectStatsModel::dl at the same lambda/theta.  alpha = inf is the
+    // Poisson backend (the negbin limit).
+    std::printf("\nclustered grid (multi-wafer Monte Carlo, 400k dies per "
+                "cell):\n");
+    std::printf("%8s %8s %10s %16s %16s\n", "alpha", "k", "theta%",
+                "MC DL(ppm)", "projected(ppm)");
+    std::string study = "  \"study\": [\n";
+    bool first_row = true;
+    const std::vector<std::string> backends = {"negbin:0.5", "negbin:2",
+                                               "negbin:10", "poisson"};
+    for (const std::string& desc : backends) {
+        const model::DefectStatsModel backend =
+            model::parse_defect_stats(desc);
+        for (int k : prefixes) {
+            double theta = 0.0;
+            const std::vector<char> det = verdicts_at(k, theta);
+            flow::WaferOptions opt;
+            opt.dies = 400000;
+            opt.seed = seed_base + 66 + static_cast<unsigned>(k);
+            opt.stats = backend;
+            const auto mc = flow::simulate_wafer(w, bools(det), opt);
+            const double mc_ppm = 1e6 * mc.observed_dl();
+            const double proj_ppm =
+                model::to_ppm(backend.dl(lambda, theta));
+            std::printf("%8s %8d %10.2f %16.0f %16.0f\n",
+                        backend.is_poisson() ? "inf"
+                                             : desc.substr(7).c_str(),
+                        k, 100 * theta, mc_ppm, proj_ppm);
+            char row[256];
+            std::snprintf(row, sizeof row,
+                          "    {\"defect_stats\": \"%s\", \"k\": %d, "
+                          "\"theta\": %.9g, \"mc_dl_ppm\": %.3f, "
+                          "\"projected_dl_ppm\": %.3f}",
+                          desc.c_str(), k, theta, mc_ppm, proj_ppm);
+            study += first_row ? "" : ",\n";
+            first_row = false;
+            study += row;
+        }
     }
-    for (double alpha : {0.5, 2.0, 10.0}) {
+    study += "\n  ],\n";
+
+    // ---- hierarchical composition: wafer x die x region ------------------
+    // 128 dies share a wafer-level gamma factor, each die draws its own,
+    // and the die splits into two regions (one clustered, one Poisson).
+    // Single-die marginals are independent of the wafer grouping, so the
+    // closed-form projection still applies; the recorded per-die counts
+    // feed the dispersion fitter as a round-trip check.
+    {
+        const model::DefectStatsModel hier = model::parse_defect_stats(
+            "hier:wafer=4;die=8;region=0.5@4;region=0.5@0");
+        double theta = 0.0;
+        const std::vector<char> det = verdicts_at(r.vector_count, theta);
         flow::WaferOptions opt;
         opt.dies = 400000;
-        opt.seed = seed_base + 66;  // default base 11 keeps the historic 77
-        opt.clustering_alpha = alpha;
-        const auto mc = flow::simulate_wafer(w, bools(det8), opt);
-        std::printf("%8.1f %16.0f %20.0f\n", alpha, 1e6 * mc.observed_dl(),
-                    model::to_ppm(
-                        model::clustered_dl(lambda, alpha, acc / total)));
+        opt.seed = seed_base + 199;
+        opt.stats = hier;
+        opt.dies_per_wafer = 128;
+        opt.record_die_counts = true;
+        const auto mc = flow::simulate_wafer(w, bools(det), opt);
+        const double mc_ppm = 1e6 * mc.observed_dl();
+        const double proj_ppm = model::to_ppm(hier.dl(lambda, theta));
+        const double mc_yield = mc.observed_yield();
+        const double proj_yield = hier.yield(lambda);
+        double alpha_hat = 0.0;
+        try {
+            alpha_hat = model::fit_negbin_alpha(mc.die_defects);
+        } catch (const std::exception&) {
+        }
+        std::printf("\nhierarchical %s (128 dies/wafer):\n",
+                    hier.describe().c_str());
+        std::printf("  yield: MC %.4f vs projected %.4f\n", mc_yield,
+                    proj_yield);
+        std::printf("  DL:    MC %.0f ppm vs projected %.0f ppm\n", mc_ppm,
+                    proj_ppm);
+        std::printf("  per-die dispersion fit: alpha-hat %.3f\n", alpha_hat);
+        char row[384];
+        std::snprintf(row, sizeof row,
+                      "  \"hierarchical\": {\"defect_stats\": \"%s\", "
+                      "\"dies_per_wafer\": 128, \"mc_yield\": %.9g, "
+                      "\"projected_yield\": %.9g, \"mc_dl_ppm\": %.3f, "
+                      "\"projected_dl_ppm\": %.3f, \"alpha_hat\": %.6g},\n",
+                      hier.describe().c_str(), mc_yield, proj_yield, mc_ppm,
+                      proj_ppm, alpha_hat);
+        study += row;
     }
+
     std::printf("\nShape check: Monte-Carlo dies land on the closed forms "
                 "within sampling error - the DL equations themselves are "
                 "verified, independent of the fault simulation.\n");
@@ -116,13 +203,15 @@ int main(int argc, char** argv) {
                   "  \"threads\": %d,\n"
                   "  \"seed_base\": %u,\n"
                   "  \"dies\": %lld,\n"
+                  "  \"mc_dl_ppm_k8\": %.3f,\n"
                   "  \"wall_s\": %.6f,\n"
                   "  \"dies_per_s\": %.0f,\n",
-                  parallel::resolve_threads(0), seed_base, dies, mc_secs,
+                  parallel::resolve_threads(0), seed_base, dies,
+                  mc_ppm_k8, mc_secs,
                   static_cast<double>(dies) / mc_secs);
     const std::string path = "BENCH_wafer.json";
-    if (bench::write_file(path,
-                          head + bench::telemetry_json_fields() + "\n}\n"))
+    if (bench::write_file(path, head + study +
+                                    bench::telemetry_json_fields() + "\n}\n"))
         std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
     else
         std::fprintf(stderr, "[bench] failed to write %s\n", path.c_str());

@@ -326,7 +326,10 @@ flow::ExperimentRunner::SimulationData parse_simulation(
 }
 
 std::string serialize_cell(const CellResult& c) {
-    const int version = c.analysis ? 3 : (c.ndetect > 1 ? 2 : 1);
+    const bool clustered =
+        !c.defect_stats.empty() && c.defect_stats != "poisson";
+    const int version =
+        clustered ? 4 : (c.analysis ? 3 : (c.ndetect > 1 ? 2 : 1));
     const bool v2 = version >= 2;
     std::ostringstream out;
     out << "dlproj-cell " << version << "\n";
@@ -359,6 +362,17 @@ std::string serialize_cell(const CellResult& c) {
         out << "fit_raw_theta_max " << double_hex(c.fit_raw_theta_max)
             << "\n";
     }
+    if (version >= 4) {
+        // v3 implied analysis-on; v4 carries any analysis x backend
+        // combination, so the flag becomes explicit.
+        out << "analysis " << (c.analysis ? 1 : 0) << "\n";
+        out << "defect_stats " << c.defect_stats << "\n";
+        out << "stat_yield " << double_hex(c.stat_yield) << "\n";
+        out << "fit_c_r " << double_hex(c.fit_c_r) << "\n";
+        out << "fit_c_theta_max " << double_hex(c.fit_c_theta_max) << "\n";
+        out << "fit_c_alpha " << double_hex(c.fit_c_alpha) << "\n";
+        out << "fit_c_rms " << double_hex(c.fit_c_rms) << "\n";
+    }
     out << "interruption " << (c.interruption.empty() ? "-" : c.interruption)
         << "\n";
     put_curve(out, "t_curve", c.t_curve);
@@ -371,7 +385,7 @@ std::string serialize_cell(const CellResult& c) {
 
 CellResult parse_cell(const std::string& text) {
     Reader r(text);
-    const int version = r.versioned_magic("dlproj-cell", 3);
+    const int version = r.versioned_magic("dlproj-cell", 4);
     CellResult c;
     c.circuit = r.sfield("circuit");
     c.rules = r.sfield("rules");
@@ -397,11 +411,21 @@ CellResult parse_cell(const std::string& text) {
         c.avg_case_coverage = r.dfield("avg_case_coverage");
     }
     if (version >= 3) {
-        c.analysis = true;
+        c.analysis = true;  // v3 only existed for analysis cells
         c.untestable_faults =
             static_cast<std::size_t>(r.field("untestable_faults"));
         c.fit_raw_r = r.dfield("fit_raw_r");
         c.fit_raw_theta_max = r.dfield("fit_raw_theta_max");
+    }
+    if (version >= 4) {
+        c.analysis = r.field("analysis") != 0;
+        c.defect_stats = r.sfield("defect_stats");
+        if (c.defect_stats.empty()) bad("empty defect_stats descriptor");
+        c.stat_yield = r.dfield("stat_yield");
+        c.fit_c_r = r.dfield("fit_c_r");
+        c.fit_c_theta_max = r.dfield("fit_c_theta_max");
+        c.fit_c_alpha = r.dfield("fit_c_alpha");
+        c.fit_c_rms = r.dfield("fit_c_rms");
     }
     c.interruption = r.sfield("interruption");
     if (c.interruption == "-") c.interruption.clear();
@@ -423,6 +447,14 @@ CellResult parse_cell(const std::string& text) {
         c.worst_case_coverage = cov;
         c.avg_case_coverage = cov;
         c.ndetect_min = cov == 1.0 ? 1 : 0;
+    }
+    if (version < 4) {
+        // Pre-backend artifacts are Poisson cells, where the clustered
+        // yield IS the Poisson yield (the same e^-lambda bits).  Deriving
+        // it keeps a warm resume of a defect_stats-axis grid
+        // byte-identical to a cold run when its poisson cells hit
+        // artifacts written by a classic campaign.
+        c.stat_yield = c.yield;
     }
     return c;
 }

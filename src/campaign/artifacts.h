@@ -14,10 +14,14 @@
 // n-detection cells (ndetect > 1) serialize as version 2 of the tests/cell
 // formats, which append the detection-count tables and quality figures;
 // analysis cells (untestability analysis on) serialize as version 3, which
-// additionally appends the uncorrected coverage curve and the raw fit.
-// Classic cells keep emitting version 1 byte for byte, so caches warmed
-// before either axis existed stay valid and classic artifacts stay
-// byte-identical across the changes.  Parsers accept all versions.
+// additionally appends the uncorrected coverage curve and the raw fit;
+// clustered cells (a non-Poisson defect-statistics backend) serialize as
+// cell version 4, which additionally appends an explicit analysis flag
+// (v3 implied analysis-on; v4 carries any combination), the backend
+// descriptor, the clustered yield and the joint clustered fit.  Classic
+// cells keep emitting version 1 byte for byte, so caches warmed before any
+// of the axes existed stay valid and classic artifacts stay byte-identical
+// across the changes.  Parsers accept all versions.
 #pragma once
 
 #include <string>
@@ -65,6 +69,18 @@ struct CellResult {
     std::size_t untestable_faults = 0;  ///< faults proven untestable
     double fit_raw_r = 0.0;             ///< eq (11) fit of the raw curve
     double fit_raw_theta_max = 0.0;
+
+    // Defect-statistics backend (model/defect_stats_model.h).  Only
+    // serialized for non-Poisson cells (v4); Poisson cells leave the
+    // defaults and reports derive their clustered columns on the fly, so
+    // a v1 cache hit equals a fresh Poisson cell byte for byte.
+    std::string defect_stats = "poisson";  ///< canonical descriptor
+    double stat_yield = 1.0;   ///< yield under the backend (== yield for
+                               ///< Poisson)
+    double fit_c_r = 0.0;      ///< joint clustered fit of eq (11)
+    double fit_c_theta_max = 0.0;
+    double fit_c_alpha = 0.0;  ///< recovered clustering shape
+    double fit_c_rms = 0.0;    ///< RMS log-DL residual of the joint fit
 
     /// "" for a complete run, else "<stage>:<reason>" (e.g. a per-cell
     /// vector budget: "switch-sim:VectorBudget").

@@ -1,8 +1,10 @@
 #include "campaign/report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
+#include "model/defect_stats_model.h"
 #include "model/dl_models.h"
 
 namespace dlp::campaign {
@@ -55,6 +57,17 @@ double dl_ppm(const CellResult& c) {
     return model::to_ppm(model::weighted_dl(c.yield, c.theta_curve.final()));
 }
 
+double clustered_dl_ppm(const CellResult& c) {
+    // DL under the cell's defect-statistics backend, at the Poisson mean
+    // lambda = -ln(Y) (weight scaling is Poisson-based for every
+    // backend).  Derived from serialized fields only, so a fresh cell and
+    // a cache-hit cell report the same bytes.
+    const model::DefectStatsModel backend = model::parse_defect_stats(
+        c.defect_stats.empty() ? "poisson" : c.defect_stats);
+    const double lambda = c.yield > 0.0 ? -std::log(c.yield) : 0.0;
+    return model::to_ppm(backend.dl(lambda, c.theta_curve.final()));
+}
+
 }  // namespace
 
 std::string report_json(const CampaignReport& report) {
@@ -75,6 +88,11 @@ std::string report_json(const CampaignReport& report) {
         if (report.analysis_axis)
             out << "      \"analysis\": " << (c.analysis ? "true" : "false")
                 << ",\n";
+        if (report.defect_stats_axis)
+            out << "      \"defect_stats\": \""
+                << json_escape(c.defect_stats.empty() ? "poisson"
+                                                      : c.defect_stats)
+                << "\",\n";
         out << "      \"mapped_gates\": " << c.mapped_gates << ",\n";
         out << "      \"stuck_faults\": " << c.stuck_faults << ",\n";
         out << "      \"realistic_faults\": " << c.realistic_faults << ",\n";
@@ -106,6 +124,14 @@ std::string report_json(const CampaignReport& report) {
                 << num(c.t_curve_raw.final()) << ", \"fit_raw_r\": "
                 << num(c.fit_raw_r) << ", \"fit_raw_theta_max\": "
                 << num(c.fit_raw_theta_max) << "},\n";
+        if (report.defect_stats_axis)
+            out << "      \"clustering\": {\"stat_yield\": "
+                << num(c.stat_yield) << ", \"dl_ppm\": "
+                << num(clustered_dl_ppm(c)) << ", \"fit_c_r\": "
+                << num(c.fit_c_r) << ", \"fit_c_theta_max\": "
+                << num(c.fit_c_theta_max) << ", \"fit_c_alpha\": "
+                << num(c.fit_c_alpha) << ", \"fit_c_rms\": "
+                << num(c.fit_c_rms) << "},\n";
         out << "      \"interruption\": \"" << json_escape(c.interruption)
             << "\",\n";
         put_curve_json(out, "t_curve", c.t_curve);
@@ -128,6 +154,7 @@ std::string report_csv(const CampaignReport& report, bool header) {
         out << "index,circuit,rules,seed,atpg,";
         if (report.ndetect_axis) out << "ndetect,";
         if (report.analysis_axis) out << "analysis,";
+        if (report.defect_stats_axis) out << "defect_stats,";
         out << "mapped_gates,stuck_faults,"
                "realistic_faults,vectors,yield,t_final,theta_final,"
                "gamma_final,theta_iddq_final,fit_r,fit_theta_max,"
@@ -138,6 +165,9 @@ std::string report_csv(const CampaignReport& report, bool header) {
         if (report.analysis_axis)
             out << "untestable_faults,t_raw_final,fit_raw_r,"
                    "fit_raw_theta_max,";
+        if (report.defect_stats_axis)
+            out << "stat_yield,cluster_dl_ppm,fit_c_r,fit_c_theta_max,"
+                   "fit_c_alpha,fit_c_rms,";
         out << "interruption\n";
     }
     for (const CellResult& c : report.cells) {
@@ -145,6 +175,7 @@ std::string report_csv(const CampaignReport& report, bool header) {
             << "," << c.atpg << ",";
         if (report.ndetect_axis) out << c.ndetect << ",";
         if (report.analysis_axis) out << (c.analysis ? "on" : "off") << ",";
+        if (report.defect_stats_axis) out << c.defect_stats << ",";
         out << c.mapped_gates << ","
             << c.stuck_faults << "," << c.realistic_faults << ","
             << c.vector_count << "," << num(c.yield) << ","
@@ -160,6 +191,11 @@ std::string report_csv(const CampaignReport& report, bool header) {
             out << c.untestable_faults << "," << num(c.t_curve_raw.final())
                 << "," << num(c.fit_raw_r) << ","
                 << num(c.fit_raw_theta_max) << ",";
+        if (report.defect_stats_axis)
+            out << num(c.stat_yield) << "," << num(clustered_dl_ppm(c))
+                << "," << num(c.fit_c_r) << "," << num(c.fit_c_theta_max)
+                << "," << num(c.fit_c_alpha) << "," << num(c.fit_c_rms)
+                << ",";
         out << c.interruption << "\n";
     }
     return out.str();

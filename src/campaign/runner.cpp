@@ -7,6 +7,7 @@
 #include "analysis/untestable.h"
 #include "extract/rules_parser.h"
 #include "lint/checks.h"
+#include "model/defect_stats_model.h"
 #include "netlist/bench_parser.h"
 #include "obs/telemetry.h"
 
@@ -35,7 +36,8 @@ struct CellKeys {
 CellKeys make_keys(const CampaignSpec& spec, const Cell& cell,
                    const std::string& bench_hash,
                    const std::string& rules_hash,
-                   const atpg::TestGenOptions& atpg, bool analysis) {
+                   const atpg::TestGenOptions& atpg, bool analysis,
+                   const std::string& defect_stats) {
     CellKeys k;
     {
         std::ostringstream o;
@@ -83,7 +85,14 @@ CellKeys make_keys(const CampaignSpec& spec, const Cell& cell,
           << "weighted " << (spec.weighted ? 1 : 0) << "\n";
         k.sim = o.str();
     }
+    // The backend enters only the CELL key: it changes nothing upstream of
+    // the fit stage, so faults/tests/sim artifacts are shared across the
+    // whole defect_stats axis, and the poisson spelling adds no key
+    // material at all — poisson cells keep hitting classic caches.  (A
+    // deck's own cluster_* directives are already covered by rules_hash.)
     k.cell = "dlproj-key cell 1\n" + k.sim;
+    if (defect_stats != "poisson")
+        k.cell += "defect_stats " + defect_stats + "\n";
     return k;
 }
 
@@ -120,6 +129,17 @@ CellResult make_cell_result(const Cell& cell, bool analysis,
         c.fit_raw_theta_max = r.fit_raw.theta_max;
         c.t_curve_raw = r.t_curve_raw;
     }
+    // stat_yield is bit-identical to yield for Poisson backends, so this
+    // unconditional copy matches what parse_cell derives for a v1 hit.
+    c.stat_yield = r.stat_yield;
+    const std::string backend = r.defect_stats.describe();
+    if (backend != "poisson") {
+        c.defect_stats = backend;
+        c.fit_c_r = r.fit_clustered.r;
+        c.fit_c_theta_max = r.fit_clustered.theta_max;
+        c.fit_c_alpha = r.fit_clustered.alpha;
+        c.fit_c_rms = r.fit_clustered.rms_error;
+    }
     if (r.interruption)
         c.interruption =
             r.interruption->stage + ":" +
@@ -147,6 +167,7 @@ CampaignReport CampaignRunner::run() {
     rep.name = spec_.name;
     rep.ndetect_axis = spec_.has_ndetect_axis();
     rep.analysis_axis = spec_.has_analysis_axis();
+    rep.defect_stats_axis = spec_.has_defect_stats_axis();
     rep.stats.cells_total = spec_.cell_count();
     const std::vector<std::size_t> cells =
         shard_cells(rep.stats.cells_total, options_.shard);
@@ -185,6 +206,8 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
         if (cell.ndetect != 1)
             id += ", ndetect " + std::to_string(cell.ndetect);
         if (cell.analysis) id += ", analysis on";
+        if (cell.defect_stats != "poisson")
+            id += ", defect_stats " + cell.defect_stats;
         return id + ")";
     };
 
@@ -208,10 +231,17 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
     // cell, not poison the analysis-keyed artifacts with unanalyzed data.
     const bool analysis_on =
         cell.analysis && analysis::analysis_enabled_from_env();
+    model::DefectStatsModel backend;
+    try {
+        backend = model::parse_defect_stats(cell.defect_stats);
+    } catch (const std::exception& e) {
+        throw std::runtime_error("campaign " + cell_id() + ": " + e.what());
+    }
     const std::string bench_hash = hex64(fnv1a64(netlist::to_bench(circuit)));
     const std::string rules_hash = hex64(fnv1a64(extract::to_rules(defects)));
     const CellKeys keys =
-        make_keys(spec_, cell, bench_hash, rules_hash, atpg_opts, analysis_on);
+        make_keys(spec_, cell, bench_hash, rules_hash, atpg_opts, analysis_on,
+                  backend.describe());
 
     // Whole-cell hit: skip everything.
     if (auto hit = store.get("cell", keys.cell)) {
@@ -247,6 +277,7 @@ bool CampaignRunner::run_cell(std::size_t index, CampaignReport& rep,
     opt.budget.max_vectors = spec_.max_vectors;
     opt.lint_enabled = spec_.lint;
     opt.analysis = analysis_on;
+    opt.defect_stats = backend;
     flow::ExperimentRunner runner(std::move(circuit), std::move(opt));
     runner.set_progress(options_.progress);
 

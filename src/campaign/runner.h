@@ -79,6 +79,9 @@ struct CampaignReport {
     /// True when the spec turns the untestability analysis on anywhere;
     /// report emitters add the corrected-vs-raw columns only then.
     bool analysis_axis = false;
+    /// True when the spec sweeps a non-Poisson defect-statistics backend
+    /// anywhere; report emitters add the clustered columns only then.
+    bool defect_stats_axis = false;
     CampaignStats stats;
 };
 

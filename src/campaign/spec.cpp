@@ -7,6 +7,7 @@
 
 #include "extract/rules_parser.h"
 #include "gatesim/engine.h"
+#include "model/defect_stats_model.h"
 #include "netlist/bench_parser.h"
 #include "netlist/builders.h"
 
@@ -92,6 +93,7 @@ int int_suffix(const std::string& name, const char* prefix) {
 }  // namespace
 
 Cell cell_at(const CampaignSpec& spec, std::size_t index) {
+    const std::size_t nd = spec.defect_stats.size();
     const std::size_t nz = spec.analysis.size();
     const std::size_t nn = spec.ndetect.size();
     const std::size_t na = spec.atpg.size();
@@ -99,6 +101,9 @@ Cell cell_at(const CampaignSpec& spec, std::size_t index) {
     const std::size_t nr = spec.rules.size();
     Cell c;
     c.index = index;
+    // Newest axis innermost: a spec without it enumerates as before.
+    c.defect_stats = spec.defect_stats[index % nd];
+    index /= nd;
     c.analysis = spec.analysis[index % nz] != 0;
     index /= nz;
     c.ndetect = spec.ndetect[index % nn];
@@ -203,6 +208,22 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
                     spec.analysis.push_back(parse_bool(v, line) ? 1 : 0);
                 if (spec.analysis.empty())
                     fail(line, "[grid] analysis is empty");
+            } else if (key == "defect_stats") {
+                spec.defect_stats.clear();
+                for (const std::string& v : split_list(value)) {
+                    // Canonicalize through the model parser so equal
+                    // backends spelled differently ("negbin:inf" vs
+                    // "poisson") land on one cache key, and bad
+                    // descriptors fail at spec-parse time with a line.
+                    try {
+                        spec.defect_stats.push_back(
+                            model::parse_defect_stats(v).describe());
+                    } catch (const std::invalid_argument& e) {
+                        fail(line, e.what());
+                    }
+                }
+                if (spec.defect_stats.empty())
+                    fail(line, "[grid] defect_stats is empty");
             } else
                 fail(line, "unknown [grid] key '" + key + "'");
         } else if (section.rfind("atpg.", 0) == 0) {

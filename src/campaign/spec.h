@@ -15,6 +15,7 @@
 //   atpg = quick
 //   ndetect = 1, 2, 4, 8       # optional n-detection axis (default: 1)
 //   analysis = off, on         # optional untestability-analysis axis
+//   defect_stats = poisson, negbin:2   # optional clustering-backend axis
 //
 //   [atpg.quick]               # one section per named ATPG variant
 //   max_random = 256
@@ -26,8 +27,9 @@
 // alu<N>, hamming<N>) or to a .bench file path; rule decks resolve to the
 // DefectStatistics presets (bridging, open, uniform) or to a .rules file
 // path.  Cells enumerate in row-major grid order — circuit outermost, then
-// rules, seeds, ATPG variant, n-detection target, analysis setting — which
-// is also the shard-partitioning and report order.  The newest axis is
+// rules, seeds, ATPG variant, n-detection target, analysis setting,
+// defect-statistics backend — which is also the shard-partitioning and
+// report order.  The newest axis is
 // always innermost, so a spec without one enumerates exactly as before it
 // existed.
 #pragma once
@@ -75,10 +77,17 @@ struct CampaignSpec {
     /// its cells hash, serialize, and report byte-identically to a spec
     /// that predates the axis.
     std::vector<int> analysis{0};
+    /// Defect-statistics backends (model::parse_defect_stats descriptors:
+    /// poisson, negbin:A, hier:wafer=A;die=A;region=F@A;...).  The default
+    /// {poisson} is the classic grid; its cells hash, serialize, and
+    /// report byte-identically to a spec that predates the axis, and
+    /// non-Poisson cells share every pre-fit artifact (faults, tests,
+    /// sim) with their Poisson siblings — only the cell artifact differs.
+    std::vector<std::string> defect_stats{"poisson"};
 
     std::size_t cell_count() const {
         return circuits.size() * rules.size() * seeds.size() * atpg.size() *
-               ndetect.size() * analysis.size();
+               ndetect.size() * analysis.size() * defect_stats.size();
     }
     /// True when the grid actually sweeps n (any target != 1): reports add
     /// the per-n quality columns only for such campaigns.
@@ -94,6 +103,13 @@ struct CampaignSpec {
             if (a != 0) return true;
         return false;
     }
+    /// True when any cell uses a non-Poisson defect-statistics backend:
+    /// reports add the clustered columns only for such campaigns.
+    bool has_defect_stats_axis() const {
+        for (const std::string& d : defect_stats)
+            if (d != "poisson") return true;
+        return false;
+    }
 };
 
 /// One grid point, identified by its row-major index.
@@ -105,6 +121,7 @@ struct Cell {
     std::string atpg;  ///< variant name
     int ndetect = 1;   ///< n-detection target
     bool analysis = false;  ///< untestability-analysis setting
+    std::string defect_stats = "poisson";  ///< backend descriptor
 };
 
 /// The cell at row-major grid `index` (< spec.cell_count()).

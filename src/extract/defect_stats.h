@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cell/geom.h"
+#include "model/defect_stats_model.h"
 
 namespace dlp::extract {
 
@@ -43,6 +44,22 @@ struct DefectStatistics {
     double open_density[cell::kLayerCount] = {};
     double contact_open_density = 0.0;  ///< per lambda^2 of cut area
     double pinhole_density = 0.0;       ///< gate-oxide, per lambda^2
+
+    /// Clustered defect-count statistics for this deck (default Poisson,
+    /// exactly the paper).  Decks opt in with the cluster_* directives:
+    ///   cluster_alpha <a>             negative-binomial (Stapper) shape
+    ///   cluster_wafer <a>             hierarchical shared wafer shape
+    ///   cluster_die <a>               hierarchical shared die shape
+    ///   cluster_region <frac> <a>     repeatable per-region density map
+    /// cluster_alpha is mutually exclusive with the hierarchical forms.
+    /// The statistics change only the DL/yield projections downstream
+    /// (model/defect_stats_model.h), never critical areas or weights.
+    /// Value sanity (fractions summing to 1, plausible shapes) is the
+    /// lint layer's job (`rules-bad-clustering`).
+    model::DefectStatsModel clustering;
+    /// 1-based rules-file line of the first cluster_* directive, for lint
+    /// diagnostics (0 for in-memory decks).
+    int clustering_line = 0;
 
     double shorts(cell::Layer layer) const {
         return short_density[static_cast<size_t>(layer)];

@@ -30,6 +30,7 @@ DefectStatistics parse_defect_rules(const std::string& text) {
     DefectStatistics stats;
     stats.x0 = 2.0;
     double unit = 1.0;
+    double cluster_alpha = 0.0;  // plain negbin shape, 0 = not given
     // Collect raw entries first so `unit` can appear anywhere.
     struct Entry {
         int line;
@@ -71,11 +72,32 @@ DefectStatistics parse_defect_rules(const std::string& text) {
             stats.size_bins.push_back(bin);
             continue;
         }
+        if (kind == "cluster_region") {
+            // `cluster_region <fraction> <alpha>`: repeatable like sizebin.
+            // Fraction normalization is the lint layer's job; the parser
+            // only rejects values no deck could mean.
+            model::RegionDensity region;
+            if (!(ls >> region.fraction >> region.alpha))
+                fail(line_no, "expected 'cluster_region <fraction> <alpha>'");
+            std::string extra;
+            if (ls >> extra) fail(line_no, "trailing token '" + extra + "'");
+            if (!std::isfinite(region.fraction) ||
+                !std::isfinite(region.alpha))
+                fail(line_no, "cluster_region values must be finite");
+            if (!(region.fraction > 0.0))
+                fail(line_no, "cluster_region fraction must be > 0");
+            if (region.alpha < 0.0)
+                fail(line_no, "cluster_region alpha must be >= 0");
+            stats.clustering.regions.push_back(region);
+            if (stats.clustering_line == 0) stats.clustering_line = line_no;
+            continue;
+        }
         if (kind == "short" || kind == "open") {
             if (!(ls >> e.layer >> e.value))
                 fail(line_no, "expected '" + kind + " <layer> <density>'");
         } else if (kind == "unit" || kind == "x0" || kind == "pinhole" ||
-                   kind == "contact_open") {
+                   kind == "contact_open" || kind == "cluster_alpha" ||
+                   kind == "cluster_wafer" || kind == "cluster_die") {
             if (!(ls >> e.value))
                 fail(line_no, "expected '" + kind + " <value>'");
         } else {
@@ -114,6 +136,21 @@ DefectStatistics parse_defect_rules(const std::string& text) {
             stats.x0 = e.value;
             continue;
         }
+        if (e.kind == "cluster_alpha" || e.kind == "cluster_wafer" ||
+            e.kind == "cluster_die") {
+            // Clustering shapes are dimensionless: `unit` does not apply.
+            if (!(e.value > 0.0)) fail(e.line, e.kind + " must be > 0");
+            if (e.kind == "cluster_alpha")
+                cluster_alpha = e.value;
+            else if (e.kind == "cluster_wafer")
+                stats.clustering.wafer_alpha = e.value;
+            else
+                stats.clustering.die_alpha = e.value;
+            if (stats.clustering_line == 0 ||
+                e.line < stats.clustering_line)
+                stats.clustering_line = e.line;
+            continue;
+        }
         if (!(e.value >= 0.0)) fail(e.line, "density must be >= 0");
         if (e.kind == "pinhole") {
             stats.pinhole_density = e.value * unit;
@@ -128,6 +165,24 @@ DefectStatistics parse_defect_rules(const std::string& text) {
             else
                 stats.open_density[li] = e.value * unit;
         }
+    }
+
+    // Compose the clustering backend.  cluster_alpha is the flat
+    // negative-binomial form; any of cluster_wafer / cluster_die /
+    // cluster_region selects the hierarchical form, and mixing the two
+    // families is a structural contradiction the parser rejects.
+    const bool hierarchical = stats.clustering.wafer_alpha > 0.0 ||
+                              stats.clustering.die_alpha > 0.0 ||
+                              !stats.clustering.regions.empty();
+    if (cluster_alpha > 0.0 && hierarchical)
+        fail(stats.clustering_line,
+             "cluster_alpha cannot be combined with cluster_wafer / "
+             "cluster_die / cluster_region");
+    if (cluster_alpha > 0.0) {
+        stats.clustering.kind = model::DefectStatsModel::Kind::NegBin;
+        stats.clustering.alpha = cluster_alpha;
+    } else if (hierarchical) {
+        stats.clustering.kind = model::DefectStatsModel::Kind::Hierarchical;
     }
     return stats;
 }
@@ -162,6 +217,21 @@ std::string to_rules(const DefectStatistics& stats) {
     for (const auto& bin : stats.size_bins)
         out << "sizebin " << bin.lo << " " << bin.hi << " " << bin.prob
             << "\n";
+    // Clustering directives serialize only when the deck opted in, so the
+    // canonical text (and thus rules_hash) of every Poisson deck is
+    // byte-identical to what it was before clustering existed.
+    if (stats.clustering.kind == model::DefectStatsModel::Kind::NegBin) {
+        out << "cluster_alpha " << stats.clustering.alpha << "\n";
+    } else if (stats.clustering.kind ==
+               model::DefectStatsModel::Kind::Hierarchical) {
+        if (stats.clustering.wafer_alpha > 0.0)
+            out << "cluster_wafer " << stats.clustering.wafer_alpha << "\n";
+        if (stats.clustering.die_alpha > 0.0)
+            out << "cluster_die " << stats.clustering.die_alpha << "\n";
+        for (const auto& region : stats.clustering.regions)
+            out << "cluster_region " << region.fraction << " "
+                << region.alpha << "\n";
+    }
     return out.str();
 }
 

@@ -11,10 +11,16 @@
 //   contact_open 0.5
 //   pinhole  0.4
 //   sizebin  2 4 0.6      # optional measured size histogram: lo hi prob
+//   cluster_alpha  2      # optional negative-binomial clustering shape
+//   cluster_wafer  4      # or the hierarchical form: shared wafer shape,
+//   cluster_die    2      # shared die shape, and a per-region density map
+//   cluster_region 0.5 1  # (fraction alpha; repeatable, fractions sum to 1)
 //
 // Layer names follow cell::layer_name: ndiff pdiff poly metal1 metal2.
 // `sizebin` is repeatable (one line per diameter band); bin overlap and
-// normalization are validated by the lint layer, not here.
+// normalization are validated by the lint layer, not here.  Likewise
+// `cluster_region` is repeatable and its fraction normalization is lint's
+// job; `cluster_alpha` is mutually exclusive with the hierarchical family.
 #pragma once
 
 #include <string>

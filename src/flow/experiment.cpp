@@ -498,6 +498,8 @@ const ExperimentResult& ExperimentRunner::fit() {
         r.die_area = p.chip.area();
         r.weight_by_class = p.weight_by_class;
         r.fault_weights = p.extraction.weights();
+        r.first_detected_at = d.first_detected_at;
+        r.iddq_detected_at = d.iddq_detected_at;
         r.t_curve = t.t_curve;
         r.t_curve_raw = t.t_curve_raw;
         r.theta_curve = d.theta_curve;
@@ -552,12 +554,25 @@ const ExperimentResult& ExperimentRunner::fit() {
         const size_t usable =
             std::min(r.t_curve.size(),
                      std::min(r.theta_curve.size(), r.gamma_curve.size()));
+        // Defect-statistics backend: the explicit option wins, else the
+        // rules deck's cluster_* directives, else Poisson.  lambda is the
+        // scaled total weight (Y = e^-lambda under Poisson).
+        r.defect_stats = options_.defect_stats.is_poisson()
+                             ? options_.defects.clustering
+                             : options_.defect_stats;
+        const double lambda = p.extraction.total_weight;
+        r.stat_yield = r.defect_stats.yield(lambda);
+        const bool clustered = !r.defect_stats.is_poisson();
         for (size_t i : sample_indices(usable)) {
             const double dl = model::weighted_dl(r.yield, r.theta_curve[i]);
             r.dl_vs_t.push_back({r.t_curve[i], dl});
             r.dl_vs_gamma.push_back({r.gamma_curve[i], dl});
             if (i < r.t_curve_raw.size())
                 r.dl_vs_t_raw.push_back({r.t_curve_raw[i], dl});
+            if (clustered)
+                r.dl_vs_t_clustered.push_back(
+                    {r.t_curve[i],
+                     r.defect_stats.dl(lambda, r.theta_curve[i])});
         }
 
         // Fits: eq (11) parameters and the coverage-law susceptibilities,
@@ -573,6 +588,14 @@ const ExperimentResult& ExperimentRunner::fit() {
                 r.fit_raw = model::fit_proposed_model(r.yield, r.dl_vs_t_raw);
             } catch (const std::exception&) {
                 r.fit_raw = {};
+            }
+        }
+        if (!r.dl_vs_t_clustered.empty()) {
+            try {
+                r.fit_clustered =
+                    model::fit_clustered_model(lambda, r.dl_vs_t_clustered);
+            } catch (const std::exception&) {
+                r.fit_clustered = {};
             }
         }
         {

@@ -19,6 +19,7 @@
 #include "layout/place_route.h"
 #include "lint/checks.h"
 #include "model/coverage_laws.h"
+#include "model/defect_stats_model.h"
 #include "model/fit.h"
 #include "model/ndetect.h"
 #include "netlist/techmap.h"
@@ -80,6 +81,15 @@ struct ExperimentOptions {
     bool analysis = false;
     /// Knobs for the analysis stage (its budget is overridden by `budget`).
     analysis::AnalysisOptions analysis_options;
+    /// Defect-count statistics backend for the DL/yield projections
+    /// (model/defect_stats_model.h).  Default Poisson — exactly the paper.
+    /// A non-Poisson backend set here overrides any cluster_* directives
+    /// carried by the rules deck (`defects.clustering`); when left Poisson
+    /// the deck's clustering applies.  The backend changes only the fit
+    /// stage: weight scaling to target_yield stays Poisson-based either
+    /// way, so the prepared design, test set and simulation artifacts are
+    /// backend-independent (and cache-shareable across backends).
+    model::DefectStatsModel defect_stats;
 };
 
 /// A coverage-vs-test-length curve: values[k-1] = coverage after k vectors.
@@ -123,6 +133,16 @@ struct ExperimentResult {
     std::int64_t die_area = 0;
     std::map<std::string, double> weight_by_class;
     std::vector<double> fault_weights;  ///< per realistic fault (scaled)
+    /// Per realistic fault (parallel to fault_weights): 1-based index of
+    /// the first vector whose static response detects the fault, -1 if the
+    /// whole sequence never does.  Copied from the simulate() stage so
+    /// wafer-level Monte Carlo studies can rebuild exact per-fault
+    /// verdicts at any truncated test length k ("detected within k"
+    /// means 1 <= first_detected_at[i] <= k).
+    std::vector<int> first_detected_at;
+    /// Same convention for IDDQ detection (-1 for opens: no current
+    /// signature).
+    std::vector<int> iddq_detected_at;
 
     // Coverage curves, index k-1 = after k vectors.
     CoverageCurve t_curve;      ///< stuck-at T(k); testability-corrected
@@ -155,6 +175,23 @@ struct ExperimentResult {
     /// run), plus the stage's work counters.
     std::size_t untestable_faults = 0;
     analysis::AnalysisStats analysis_stats;
+
+    /// The defect-statistics backend the projections below used:
+    /// options.defect_stats when non-Poisson, else the rules deck's
+    /// clustering, else Poisson.
+    model::DefectStatsModel defect_stats;
+    /// Yield under the backend, Y = E[e^-Lambda] at the scaled total
+    /// weight (bit-identical to `yield` for the Poisson backend).
+    double stat_yield = 1.0;
+    /// Clustered DL(theta(k)) against T(k) under a non-Poisson backend
+    /// (empty for Poisson — dl_vs_t already is the Poisson projection).
+    /// Same sample indices as dl_vs_t, so the two are directly
+    /// comparable point by point.
+    std::vector<model::FalloutPoint> dl_vs_t_clustered;
+    /// Joint (R, theta_max, alpha) fit of the clustered eq (11) to
+    /// dl_vs_t_clustered (non-Poisson backends only; a self-consistency
+    /// check that the clustered fitter recovers the generating shape).
+    model::ClusteredFit fit_clustered;
 
     /// n-detection quality of the stuck-at test set, graded against the
     /// options.atpg.ndetect target over testable (non-redundant) faults

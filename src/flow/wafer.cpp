@@ -80,35 +80,92 @@ WaferResult simulate_wafer(std::span<const double> weights,
         cumulative[i] = acc;
     }
 
+    using Kind = model::DefectStatsModel::Kind;
+    const bool hierarchical = options.stats.kind == Kind::Hierarchical;
+    const bool negbin = options.stats.kind == Kind::NegBin;
+    if (negbin &&
+        (!std::isfinite(options.stats.alpha) || options.stats.alpha <= 0.0))
+        throw std::invalid_argument("negbin backend needs alpha > 0");
+    // Hierarchical setup: region fractions partition the die; an empty map
+    // is one full-die region, mirroring DefectStatsModel.
+    std::vector<model::RegionDensity> regions;
+    if (hierarchical) {
+        regions = options.stats.regions;
+        if (regions.empty()) regions.push_back({1.0, 0.0});
+        for (const auto& region : regions)
+            if (!std::isfinite(region.fraction) || region.fraction <= 0.0 ||
+                !std::isfinite(region.alpha) || region.alpha < 0.0)
+                throw std::invalid_argument("bad hierarchical region");
+    }
+    const long dies_per_wafer =
+        options.dies_per_wafer > 0 ? options.dies_per_wafer : 1;
+
     Rng rng{options.seed};
     WaferResult result;
     result.dies = options.dies;
+    if (options.record_die_counts)
+        result.die_defects.reserve(static_cast<size_t>(
+            std::max<long>(options.dies, 0)));
     DLP_OBS_SPAN(wafer_span, "wafer.simulate");
     DLP_OBS_COUNTER(c_dies, "wafer.dies");
     DLP_OBS_ADD(c_dies, options.dies);
+    // Draws one defect and classifies it against the detection table.
+    const auto place_defect = [&](bool& caught, bool& escaped) {
+        const double u = rng.uniform() * total;
+        const size_t j = static_cast<size_t>(
+            std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+            cumulative.begin());
+        const size_t idx = std::min(j, weights.size() - 1);
+        if (detected[idx])
+            caught = true;
+        else
+            escaped = true;
+    };
+    double wafer_factor = 1.0;
     for (long die = 0; die < options.dies; ++die) {
-        double lambda = total;
-        if (options.clustering_alpha > 0.0)
-            lambda *= rng.gamma(options.clustering_alpha) /
-                      options.clustering_alpha;
-        const long defects = rng.poisson(lambda);
+        long defects = 0;
+        bool caught = false;
+        bool escaped = false;
+        if (hierarchical) {
+            // Lambda_i = total * f_i * S_wafer * S_die * S_region, each S
+            // a mean-1 gamma(alpha)/alpha (1 when the level is disabled).
+            if (die % dies_per_wafer == 0)
+                wafer_factor = options.stats.wafer_alpha > 0.0
+                                   ? rng.gamma(options.stats.wafer_alpha) /
+                                         options.stats.wafer_alpha
+                                   : 1.0;
+            const double die_factor =
+                options.stats.die_alpha > 0.0
+                    ? rng.gamma(options.stats.die_alpha) /
+                          options.stats.die_alpha
+                    : 1.0;
+            for (const auto& region : regions) {
+                double lambda =
+                    total * region.fraction * wafer_factor * die_factor;
+                if (region.alpha > 0.0)
+                    lambda *= rng.gamma(region.alpha) / region.alpha;
+                const long region_defects = rng.poisson(lambda);
+                defects += region_defects;
+                for (long d = 0; d < region_defects; ++d)
+                    place_defect(caught, escaped);
+            }
+        } else {
+            // Poisson / negbin path: bit-exact legacy RNG call sequence
+            // (the historical clustering_alpha knob IS the negbin
+            // backend; the explicit backend wins when both are set).
+            double lambda = total;
+            const double alpha =
+                negbin ? options.stats.alpha : options.clustering_alpha;
+            if (alpha > 0.0) lambda *= rng.gamma(alpha) / alpha;
+            defects = rng.poisson(lambda);
+            for (long d = 0; d < defects; ++d)
+                place_defect(caught, escaped);
+        }
+        if (options.record_die_counts) result.die_defects.push_back(defects);
         if (defects == 0) {
             ++result.defect_free;
             ++result.passing;  // nothing to detect
             continue;
-        }
-        bool caught = false;
-        bool escaped = false;
-        for (long d = 0; d < defects; ++d) {
-            const double u = rng.uniform() * total;
-            const size_t j = static_cast<size_t>(
-                std::lower_bound(cumulative.begin(), cumulative.end(), u) -
-                cumulative.begin());
-            const size_t idx = std::min(j, weights.size() - 1);
-            if (detected[idx])
-                caught = true;
-            else
-                escaped = true;
         }
         if (!caught) {
             ++result.passing;

@@ -12,6 +12,9 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
+
+#include "model/defect_stats_model.h"
 
 namespace dlp::flow {
 
@@ -19,7 +22,28 @@ struct WaferOptions {
     long dies = 200000;
     std::uint64_t seed = 1;
     /// 0 = Poisson; > 0 = gamma-mixed (Stapper clustering parameter).
+    /// Kept for back-compat; equivalent to stats = negbin:alpha but with
+    /// its own (stable) RNG call sequence.
     double clustering_alpha = 0.0;
+    /// Defect-statistics backend to sample from
+    /// (model/defect_stats_model.h).  Poisson (the default) preserves the
+    /// legacy behaviour above bit for bit; a non-Poisson backend takes
+    /// precedence over clustering_alpha.  Hierarchical backends draw a
+    /// shared gamma factor per wafer (wafer_alpha), one per die
+    /// (die_alpha) and one per region per die, exactly the composition
+    /// DefectStatsModel::pass_probability integrates in closed form — the
+    /// simulated marginals must match the projections within sampling
+    /// error.
+    model::DefectStatsModel stats;
+    /// Dies sharing one wafer-level gamma factor (hierarchical backends).
+    /// <= 0 means every die is its own wafer: single-die marginals —
+    /// yield, DL — are unaffected by the grouping (only cross-die
+    /// correlation changes), so this is the variance-friendly default.
+    long dies_per_wafer = 0;
+    /// Record the sampled per-die defect count in
+    /// WaferResult::die_defects (for dispersion fitting; off by default
+    /// to keep large runs allocation-free).
+    bool record_die_counts = false;
 };
 
 struct WaferResult {
@@ -27,6 +51,9 @@ struct WaferResult {
     long defect_free = 0;
     long passing = 0;           ///< dies the test ships
     long shipped_defective = 0; ///< passing dies with an undetected defect
+    /// Per-die sampled defect counts (only when
+    /// WaferOptions::record_die_counts; empty otherwise).
+    std::vector<long> die_defects;
 
     double observed_yield() const {
         return dies == 0 ? 0.0

@@ -366,6 +366,82 @@ void lint_rules(const extract::DefectStatistics& stats,
                           "renormalize",
                           {file, 0}, "sizebin");
     }
+
+    // Clustering directives (cluster_alpha / cluster_wafer / cluster_die /
+    // cluster_region): the shapes feed the clustered DL projections in
+    // model/defect_stats_model.h, so a bad shape or an unnormalized region
+    // map skews yield and DL exactly like an unnormalized size histogram.
+    // In-memory decks bypass the parser's structural checks entirely.
+    {
+        using Kind = model::DefectStatsModel::Kind;
+        const model::DefectStatsModel& c = stats.clustering;
+        const int line = stats.clustering_line;
+        const auto bad_shape = [](double a) {
+            return !std::isfinite(a) || a < 0.0;
+        };
+        const auto report_shape = [&](const std::string& what, double a) {
+            if (bad_shape(a))
+                engine.report(Severity::Error, "rules-bad-clustering",
+                              what + " clustering shape " + fmt_double(a) +
+                              " is negative or non-finite",
+                              {file, line}, what);
+            else if (a > 0.0 && a < 1e-2)
+                engine.report(Severity::Warning, "rules-bad-clustering",
+                              what + " clustering shape " + fmt_double(a) +
+                              " is implausibly small (< 0.01): nearly all "
+                              "defects land on a vanishing fraction of "
+                              "dies; check for a unit slip",
+                              {file, line}, what);
+        };
+        if (c.kind == Kind::NegBin) {
+            if (!std::isfinite(c.alpha) || c.alpha <= 0.0)
+                engine.report(Severity::Error, "rules-bad-clustering",
+                              "cluster_alpha must be positive and finite, "
+                              "got " + fmt_double(c.alpha),
+                              {file, line}, "cluster_alpha");
+            else
+                report_shape("cluster_alpha", c.alpha);
+        } else if (c.kind == Kind::Hierarchical) {
+            report_shape("cluster_wafer", c.wafer_alpha);
+            report_shape("cluster_die", c.die_alpha);
+            double fraction_sum = 0.0;
+            bool fractions_ok = !c.regions.empty();
+            for (const model::RegionDensity& region : c.regions) {
+                report_shape("cluster_region", region.alpha);
+                if (!std::isfinite(region.fraction) ||
+                    region.fraction <= 0.0 || region.fraction > 1.0) {
+                    engine.report(Severity::Error, "rules-bad-clustering",
+                                  "cluster_region fraction " +
+                                  fmt_double(region.fraction) +
+                                  " is outside (0, 1]",
+                                  {file, line}, "cluster_region");
+                    fractions_ok = false;
+                    continue;
+                }
+                fraction_sum += region.fraction;
+            }
+            if (fractions_ok && std::fabs(fraction_sum - 1.0) > 1e-6)
+                engine.report(Severity::Error, "rules-bad-clustering",
+                              "cluster_region fractions sum to " +
+                              fmt_double(fraction_sum) +
+                              ", expected 1; the region map must "
+                              "partition the die area",
+                              {file, line}, "cluster_region");
+            if (!bad_shape(c.wafer_alpha) && !bad_shape(c.die_alpha) &&
+                c.wafer_alpha == 0.0 && c.die_alpha == 0.0) {
+                bool any_region_mixing = false;
+                for (const model::RegionDensity& region : c.regions)
+                    any_region_mixing |= region.alpha > 0.0;
+                if (!any_region_mixing)
+                    engine.report(
+                        Severity::Warning, "rules-bad-clustering",
+                        "hierarchical clustering with every shape "
+                        "disabled is exactly Poisson; drop the cluster_* "
+                        "directives or give some level a finite shape",
+                        {file, line}, "cluster_region");
+            }
+        }
+    }
 }
 
 void lint_faults(const netlist::Circuit& circuit,

@@ -58,8 +58,9 @@ void lint_circuit(const netlist::Circuit& circuit, DiagnosticEngine& engine,
                   const LintOptions& options = {});
 
 /// Defect rule-deck checks: rules-overlapping-bins,
-/// rules-density-unnormalized.  `file` tags diagnostic locations when the
-/// deck was loaded from disk.
+/// rules-density-unnormalized, rules-bad-clustering (invalid cluster_*
+/// shapes, unnormalized region-fraction maps, degenerate hierarchies).
+/// `file` tags diagnostic locations when the deck was loaded from disk.
 void lint_rules(const extract::DefectStatistics& stats,
                 DiagnosticEngine& engine, const std::string& file = {});
 

@@ -1,0 +1,361 @@
+#include "model/defect_stats_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "model/planning.h"
+
+namespace dlp::model {
+
+namespace {
+
+/// Shortest exact decimal for a double; keeps describe() canonical so the
+/// descriptor round-trips through parse and is stable inside cache keys.
+std::string num(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/// (1 + x/a)^{-a}, the Laplace transform of Gamma(a)/a at x; e^{-x} for
+/// a = 0 (no mixing).  log1p keeps the large-a limit stable.
+double nb_factor(double x, double a) {
+    if (a <= 0.0) return std::exp(-x);
+    return std::exp(-a * std::log1p(x / a));
+}
+
+/// Gauss-Legendre nodes/weights on [-1, 1], computed once per order by
+/// Newton iteration on the Legendre recurrence (exact enough at 1e-15;
+/// no hardcoded tables to mistype).
+struct GaussLegendre {
+    std::vector<double> x;
+    std::vector<double> w;
+    explicit GaussLegendre(int n) : x(static_cast<size_t>(n)),
+                                    w(static_cast<size_t>(n)) {
+        const int m = (n + 1) / 2;
+        for (int i = 0; i < m; ++i) {
+            double z = std::cos(3.14159265358979323846 *
+                                (static_cast<double>(i) + 0.75) /
+                                (static_cast<double>(n) + 0.5));
+            double pp = 0.0;
+            for (int it = 0; it < 100; ++it) {
+                double p1 = 1.0, p2 = 0.0;
+                for (int j = 0; j < n; ++j) {
+                    const double p3 = p2;
+                    p2 = p1;
+                    p1 = ((2.0 * j + 1.0) * z * p2 - j * p3) / (j + 1.0);
+                }
+                pp = n * (z * p1 - p2) / (z * z - 1.0);
+                const double z1 = z;
+                z = z1 - p1 / pp;
+                if (std::abs(z - z1) < 1e-15) break;
+            }
+            x[static_cast<size_t>(i)] = -z;
+            x[static_cast<size_t>(n - 1 - i)] = z;
+            w[static_cast<size_t>(i)] = 2.0 / ((1.0 - z * z) * pp * pp);
+            w[static_cast<size_t>(n - 1 - i)] = w[static_cast<size_t>(i)];
+        }
+    }
+};
+
+const GaussLegendre& quad16() {
+    static const GaussLegendre gl(16);
+    return gl;
+}
+
+/// E[h(S)] with S = Gamma(a)/a (mean 1, shape a > 0).
+///
+/// a >= 1: the density g^{a-1} e^{-g} / Gamma(a) is bounded, so composite
+/// Gauss-Legendre directly in g over mean +/- 14 sigma converges fast; the
+/// density is evaluated in log space so very large shapes never overflow.
+///
+/// a < 1: the density diverges at 0, so substitute u = g^a, which
+/// flattens the singularity exactly:
+///   E[h] = (1 / Gamma(a+1)) * Int_0^{u_max} e^{-u^{1/a}} h(u^{1/a} / a) du
+/// with u_max = g_max^a <= g_max (a < 1 compresses the domain), and the
+/// transformed integrand is smooth on the whole panel range.
+template <typename H>
+double gamma_mixture_expect(double a, const H& h) {
+    const GaussLegendre& gl = quad16();
+    const int panels = 32;
+    double sum = 0.0;
+    if (a >= 1.0) {
+        const double span = 14.0 * std::sqrt(a) + 40.0;  // tail < 1e-17
+        const double lo_g = std::max(0.0, a - span);
+        const double dg = (a + span - lo_g) / panels;
+        const double lg = std::lgamma(a);
+        for (int p = 0; p < panels; ++p) {
+            const double base = lo_g + p * dg;
+            for (size_t i = 0; i < gl.x.size(); ++i) {
+                const double g = base + 0.5 * dg * (gl.x[i] + 1.0);
+                const double log_density = (a - 1.0) * std::log(g) - g - lg;
+                sum += 0.5 * dg * gl.w[i] * std::exp(log_density) * h(g / a);
+            }
+        }
+        return sum;
+    }
+    const double g_max = a + 14.0 * std::sqrt(a) + 40.0;
+    const double u_max = std::pow(g_max, a);
+    const double du = u_max / panels;
+    for (int p = 0; p < panels; ++p) {
+        const double lo = p * du;
+        for (size_t i = 0; i < gl.x.size(); ++i) {
+            const double u = lo + 0.5 * du * (gl.x[i] + 1.0);
+            const double g = std::pow(u, 1.0 / a);
+            sum += 0.5 * du * gl.w[i] * std::exp(-g) * h(g / a);
+        }
+    }
+    return sum / std::tgamma(a + 1.0);
+}
+
+}  // namespace
+
+double DefectStatsModel::pass_probability(double lambda,
+                                          double theta) const {
+    if (lambda < 0.0) throw std::domain_error("lambda must be >= 0");
+    if (theta < 0.0 || theta > 1.0)
+        throw std::domain_error("theta must be in [0,1]");
+    switch (kind) {
+        case Kind::Poisson:
+            return std::exp(-theta * lambda);
+        case Kind::NegBin:
+            return nb_factor(theta * lambda, alpha);
+        case Kind::Hierarchical:
+            break;
+    }
+    // Region product conditioned on the shared wafer/die scale g.
+    const std::vector<RegionDensity> one{RegionDensity{}};
+    const std::vector<RegionDensity>& regs = regions.empty() ? one : regions;
+    const auto product = [&](double g) {
+        double p = 1.0;
+        for (const RegionDensity& r : regs)
+            p *= nb_factor(theta * lambda * r.fraction * g, r.alpha);
+        return p;
+    };
+    if (wafer_alpha <= 0.0 && die_alpha <= 0.0) return product(1.0);
+    if (wafer_alpha > 0.0 && die_alpha > 0.0)
+        return gamma_mixture_expect(wafer_alpha, [&](double sw) {
+            return gamma_mixture_expect(
+                die_alpha, [&](double sd) { return product(sw * sd); });
+        });
+    const double a = wafer_alpha > 0.0 ? wafer_alpha : die_alpha;
+    return gamma_mixture_expect(a, product);
+}
+
+double DefectStatsModel::yield(double lambda) const {
+    return pass_probability(lambda, 1.0);
+}
+
+double DefectStatsModel::dl(double lambda, double theta) const {
+    switch (kind) {
+        case Kind::Poisson:
+            // 1 - Y^(1-theta) with Y = e^{-lambda}: eq (3) exactly.
+            return 1.0 - std::exp(-(1.0 - theta) * lambda);
+        case Kind::NegBin:
+            return clustered_dl(lambda, alpha, theta);
+        case Kind::Hierarchical:
+            break;
+    }
+    const double pass = pass_probability(lambda, theta);
+    if (pass <= 0.0) return 0.0;  // nothing ships, nothing is defective
+    return 1.0 - pass_probability(lambda, 1.0) / pass;
+}
+
+double DefectStatsModel::dl_of_coverage(double lambda, double r,
+                                        double theta_max, double t) const {
+    const double tc = std::clamp(t, 0.0, 1.0);
+    const double theta =
+        std::clamp(theta_max * (1.0 - std::pow(1.0 - tc, r)), 0.0, 1.0);
+    return dl(lambda, theta);
+}
+
+double DefectStatsModel::required_theta(double lambda,
+                                        double dl_target) const {
+    if (dl_target < 0.0 || dl_target >= 1.0)
+        throw std::domain_error("dl_target must be in [0,1)");
+    if (lambda == 0.0) return 0.0;  // perfect yield
+    switch (kind) {
+        case Kind::Poisson: {
+            // Invert 1 - e^{-(1-theta)lambda} = DL.
+            const double theta =
+                1.0 + std::log1p(-dl_target) / lambda;
+            return std::clamp(theta, 0.0, 1.0);
+        }
+        case Kind::NegBin:
+            return clustered_required_theta(lambda, alpha, dl_target);
+        case Kind::Hierarchical:
+            break;
+    }
+    // dl is continuous and decreasing in theta with dl(., 1) = 0, so the
+    // smallest admissible theta bisects cleanly.
+    double lo = 0.0, hi = 1.0;
+    if (dl(lambda, lo) <= dl_target) return 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (dl(lambda, mid) <= dl_target)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+double DefectStatsModel::lambda_for_yield(double y) const {
+    if (!(y > 0.0) || y > 1.0)
+        throw std::domain_error("yield must be in (0,1]");
+    switch (kind) {
+        case Kind::Poisson:
+            return -std::log(y);
+        case Kind::NegBin:
+            return alpha * (std::pow(y, -1.0 / alpha) - 1.0);
+        case Kind::Hierarchical:
+            break;
+    }
+    if (y == 1.0) return 0.0;
+    double hi = 1.0;
+    while (yield(hi) > y && hi < 1e12) hi *= 2.0;
+    double lo = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (yield(mid) > y)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::string DefectStatsModel::describe() const {
+    switch (kind) {
+        case Kind::Poisson:
+            return "poisson";
+        case Kind::NegBin:
+            return "negbin:" + num(alpha);
+        case Kind::Hierarchical:
+            break;
+    }
+    std::string out = "hier";
+    char sep = ':';
+    const auto clause = [&](const std::string& text) {
+        out += sep;
+        out += text;
+        sep = ';';
+    };
+    if (wafer_alpha > 0.0) clause("wafer=" + num(wafer_alpha));
+    if (die_alpha > 0.0) clause("die=" + num(die_alpha));
+    for (const RegionDensity& r : regions)
+        clause("region=" + num(r.fraction) + "@" + num(r.alpha));
+    return out;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& text,
+                             const std::string& what) {
+    throw std::invalid_argument("defect_stats '" + text + "': " + what);
+}
+
+/// Parses a shape value; "inf"/"infinity" means "no mixing at this level"
+/// (the Poisson limit), encoded as 0.
+double parse_shape(const std::string& text, const std::string& v) {
+    if (v == "inf" || v == "infinity") return 0.0;
+    size_t pos = 0;
+    double a = 0.0;
+    try {
+        a = std::stod(v, &pos);
+    } catch (const std::exception&) {
+        parse_fail(text, "bad shape '" + v + "'");
+    }
+    if (pos != v.size()) parse_fail(text, "bad shape '" + v + "'");
+    if (!(a >= 0.0) || !std::isfinite(a))
+        parse_fail(text, "shape must be finite and >= 0");
+    return a;
+}
+
+}  // namespace
+
+DefectStatsModel parse_defect_stats(const std::string& text) {
+    DefectStatsModel m;
+    if (text.empty() || text == "poisson") return m;
+
+    if (text.rfind("negbin", 0) == 0) {
+        if (text.size() < 8 || text[6] != ':')
+            parse_fail(text, "expected negbin:<alpha>");
+        const std::string v = text.substr(7);
+        if (v == "inf" || v == "infinity") return m;  // the Poisson limit
+        size_t pos = 0;
+        double a = 0.0;
+        try {
+            a = std::stod(v, &pos);
+        } catch (const std::exception&) {
+            parse_fail(text, "bad alpha '" + v + "'");
+        }
+        if (pos != v.size()) parse_fail(text, "bad alpha '" + v + "'");
+        if (!(a > 0.0) || !std::isfinite(a))
+            parse_fail(text, "alpha must be finite and > 0");
+        m.kind = DefectStatsModel::Kind::NegBin;
+        m.alpha = a;
+        return m;
+    }
+
+    if (text.rfind("hier", 0) != 0)
+        parse_fail(text, "expected poisson, negbin:<alpha> or hier[:...]");
+    m.kind = DefectStatsModel::Kind::Hierarchical;
+    std::string rest = text.substr(4);
+    if (!rest.empty()) {
+        if (rest.front() != ':') parse_fail(text, "expected hier:<clauses>");
+        rest.erase(0, 1);
+        size_t start = 0;
+        while (start <= rest.size()) {
+            const size_t semi = rest.find(';', start);
+            const std::string clause =
+                rest.substr(start, semi == std::string::npos
+                                       ? std::string::npos
+                                       : semi - start);
+            start = semi == std::string::npos ? rest.size() + 1 : semi + 1;
+            if (clause.empty()) parse_fail(text, "empty clause");
+            const size_t eq = clause.find('=');
+            if (eq == std::string::npos)
+                parse_fail(text, "expected <key>=<value> in '" + clause + "'");
+            const std::string key = clause.substr(0, eq);
+            const std::string value = clause.substr(eq + 1);
+            if (key == "wafer") {
+                m.wafer_alpha = parse_shape(text, value);
+            } else if (key == "die") {
+                m.die_alpha = parse_shape(text, value);
+            } else if (key == "region") {
+                RegionDensity r;
+                const size_t at = value.find('@');
+                const std::string frac =
+                    at == std::string::npos ? value : value.substr(0, at);
+                size_t pos = 0;
+                try {
+                    r.fraction = std::stod(frac, &pos);
+                } catch (const std::exception&) {
+                    parse_fail(text, "bad region fraction '" + frac + "'");
+                }
+                if (pos != frac.size())
+                    parse_fail(text, "bad region fraction '" + frac + "'");
+                if (!(r.fraction > 0.0) || r.fraction > 1.0 ||
+                    !std::isfinite(r.fraction))
+                    parse_fail(text, "region fraction must be in (0,1]");
+                if (at != std::string::npos)
+                    r.alpha = parse_shape(text, value.substr(at + 1));
+                m.regions.push_back(r);
+            } else {
+                parse_fail(text, "unknown clause '" + key + "'");
+            }
+        }
+    }
+    if (m.regions.empty()) m.regions.push_back(RegionDensity{});
+    double total = 0.0;
+    for (const RegionDensity& r : m.regions) total += r.fraction;
+    if (std::abs(total - 1.0) > 1e-6)
+        parse_fail(text, "region fractions sum to " + num(total) +
+                             ", expected 1");
+    return m;
+}
+
+}  // namespace dlp::model

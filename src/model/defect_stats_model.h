@@ -1,0 +1,110 @@
+// Pluggable defect-count statistics behind the yield / defect-level
+// equations (ROADMAP item 4; Bogdanov et al., "Statistical Yield Modeling
+// for IC Manufacture: Hierarchical Fault Distributions").
+//
+// The paper derives eq (5) Y = e^{-sum w} and eq (3) DL = 1 - Y^(1-theta)
+// from Poisson defect statistics.  Real wafers cluster, so this module
+// generalizes both to an arbitrary mixing distribution over the die's
+// defect rate Lambda with E[Lambda] = lambda:
+//   P_pass(theta) = E[e^{-theta * Lambda}]          (a test covering theta
+//                                                    of the weight thins
+//                                                    defects by theta)
+//   Y             = P_pass(1)                        (generalized eq 5)
+//   DL(theta)     = 1 - P_pass(1) / P_pass(theta)    (generalized eq 3)
+// and eq (11) follows by composing theta(T) = theta_max (1 - (1-T)^R).
+//
+// Three backends:
+//   poisson        Lambda = lambda deterministically; exactly the paper.
+//   negbin(alpha)  Lambda = lambda * Gamma(alpha)/alpha (Stapper): the
+//                  closed forms in model/planning.h (clustered_dl).
+//   hierarchical   wafer -> die -> region composition: Lambda_i =
+//                  lambda * f_i * S_wafer * S_die * S_region_i with each
+//                  S ~ Gamma(a)/a (mean 1, shape a; a = 0 disables that
+//                  level).  Region factors are independent per region;
+//                  the wafer/die factors are shared across regions of one
+//                  die.  With no shared factor the transform is a closed
+//                  product of negative-binomial factors; otherwise it is
+//                  integrated numerically (Gauss-Legendre, smooth after a
+//                  u = g^a substitution that removes the alpha < 1
+//                  singularity).
+//
+// Every backend keeps E[Lambda] = lambda (region fractions sum to 1), so
+// switching statistics never changes the fault weights or the simulated
+// coverage curves — only the projection from coverage to DL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dlp::model {
+
+/// One region of the hierarchical per-region density map: `fraction` of
+/// the total defect rate, gamma-mixed with shape `alpha` (0 = Poisson
+/// region, i.e. no region-level clustering).
+struct RegionDensity {
+    double fraction = 1.0;
+    double alpha = 0.0;
+};
+
+struct DefectStatsModel {
+    enum class Kind { Poisson, NegBin, Hierarchical };
+
+    Kind kind = Kind::Poisson;
+    /// NegBin: the Stapper clustering parameter (> 0; smaller = more
+    /// clustered).  Unused by the other kinds.
+    double alpha = 0.0;
+    /// Hierarchical: shared wafer-level mixing shape (0 = off).
+    double wafer_alpha = 0.0;
+    /// Hierarchical: shared die-level mixing shape (0 = off).
+    double die_alpha = 0.0;
+    /// Hierarchical: the per-region density map (fractions sum to 1).
+    std::vector<RegionDensity> regions;
+
+    bool is_poisson() const { return kind == Kind::Poisson; }
+
+    /// E[e^{-theta * Lambda}] at mean defect rate lambda: the probability
+    /// that a die has no test-detected defect when the test covers
+    /// `theta` of the defect weight.
+    double pass_probability(double lambda, double theta) const;
+
+    /// Generalized eq (5): P(defect-free) = pass_probability(lambda, 1).
+    double yield(double lambda) const;
+
+    /// Generalized eq (3): DL = 1 - P(clean | passed) at realistic
+    /// coverage theta.  0 when nothing can pass.
+    double dl(double lambda, double theta) const;
+
+    /// Generalized eq (11): DL at stuck-at coverage t through
+    /// theta(t) = theta_max * (1 - (1 - t)^r).
+    double dl_of_coverage(double lambda, double r, double theta_max,
+                          double t) const;
+
+    /// Smallest theta with dl(lambda, theta) <= dl_target (clamped to
+    /// [0, 1]; the generalization of clustered_required_theta).
+    double required_theta(double lambda, double dl_target) const;
+
+    /// Mean defect rate that produces yield y (inverse of yield()).
+    double lambda_for_yield(double y) const;
+
+    /// Canonical descriptor, stable for cache keys and reports:
+    /// "poisson", "negbin:<alpha>", or
+    /// "hier[:wafer=<a>][;die=<a>];region=<f>@<a>;..." — round-trips
+    /// through parse_defect_stats().
+    std::string describe() const;
+};
+
+/// Parses a defect-statistics descriptor:
+///   poisson
+///   negbin:<alpha>        alpha > 0, or "inf" (the Poisson limit)
+///   hier[:<clause>[;<clause>...]]
+///     clauses: wafer=<a>  shared wafer-level shape (a >= 0, inf = off)
+///              die=<a>    shared die-level shape
+///              region=<f>[@<a>]  region with density fraction f (0, 1]
+///                         and optional shape a (default 0 = Poisson)
+/// Region fractions must sum to 1 (1e-6 tolerance); no region clause
+/// means one Poisson region.  The comma never appears in a descriptor,
+/// so descriptors are safe list items in campaign [grid] axes.
+/// Throws std::invalid_argument on malformed input.
+DefectStatsModel parse_defect_stats(const std::string& text);
+
+}  // namespace dlp::model

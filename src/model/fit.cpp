@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <tuple>
 
 #include "model/dl_models.h"
 
@@ -192,6 +193,127 @@ AgrawalFit fit_agrawal_model(double yield,
     const double init[] = {0.5};
     const MinimizeResult res = minimize(objective, init);
     return AgrawalFit{unpack(res.x), rms(res.value, points.size())};
+}
+
+namespace {
+
+/// Negative-binomial NLL of per-die defect counts at shape alpha, with
+/// the mean fixed at the sample mean (its MLE).  lgamma keeps the
+/// Gamma-ratio stable for large counts and shapes.
+double negbin_nll(std::span<const long> counts, double mean, double alpha) {
+    const double la = std::log(alpha);
+    const double lap = std::log(alpha + mean);
+    const double lm = mean > 0.0 ? std::log(mean) : 0.0;
+    double nll = 0.0;
+    for (const long k : counts) {
+        const double kd = static_cast<double>(k);
+        nll -= std::lgamma(kd + alpha) - std::lgamma(alpha) -
+               std::lgamma(kd + 1.0) + alpha * (la - lap) +
+               kd * (lm - lap);
+    }
+    return nll;
+}
+
+constexpr double kAlphaMin = 1e-3;
+constexpr double kAlphaMax = 1e6;
+
+}  // namespace
+
+double fit_negbin_alpha(std::span<const long> counts) {
+    if (counts.empty()) throw std::invalid_argument("no die counts");
+    double mean = 0.0;
+    for (const long k : counts) {
+        if (k < 0) throw std::invalid_argument("negative die count");
+        mean += static_cast<double>(k);
+    }
+    mean /= static_cast<double>(counts.size());
+    if (mean == 0.0) throw std::invalid_argument("all-zero die counts");
+    const auto unpack = [](std::span<const double> x) {
+        return std::clamp(std::exp(x[0]), kAlphaMin, kAlphaMax);
+    };
+    const auto objective = [&](std::span<const double> x) {
+        return negbin_nll(counts, mean, unpack(x));
+    };
+    const double init[] = {std::log(2.0)};
+    return unpack(minimize(objective, init).x);
+}
+
+ClusteredFit fit_clustered_model(double lambda,
+                                 std::span<const FalloutPoint> raw_points,
+                                 std::span<const long> die_counts) {
+    if (raw_points.empty()) throw std::invalid_argument("no fallout points");
+    if (!(lambda >= 0.0) || !std::isfinite(lambda))
+        throw std::invalid_argument("bad lambda");
+    std::vector<FalloutPoint> points;
+    points.reserve(raw_points.size());
+    for (const auto& p : raw_points) {
+        if (!std::isfinite(p.coverage) || !std::isfinite(p.defect_level))
+            continue;
+        points.push_back({std::clamp(p.coverage, 0.0, 1.0),
+                          std::max(p.defect_level, 0.0)});
+    }
+    if (points.empty())
+        throw std::invalid_argument("no finite fallout points");
+    double count_mean = 0.0;
+    for (const long k : die_counts) {
+        if (k < 0) throw std::invalid_argument("negative die count");
+        count_mean += static_cast<double>(k);
+    }
+    const bool use_counts = !die_counts.empty() && count_mean > 0.0;
+    if (use_counts) count_mean /= static_cast<double>(die_counts.size());
+
+    const auto unpack = [](std::span<const double> x) {
+        const double r = std::min(1.0 + std::exp(x[0]), 16.0);
+        const double theta_max = 1.0 / (1.0 + std::exp(-x[1]));
+        const double alpha = std::clamp(std::exp(x[2]), 1e-2, kAlphaMax);
+        return std::tuple{r, theta_max, alpha};
+    };
+    // The clustered DL(T): negbin thinning through theta(T) of eq (9).
+    const auto model_dl = [&](double r, double theta_max, double alpha,
+                              double t) {
+        const double theta = std::clamp(
+            theta_max * (1.0 - std::pow(1.0 - t, r)), 0.0, 1.0);
+        const double num = 1.0 + theta * lambda / alpha;
+        const double den = 1.0 + lambda / alpha;
+        return 1.0 - std::pow(num / den, alpha);
+    };
+    constexpr double kFloor = 1e-9;
+    const auto log_sse = [&](double r, double theta_max, double alpha) {
+        double sum = 0.0;
+        for (const auto& p : points) {
+            const double d =
+                std::log(std::max(model_dl(r, theta_max, alpha, p.coverage),
+                                  kFloor)) -
+                std::log(std::max(p.defect_level, kFloor));
+            sum += d * d;
+        }
+        return sum;
+    };
+    // Penalized joint objective on a per-observation scale: the mean
+    // squared log-DL residual plus (when counts were observed) the negbin
+    // NLL per die, so neither term drowns the other as sizes grow.
+    const auto objective = [&](std::span<const double> x) {
+        const auto [r, theta_max, alpha] = unpack(x);
+        double value =
+            log_sse(r, theta_max, alpha) / static_cast<double>(points.size());
+        if (use_counts)
+            value += negbin_nll(die_counts, count_mean, alpha) /
+                     static_cast<double>(die_counts.size());
+        return value;
+    };
+
+    const double init[] = {0.0, 3.5, std::log(2.0)};
+    const MinimizeResult res = minimize(objective, init);
+    const auto [r, theta_max, alpha] = unpack(res.x);
+    ClusteredFit fit;
+    fit.r = r;
+    fit.theta_max = theta_max;
+    fit.alpha = alpha;
+    fit.rms_error = rms(log_sse(r, theta_max, alpha), points.size());
+    if (use_counts)
+        fit.count_nll = negbin_nll(die_counts, count_mean, alpha) /
+                        static_cast<double>(die_counts.size());
+    return fit;
 }
 
 }  // namespace dlp::model

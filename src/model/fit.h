@@ -60,4 +60,35 @@ struct AgrawalFit {
 AgrawalFit fit_agrawal_model(double yield,
                              std::span<const FalloutPoint> points);
 
+/// Fitted parameters of the clustered (negative-binomial) generalization
+/// of eq (11): (R, theta_max) as in ProposedFit plus the Stapper
+/// clustering shape alpha, fitted jointly.
+struct ClusteredFit {
+    double r = 1.0;
+    double theta_max = 1.0;
+    double alpha = 0.0;      ///< fitted clustering shape (larger = less
+                             ///< clustered; capped at 1e6 ~ Poisson)
+    double rms_error = 0.0;  ///< RMS of log-DL residuals at the fit
+    double count_nll = 0.0;  ///< negbin NLL per die of `die_counts` at the
+                             ///< fit (0 when no counts were given)
+};
+
+/// Maximum-likelihood negative-binomial dispersion from observed per-die
+/// defect counts (gamma-Poisson mixture; the mean is estimated as the
+/// sample mean).  The result is clamped to [1e-3, 1e6]; samples with no
+/// overdispersion land on the upper clamp (the Poisson limit).
+/// Throws std::invalid_argument on an empty or all-zero sample.
+double fit_negbin_alpha(std::span<const long> counts);
+
+/// Joint fit of the clustered eq (11): R and theta_max against the
+/// fallout points (log-DL least squares, as fit_proposed_model) and alpha
+/// against BOTH the points and — when non-empty — the observed per-die
+/// defect counts through the negative-binomial likelihood (a penalized
+/// joint objective: mean squared log-DL residual + NLL/die).  `lambda` is
+/// the known mean defect rate (= -ln Y under the paper's weight scaling).
+/// R in [1, 16], theta_max in (0, 1], alpha in [1e-2, 1e6].
+ClusteredFit fit_clustered_model(double lambda,
+                                 std::span<const FalloutPoint> points,
+                                 std::span<const long> die_counts = {});
+
 }  // namespace dlp::model

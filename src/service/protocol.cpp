@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "model/defect_stats_model.h"
+
 namespace dlp::service {
 
 std::string encode_frame_header(std::uint32_t n) {
@@ -92,6 +94,14 @@ Request parse_request(std::string_view payload) {
         doc, "seed", 1, 0, std::numeric_limits<std::int64_t>::max() >> 12));
     r.ndetect = static_cast<int>(require_range(doc, "ndetect", 0, 0, 64));
     r.analysis = doc.bool_or("analysis", false);
+    r.defect_stats = doc.str_or("defect_stats", "");
+    if (!r.defect_stats.empty()) {
+        try {
+            model::parse_defect_stats(r.defect_stats);
+        } catch (const std::invalid_argument& e) {
+            throw ProtocolError(std::string("bad defect_stats: ") + e.what());
+        }
+    }
 
     if (r.op == Op::Campaign && r.spec.empty())
         throw ProtocolError("campaign request is missing \"spec\"");
@@ -124,6 +134,8 @@ std::string request_json(const Request& r) {
     if (r.ndetect > 0)
         doc.set("ndetect", Json::number(static_cast<long long>(r.ndetect)));
     if (r.analysis) doc.set("analysis", Json::boolean(true));
+    if (!r.defect_stats.empty())
+        doc.set("defect_stats", Json::string(r.defect_stats));
     return write_json(doc);
 }
 

@@ -32,6 +32,11 @@
 //   analysis        project op: true = run the static untestability
 //                   analysis for the cell (default false); campaign specs
 //                   carry their own [grid] analysis axis instead
+//   defect_stats    project op: defect-statistics backend descriptor
+//                   ("poisson" | "negbin:A" | "hier[:...]"; see
+//                   model/defect_stats_model.h); absent = Poisson.
+//                   Campaign specs carry their own [grid] defect_stats
+//                   axis instead
 //
 // Reply frames:
 //   {"event":"progress","id":...,"stage":...,"done":N,"total":N}
@@ -97,6 +102,10 @@ struct Request {
     /// analyze() stage) for the cell; campaign specs carry their own
     /// [grid] analysis axis instead.
     bool analysis = false;
+    /// project op: defect-statistics backend descriptor; "" = Poisson.
+    /// Validated (parse_defect_stats) at parse time so a bad descriptor
+    /// is rejected before admission.
+    std::string defect_stats;
 };
 
 /// Parses a request payload; throws ProtocolError (bad JSON, unknown op,

@@ -8,6 +8,7 @@
 #include "campaign/runner.h"
 #include "campaign/spec.h"
 #include "gatesim/engine.h"
+#include "model/defect_stats_model.h"
 #include "obs/telemetry.h"
 #include "support/env.h"
 
@@ -437,6 +438,10 @@ void Service::execute_run(const Request& request, int fd) {
             spec.seeds = {request.seed};
             if (request.ndetect >= 1) spec.ndetect = {request.ndetect};
             if (request.analysis) spec.analysis = {1};
+            if (!request.defect_stats.empty())
+                spec.defect_stats = {
+                    model::parse_defect_stats(request.defect_stats)
+                        .describe()};
         }
         if (request.max_vectors >= 0) spec.max_vectors = request.max_vectors;
         const std::string engine =

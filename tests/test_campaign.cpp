@@ -4,6 +4,7 @@
 // cancel-then-resume byte-identity, corruption recovery).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -660,6 +661,148 @@ TEST(CampaignAnalysis, EnvKillSwitchCachesAsClassic) {
     EXPECT_EQ(on.stats.cell_misses, 1u);
     EXPECT_TRUE(on.cells[0].analysis);
     EXPECT_GT(on.cells[0].untestable_faults, 0u);
+}
+
+TEST(CampaignDefectStats, SpecAxisParsesCanonicalizesAndEnumeratesInnermost) {
+    const CampaignSpec s = parse_campaign_spec(
+        "[grid]\n"
+        "circuits = c17\n"
+        "rules = bridging, uniform\n"
+        "analysis = off, on\n"
+        "defect_stats = poisson, negbin:2, negbin:inf\n");
+    EXPECT_TRUE(s.has_defect_stats_axis());
+    EXPECT_EQ(s.cell_count(), 2u * 2u * 3u);
+    // The backend is the innermost axis, and descriptors are canonical:
+    // negbin:inf is spelled poisson so the alpha -> inf limit shares the
+    // Poisson cache keys.
+    EXPECT_EQ(cell_at(s, 0).defect_stats, "poisson");
+    EXPECT_EQ(cell_at(s, 1).defect_stats, "negbin:2");
+    EXPECT_EQ(cell_at(s, 2).defect_stats, "poisson");
+    EXPECT_FALSE(cell_at(s, 2).analysis);
+    EXPECT_TRUE(cell_at(s, 3).analysis);
+    EXPECT_EQ(cell_at(s, 6).rules, "uniform");
+
+    // A spec without the key has the single-poisson default: no axis.
+    EXPECT_FALSE(parse_campaign_spec(kSmallSpec).has_defect_stats_axis());
+    EXPECT_THROW(
+        parse_campaign_spec("[grid]\ncircuits = c17\nrules = uniform\n"
+                            "defect_stats = negbin:-1\n"),
+        std::runtime_error);
+    EXPECT_THROW(
+        parse_campaign_spec("[grid]\ncircuits = c17\nrules = uniform\n"
+                            "defect_stats =\n"),
+        std::runtime_error);
+}
+
+TEST(CampaignDefectStats, CellArtifactV4RoundTrip) {
+    // Clustered cells serialize as version 4 and round-trip the backend
+    // descriptor plus the joint clustered fit; classic cells keep the
+    // version-1 bytes, and parsing v1 derives stat_yield = yield.
+    CellResult c;
+    c.circuit = "c17";
+    c.rules = "uniform";
+    c.atpg = "default";
+    c.yield = 0.8;
+    c.t_curve = flow::CoverageCurve({0.5, 1.0});
+    const std::string classic = serialize_cell(c);
+    EXPECT_EQ(classic.substr(0, 13), "dlproj-cell 1");
+    EXPECT_EQ(parse_cell(classic).stat_yield, 0.8);
+
+    c.defect_stats = "negbin:2";
+    c.stat_yield = 0.8375;
+    c.fit_c_r = 0.25;
+    c.fit_c_theta_max = 1.5;
+    c.fit_c_alpha = 2.125;
+    c.fit_c_rms = 0.0625;
+    c.analysis = true;  // v4 carries analysis and clustering together
+    c.untestable_faults = 3;
+    c.fit_raw_r = 0.5;
+    c.fit_raw_theta_max = 1.25;
+    c.t_curve_raw = flow::CoverageCurve({0.375, 0.75});
+    const std::string text = serialize_cell(c);
+    EXPECT_EQ(text.substr(0, 13), "dlproj-cell 4");
+    const CellResult back = parse_cell(text);
+    EXPECT_EQ(back.defect_stats, "negbin:2");
+    EXPECT_EQ(back.stat_yield, 0.8375);
+    EXPECT_EQ(back.fit_c_r, 0.25);
+    EXPECT_EQ(back.fit_c_theta_max, 1.5);
+    EXPECT_EQ(back.fit_c_alpha, 2.125);
+    EXPECT_EQ(back.fit_c_rms, 0.0625);
+    EXPECT_TRUE(back.analysis);
+    EXPECT_EQ(back.untestable_faults, 3u);
+    EXPECT_EQ(back.t_curve_raw.final(), 0.75);
+}
+
+TEST(CampaignDefectStats, AxisGridSharesClassicCacheByteIdentically) {
+    // The poisson cells of a defect_stats-axis grid carry the same keys
+    // and bytes as a classic campaign's, so a cache warmed without the
+    // axis serves them — and the clustered cell reuses the cached
+    // faults/tests/sim artifacts (the backend only reinterprets the
+    // detection tables; it never re-simulates).
+    CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    spec.circuits = {"c17"};
+    spec.rules = {"uniform"};
+    const std::string cache = scratch_dir("defect_stats_axis");
+    const CampaignReport classic = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(classic.stats.cell_misses, 1u);
+    EXPECT_FALSE(classic.defect_stats_axis);
+
+    spec.defect_stats = {"poisson", "negbin:2"};
+    const CampaignReport warm = run_campaign(spec, cached_options(cache));
+    EXPECT_TRUE(warm.defect_stats_axis);
+    EXPECT_EQ(warm.stats.cell_hits, 1u);    // the poisson cell
+    EXPECT_EQ(warm.stats.cell_misses, 1u);  // the negbin cell
+    EXPECT_EQ(warm.stats.sim_hits, 1u);     // shared across the axis
+    EXPECT_EQ(warm.stats.sim_misses, 0u);
+    const CampaignReport cold = run_campaign(
+        spec, cached_options(scratch_dir("defect_stats_axis_cold")));
+    EXPECT_EQ(report_json(warm), report_json(cold));
+    EXPECT_EQ(report_csv(warm), report_csv(cold));
+
+    ASSERT_EQ(warm.cells.size(), 2u);
+    const CellResult& poisson = warm.cells[0];
+    const CellResult& negbin = warm.cells[1];
+    EXPECT_EQ(poisson.defect_stats, "poisson");
+    EXPECT_EQ(poisson.stat_yield, poisson.yield);
+    EXPECT_EQ(negbin.defect_stats, "negbin:2");
+    // Weight scaling stays Poisson, so the workload facts and curves are
+    // bit-identical; only the statistical reinterpretation differs.
+    EXPECT_EQ(negbin.yield, poisson.yield);
+    EXPECT_EQ(negbin.vector_count, poisson.vector_count);
+    ASSERT_EQ(negbin.theta_curve.size(), poisson.theta_curve.size());
+    EXPECT_EQ(negbin.theta_curve.final(), poisson.theta_curve.final());
+    // Clustering concentrates defects on few dies: more dies are clean.
+    EXPECT_GT(negbin.stat_yield, negbin.yield);
+    EXPECT_GT(negbin.fit_c_alpha, 0.0);
+
+    // A fully warm re-run hits both cells and reproduces the bytes.
+    const CampaignReport rewarm = run_campaign(spec, cached_options(cache));
+    EXPECT_EQ(rewarm.stats.cell_hits, 2u);
+    EXPECT_EQ(report_json(rewarm), report_json(warm));
+}
+
+TEST(CampaignDefectStats, AlphaToInfinityMatchesPoissonEndToEnd) {
+    // negbin with a huge alpha must agree with the Poisson pipeline end
+    // to end: same workload bytes, and the clustered yield converges to
+    // the Poisson yield (error is O(lambda^2 / alpha)).
+    CampaignSpec spec = parse_campaign_spec(kSmallSpec);
+    spec.circuits = {"c17"};
+    spec.rules = {"uniform"};
+    spec.defect_stats = {"poisson", "negbin:1000000"};
+    const CampaignReport r =
+        run_campaign(spec, cached_options(scratch_dir("defect_stats_inf")));
+    ASSERT_EQ(r.cells.size(), 2u);
+    const CellResult& poisson = r.cells[0];
+    const CellResult& limit = r.cells[1];
+    EXPECT_EQ(limit.defect_stats, "negbin:1000000");
+    EXPECT_EQ(limit.yield, poisson.yield);
+    EXPECT_EQ(limit.theta_curve.final(), poisson.theta_curve.final());
+    EXPECT_NEAR(limit.stat_yield, poisson.yield,
+                1e-5 * std::max(poisson.yield, 1e-300));
+    // The joint clustered fit reproduces the Poisson fit in the limit.
+    EXPECT_NEAR(limit.fit_c_r, poisson.fit_r, 1e-3 + 0.05 * poisson.fit_r);
+    EXPECT_NEAR(limit.fit_c_theta_max, poisson.fit_theta_max,
+                1e-3 + 0.05 * poisson.fit_theta_max);
 }
 
 TEST(CampaignBudget, VectorBudgetIsDeterministicConfigNotAnInterruption) {

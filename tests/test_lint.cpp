@@ -436,6 +436,52 @@ TEST(LintRules, FlagsUnnormalizedMass) {
     EXPECT_NE(d->message.find("0.6"), std::string::npos) << d->message;
 }
 
+TEST(LintRules, FlagsBadClustering) {
+    const auto r = lint_rules_fixture("bad_clustering.rules");
+    EXPECT_FALSE(r.ok());
+    // The unnormalized region map is the error; the implausibly small
+    // wafer shape additionally warns.  Both carry the fixture location
+    // (the first cluster_* directive line).
+    const lint::Diagnostic* sum = nullptr;
+    const lint::Diagnostic* tiny = nullptr;
+    for (const lint::Diagnostic& d : r.diagnostics) {
+        if (d.check != "rules-bad-clustering") continue;
+        if (d.severity == lint::Severity::Error) sum = &d;
+        if (d.severity == lint::Severity::Warning) tiny = &d;
+    }
+    ASSERT_NE(sum, nullptr);
+    EXPECT_NE(sum->message.find("sum to 0.8"), std::string::npos)
+        << sum->message;
+    EXPECT_EQ(sum->loc.file, "bad_clustering.rules");
+    EXPECT_EQ(sum->loc.line, 6);
+    ASSERT_NE(tiny, nullptr);
+    EXPECT_NE(tiny->message.find("cluster_wafer"), std::string::npos)
+        << tiny->message;
+}
+
+TEST(LintRules, FlagsInMemoryBadClusterAlpha) {
+    // In-memory decks bypass the parser's structural checks entirely, so
+    // the lint layer must catch a nonsensical shape on its own.
+    auto stats = extract::DefectStatistics::cmos_bridging_dominant();
+    stats.clustering.kind = model::DefectStatsModel::Kind::NegBin;
+    stats.clustering.alpha = -1.0;
+    lint::DiagnosticEngine e;
+    lint::lint_rules(stats, e);
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.diagnostics()[0].check, "rules-bad-clustering");
+}
+
+TEST(LintRules, CleanClusteredDeckPassesAndRoundTrips) {
+    const auto r = lint_rules_fixture("clean_clustered.rules");
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.warnings, 0u);
+    const auto stats =
+        extract::parse_defect_rules(read_fixture("clean_clustered.rules"));
+    EXPECT_EQ(stats.clustering.describe(),
+              "hier:wafer=4;region=0.5@2;region=0.5@0");
+    EXPECT_EQ(stats.clustering_line, 6);
+}
+
 TEST(LintRules, CleanDecksPass) {
     for (const char* name : {"cmos_bridging.rules", "clean_sizebins.rules"}) {
         const auto r = lint_rules_fixture(name);

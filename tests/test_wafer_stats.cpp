@@ -1,0 +1,353 @@
+// Statistical verification of the clustered defect-statistics backend
+// (model/defect_stats_model.h) against the wafer Monte Carlo
+// (flow/wafer.h), plus the metamorphic laws that tie the backends
+// together.  Everything is seeded, so the chi-square/tolerance assertions
+// are deterministic: the thresholds are chosen for the pinned seeds, with
+// enough margin that they would also pass for almost any other seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "flow/wafer.h"
+#include "model/defect_stats_model.h"
+#include "model/fit.h"
+
+namespace {
+
+using dlp::flow::WaferOptions;
+using dlp::flow::WaferResult;
+using dlp::flow::simulate_wafer;
+using dlp::model::DefectStatsModel;
+using dlp::model::parse_defect_stats;
+
+// std::vector<bool> cannot view as std::span<const bool>.
+std::unique_ptr<bool[]> g_bools;
+std::span<const bool> bools(const std::vector<char>& v) {
+    g_bools = std::make_unique<bool[]>(v.size());
+    for (size_t i = 0; i < v.size(); ++i) g_bools[i] = v[i] != 0;
+    return {g_bools.get(), v.size()};
+}
+
+/// Negative-binomial pmf with shape a and mean mu (the marginal of
+/// Poisson(mu * S), S = Gamma(a)/a).
+double negbin_pmf(long x, double a, double mu) {
+    const double p = mu / (a + mu);  // "success" probability
+    return std::exp(std::lgamma(x + a) - std::lgamma(a) -
+                    std::lgamma(x + 1.0) + a * std::log1p(-p) +
+                    x * std::log(p));
+}
+
+double poisson_pmf(long x, double mu) {
+    return std::exp(-mu + x * std::log(mu) - std::lgamma(x + 1.0));
+}
+
+/// Chi-square statistic of observed per-die defect counts against a pmf,
+/// over bins {0, 1, ..., cut-1, >=cut} (cut chosen by the caller so every
+/// expected bin count is comfortably >= 5).
+double chi_square(const std::vector<long>& counts, long cut,
+                  const std::function<double(long)>& pmf) {
+    const double n = static_cast<double>(counts.size());
+    std::vector<double> observed(static_cast<size_t>(cut) + 1, 0.0);
+    for (long c : counts)
+        observed[static_cast<size_t>(std::min(c, cut))] += 1.0;
+    double chi2 = 0.0;
+    double tail = 1.0;
+    for (long x = 0; x < cut; ++x) {
+        const double e = n * pmf(x);
+        tail -= pmf(x);
+        EXPECT_GE(e, 5.0) << "bin " << x << " too thin for chi-square";
+        const double d = observed[static_cast<size_t>(x)] - e;
+        chi2 += d * d / e;
+    }
+    const double e_tail = n * tail;
+    EXPECT_GE(e_tail, 5.0) << "tail bin too thin for chi-square";
+    const double d = observed[static_cast<size_t>(cut)] - e_tail;
+    chi2 += d * d / e_tail;
+    return chi2;
+}
+
+/// Samples per-die defect counts only (one unit-weight undetected fault:
+/// the fault list is irrelevant to the counts).
+std::vector<long> sample_counts(const DefectStatsModel& stats, double lambda,
+                                long dies, std::uint64_t seed,
+                                long dies_per_wafer = 0) {
+    const std::vector<double> w{lambda};
+    const std::vector<char> det{0};
+    WaferOptions opt;
+    opt.dies = dies;
+    opt.seed = seed;
+    opt.stats = stats;
+    opt.dies_per_wafer = dies_per_wafer;
+    opt.record_die_counts = true;
+    return simulate_wafer(w, bools(det), opt).die_defects;
+}
+
+// 99.9% chi-square quantiles by degrees of freedom (bins - 1); generous
+// enough that a correct sampler fails ~1 in 1000 reseeds, and the seeds
+// here are pinned anyway.
+double chi2_crit(int df) {
+    static const std::map<int, double> kQ999 = {
+        {4, 18.47}, {5, 20.52}, {6, 22.46}, {7, 24.32},
+        {8, 26.12}, {9, 27.88}, {10, 29.59}, {11, 31.26}, {12, 32.91}};
+    return kQ999.at(df);
+}
+
+// ---- goodness of fit -----------------------------------------------------
+
+TEST(NegBinSampler, ChiSquareGoodnessOfFit) {
+    const double alpha = 2.0, lambda = 2.0;
+    const auto counts =
+        sample_counts(parse_defect_stats("negbin:2"), lambda, 200000, 17);
+    const long cut = 9;
+    const double chi2 = chi_square(
+        counts, cut, [&](long x) { return negbin_pmf(x, alpha, lambda); });
+    EXPECT_LT(chi2, chi2_crit(static_cast<int>(cut)));
+}
+
+TEST(NegBinSampler, LegacyClusteringAlphaSamplesSameLaw) {
+    // The clustering_alpha spelling (kept for back-compat) must follow the
+    // same negative-binomial law as the stats = negbin:<a> backend.
+    const double alpha = 0.8, lambda = 1.5;
+    const std::vector<double> w{lambda};
+    const std::vector<char> det{0};
+    WaferOptions opt;
+    opt.dies = 200000;
+    opt.seed = 23;
+    opt.clustering_alpha = alpha;
+    opt.record_die_counts = true;
+    const auto counts = simulate_wafer(w, bools(det), opt).die_defects;
+    const long cut = 7;
+    const double chi2 = chi_square(
+        counts, cut, [&](long x) { return negbin_pmf(x, alpha, lambda); });
+    EXPECT_LT(chi2, chi2_crit(static_cast<int>(cut)));
+}
+
+TEST(HierarchicalSampler, RegionConvolutionGoodnessOfFit) {
+    // Two independent regions (one clustered, one Poisson), no shared
+    // mixing: the die count is the convolution of a negbin and a Poisson.
+    const double lambda = 2.0;
+    const auto counts = sample_counts(
+        parse_defect_stats("hier:region=0.5@2;region=0.5@0"), lambda,
+        200000, 31);
+    std::vector<double> pmf_a(32), pmf_b(32);
+    for (long x = 0; x < 32; ++x) {
+        pmf_a[static_cast<size_t>(x)] = negbin_pmf(x, 2.0, 0.5 * lambda);
+        pmf_b[static_cast<size_t>(x)] = poisson_pmf(x, 0.5 * lambda);
+    }
+    const auto conv = [&](long x) {
+        double p = 0.0;
+        for (long i = 0; i <= x; ++i)
+            p += pmf_a[static_cast<size_t>(i)] *
+                 pmf_b[static_cast<size_t>(x - i)];
+        return p;
+    };
+    const long cut = 9;
+    const double chi2 = chi_square(counts, cut, conv);
+    EXPECT_LT(chi2, chi2_crit(static_cast<int>(cut)));
+}
+
+TEST(HierarchicalSampler, SharedMixingMatchesClosedFormMoments) {
+    // Wafer- and die-level shared gamma factors: the count marginal has
+    // no simple pmf, but mean = lambda and P(0) = the quadrature yield.
+    const double lambda = 1.2;
+    const DefectStatsModel m =
+        parse_defect_stats("hier:wafer=3;die=5;region=0.5@4;region=0.5@0");
+    const auto counts = sample_counts(m, lambda, 300000, 41, 64);
+    const double n = static_cast<double>(counts.size());
+    double sum = 0.0, zeros = 0.0;
+    for (long c : counts) {
+        sum += static_cast<double>(c);
+        zeros += c == 0;
+    }
+    // Wafer-level mixing correlates 64-die blocks, inflating the standard
+    // error well past iid; the tolerances account for the effective sample
+    // size of ~300000/64 wafers.
+    EXPECT_NEAR(sum / n, lambda, 0.05 * lambda);
+    EXPECT_NEAR(zeros / n, m.yield(lambda), 0.02);
+}
+
+// ---- metamorphic laws ----------------------------------------------------
+
+TEST(DefectStatsLaws, AlphaToInfinityIsPoisson) {
+    const DefectStatsModel poisson = parse_defect_stats("poisson");
+    const DefectStatsModel nb = parse_defect_stats("negbin:1000000");
+    for (double lambda : {0.1, 0.5, 2.0}) {
+        for (double theta : {0.0, 0.3, 0.9}) {
+            EXPECT_NEAR(nb.dl(lambda, theta), poisson.dl(lambda, theta),
+                        1e-4 * std::max(poisson.dl(lambda, theta), 1e-6));
+        }
+        EXPECT_NEAR(nb.yield(lambda), poisson.yield(lambda), 1e-5);
+    }
+    // "negbin:inf" parses straight to the Poisson backend.
+    EXPECT_TRUE(parse_defect_stats("negbin:inf").is_poisson());
+}
+
+TEST(DefectStatsLaws, DlMonotoneInAlphaAtFixedTheta) {
+    // Stronger clustering (smaller alpha) concentrates defects on fewer
+    // dies, so at fixed coverage fewer defective dies slip through: DL
+    // must increase with alpha toward the Poisson ceiling.
+    const double lambda = 0.8, theta = 0.7;
+    double prev = 0.0;
+    for (double alpha : {0.25, 0.5, 2.0, 10.0, 100.0}) {
+        const DefectStatsModel m = parse_defect_stats(
+            "negbin:" + std::to_string(alpha));
+        const double dl = m.dl(lambda, theta);
+        EXPECT_GT(dl, prev) << "alpha " << alpha;
+        prev = dl;
+    }
+    EXPECT_GT(parse_defect_stats("poisson").dl(lambda, theta), prev);
+}
+
+TEST(DefectStatsLaws, RegionRefinementPreservesTotalLambda) {
+    // Splitting a Poisson region leaves the law identical; splitting any
+    // map preserves the total density, so the sampled mean stays lambda.
+    const double lambda = 1.0;
+    const DefectStatsModel whole = parse_defect_stats("hier:region=1@0");
+    const DefectStatsModel split =
+        parse_defect_stats("hier:region=0.25@0;region=0.25@0;region=0.5@0");
+    for (double l : {0.2, 1.0, 3.0}) {
+        // Equal up to the associativity of the per-region factor product.
+        EXPECT_NEAR(whole.yield(l), split.yield(l), 1e-12);
+        EXPECT_NEAR(whole.dl(l, 0.6), split.dl(l, 0.6), 1e-12);
+    }
+    const auto counts = sample_counts(
+        parse_defect_stats("hier:region=0.5@2;region=0.5@2"), lambda,
+        200000, 53);
+    const double mean =
+        std::accumulate(counts.begin(), counts.end(), 0.0) /
+        static_cast<double>(counts.size());
+    EXPECT_NEAR(mean, lambda, 0.03 * lambda);
+}
+
+// ---- projection vs Monte Carlo -------------------------------------------
+
+namespace differential {
+
+/// A small synthetic fault list with uneven weights; the first half is
+/// test-detected.
+struct Setup {
+    std::vector<double> weights;
+    std::vector<char> detected;
+    double lambda = 0.0;
+    double theta = 0.0;
+};
+
+Setup make_setup() {
+    Setup s;
+    for (int i = 0; i < 40; ++i)
+        s.weights.push_back(0.002 * (1 + i % 7));
+    s.detected.assign(s.weights.size(), 0);
+    double acc = 0.0;
+    for (size_t i = 0; i < s.weights.size(); ++i) {
+        s.lambda += s.weights[i];
+        if (i < s.weights.size() / 2) {
+            s.detected[i] = 1;
+            acc += s.weights[i];
+        }
+    }
+    s.theta = acc / s.lambda;
+    return s;
+}
+
+}  // namespace differential
+
+TEST(ProjectionVsMonteCarlo, AlphaByCoverageGrid) {
+    // The tentpole acceptance grid: every backend x coverage combination's
+    // simulated shipped-defective fraction lands on
+    // DefectStatsModel::dl(lambda, theta) within sampling error.
+    differential::Setup base = differential::make_setup();
+    // Scale to a meaningful defect rate (lambda ~ 0.35).
+    for (double& w : base.weights) w *= 2.0;
+    base.lambda *= 2.0;
+    unsigned salt = 0;
+    for (const char* desc : {"negbin:0.5", "negbin:2", "negbin:10",
+                             "poisson", "hier:wafer=2;region=0.6@3;"
+                                        "region=0.4@0"}) {
+        const DefectStatsModel backend = parse_defect_stats(desc);
+        for (double frac : {0.3, 0.6, 0.9}) {
+            // Re-cut the verdict boundary for this coverage point.
+            std::vector<char> det(base.weights.size(), 0);
+            double acc = 0.0;
+            for (size_t i = 0; i < det.size(); ++i) {
+                if (acc / base.lambda >= frac) break;
+                det[i] = 1;
+                acc += base.weights[i];
+            }
+            const double theta = acc / base.lambda;
+            WaferOptions opt;
+            opt.dies = 300000;
+            opt.seed = 1000 + ++salt;
+            opt.stats = backend;
+            const WaferResult mc =
+                simulate_wafer(base.weights, bools(det), opt);
+            const double projected = backend.dl(base.lambda, theta);
+            const double n_pass = static_cast<double>(mc.passing);
+            const double sigma =
+                std::sqrt(projected * (1.0 - projected) / n_pass);
+            EXPECT_NEAR(mc.observed_dl(), projected,
+                        5.0 * sigma + 1e-4)
+                << desc << " theta " << theta;
+        }
+    }
+}
+
+// ---- fitter recovery -----------------------------------------------------
+
+TEST(FitRecovery, NegBinAlphaFromSampledCounts) {
+    const double alpha = 2.0, lambda = 1.5;
+    const auto counts =
+        sample_counts(parse_defect_stats("negbin:2"), lambda, 100000, 71);
+    const double fitted = dlp::model::fit_negbin_alpha(counts);
+    EXPECT_NEAR(fitted, alpha, 0.25 * alpha);
+}
+
+TEST(FitRecovery, ClusteredModelRecoversCurveParameters) {
+    // Generate a noiseless clustered DL-vs-T curve and verify the joint
+    // fitter recovers (r, theta_max, alpha) well enough to reproduce it.
+    const double lambda = 0.4, r_true = 3.0, theta_max = 0.96,
+                 alpha_true = 2.0;
+    const DefectStatsModel m = parse_defect_stats("negbin:2");
+    std::vector<dlp::model::FalloutPoint> pts;
+    for (double t = 0.05; t < 1.0; t += 0.05)
+        pts.push_back({t, m.dl_of_coverage(lambda, r_true, theta_max, t)});
+    const auto fit = dlp::model::fit_clustered_model(lambda, pts);
+    const DefectStatsModel fitted =
+        parse_defect_stats("negbin:" + std::to_string(fit.alpha));
+    for (const auto& p : pts) {
+        EXPECT_NEAR(fitted.dl_of_coverage(lambda, fit.r, fit.theta_max,
+                                          p.coverage),
+                    p.defect_level, 0.05 * p.defect_level + 1e-5);
+    }
+    EXPECT_NEAR(fit.alpha, alpha_true, 0.5 * alpha_true);
+}
+
+// ---- deterministic regression pins ---------------------------------------
+
+TEST(WaferRegression, LowCoveragePpmPinned) {
+    // Pins the exact RNG stream + verdict semantics of simulate_wafer at
+    // a bench-like low-coverage point ("detected within k = 8" style cut:
+    // the first half of the faults).  Any change to the sampling order,
+    // the placement draw, or the pass/ship bookkeeping moves these
+    // counts — the same guarantee that keeps the k = 8 row of
+    // BENCH_wafer.json reproducible run to run.
+    differential::Setup s = differential::make_setup();
+    WaferOptions opt;
+    opt.dies = 100000;
+    opt.seed = 19;
+    const WaferResult mc = simulate_wafer(s.weights, bools(s.detected), opt);
+    EXPECT_EQ(mc.dies, 100000);
+    EXPECT_EQ(mc.defect_free, 73298);
+    EXPECT_EQ(mc.passing, 85655);
+    EXPECT_EQ(mc.shipped_defective, 12357);
+    EXPECT_NEAR(1e6 * mc.observed_dl(), 144264.783142, 1e-3);
+}
+
+}  // namespace

@@ -27,6 +27,10 @@
 //   --analysis=LIST   override the spec's [grid] analysis axis with a
 //                     comma-separated list of on/off settings
 //                     (e.g. --analysis=off,on)
+//   --defect-stats=LIST  override the spec's [grid] defect_stats axis
+//                     with a comma-separated list of backend descriptors
+//                     ("poisson" | "negbin:A" | "hier[:...]"; e.g.
+//                     --defect-stats=poisson,negbin:0.5,negbin:2)
 //   --timeout-ms=N    wall-clock budget for the whole campaign; on expiry
 //                     the run stops at the next cell/stage boundary and
 //                     the partial report (an exact prefix) is emitted
@@ -61,6 +65,7 @@
 #include "campaign/store.h"
 #include "flow/report.h"
 #include "gatesim/engine.h"
+#include "model/defect_stats_model.h"
 
 namespace {
 
@@ -85,7 +90,7 @@ int usage(const char* argv0) {
               << " [--cache-dir=PATH] [--no-cache] [--shard=I/N]"
                  " [--json=PATH] [--csv=PATH] [--stats=PATH] [--engine=NAME]"
                  " [--threads=N] [--max-vectors=N] [--ndetect=LIST]"
-                 " [--analysis=LIST] [--timeout-ms=N]"
+                 " [--analysis=LIST] [--defect-stats=LIST] [--timeout-ms=N]"
                  " [--no-recover] [--list] [--quiet] <spec.campaign>\n";
     return 2;
 }
@@ -118,6 +123,7 @@ int main(int argc, char** argv) {
     bool no_recover = false;
     std::string ndetect_list;   // empty: keep the spec's axis
     std::string analysis_list;  // empty: keep the spec's axis
+    std::string defect_stats_list;  // empty: keep the spec's axis
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -147,6 +153,8 @@ int main(int argc, char** argv) {
                 ndetect_list = value("--ndetect=");
             else if (arg.rfind("--analysis=", 0) == 0)
                 analysis_list = value("--analysis=");
+            else if (arg.rfind("--defect-stats=", 0) == 0)
+                defect_stats_list = value("--defect-stats=");
             else if (arg.rfind("--timeout-ms=", 0) == 0)
                 timeout_ms = std::stoll(value("--timeout-ms="));
             else if (arg == "--no-recover")
@@ -224,11 +232,32 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (!defect_stats_list.empty()) {
+        spec.defect_stats.clear();
+        std::istringstream in(defect_stats_list);
+        std::string item;
+        try {
+            while (std::getline(in, item, ',')) {
+                if (item.empty()) continue;
+                spec.defect_stats.push_back(
+                    model::parse_defect_stats(item).describe());
+            }
+            if (spec.defect_stats.empty())
+                throw std::runtime_error("empty backend list");
+        } catch (const std::exception& e) {
+            std::cerr << argv[0] << ": bad --defect-stats list '"
+                      << defect_stats_list << "': " << e.what() << "\n";
+            return 2;
+        }
+    }
+
     if (list) {
-        // The ndetect/analysis columns appear only for grids that sweep
-        // them, so the listing of a classic spec keeps its exact bytes.
+        // The ndetect/analysis/defect_stats columns appear only for grids
+        // that sweep them, so the listing of a classic spec keeps its
+        // exact bytes.
         const bool show_ndetect = spec.has_ndetect_axis();
         const bool show_analysis = spec.has_analysis_axis();
+        const bool show_stats = spec.has_defect_stats_axis();
         for (std::size_t i = 0; i < spec.cell_count(); ++i) {
             const campaign::Cell c = campaign::cell_at(spec, i);
             std::cout << i << " " << c.circuit << " " << c.rules << " seed="
@@ -236,6 +265,8 @@ int main(int argc, char** argv) {
             if (show_ndetect) std::cout << " ndetect=" << c.ndetect;
             if (show_analysis)
                 std::cout << " analysis=" << (c.analysis ? "on" : "off");
+            if (show_stats)
+                std::cout << " defect_stats=" << c.defect_stats;
             std::cout << "\n";
         }
         return 0;

@@ -22,6 +22,9 @@
 //                          (default 1 = classic single detection)
 //   --analysis             project op: run the static untestability
 //                          analysis for the cell
+//   --defect-stats=DESC    project op: defect-statistics backend
+//                          ("poisson" | "negbin:A" | "hier[:...]";
+//                          default poisson)
 //   --linger-ms=N          ping diagnostic: hold the worker N ms
 //   --no-retry-shed        report shed to the caller instead of retrying
 //   --quiet                suppress stderr progress lines
@@ -44,7 +47,7 @@ int usage(const char* argv0) {
         << " [--socket=PATH] [--timeout-ms=N] [--io-timeout-ms=N]"
            " [--retries=N] [--idempotency-key=K] [--engine=NAME]"
            " [--threads=N] [--max-vectors=N] [--seed=N] [--ndetect=N]"
-           " [--analysis] [--linger-ms=N]"
+           " [--analysis] [--defect-stats=DESC] [--linger-ms=N]"
            " [--no-retry-shed] [--quiet]"
            " ping|stats|shutdown|campaign <spec>|project <circuit> <rules>\n";
     return 2;
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
                 request.ndetect = std::stoi(value("--ndetect="));
             else if (arg == "--analysis")
                 request.analysis = true;
+            else if (arg.rfind("--defect-stats=", 0) == 0)
+                request.defect_stats = value("--defect-stats=");
             else if (arg.rfind("--linger-ms=", 0) == 0)
                 request.linger_ms = std::stoll(value("--linger-ms="));
             else if (arg == "--no-retry-shed")
